@@ -1,0 +1,156 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — **ASL parse caching.**  Guards/effects are short strings executed
+thousands of times; the interpreter memoizes parsed programs per source
+text.  Ablation: clear the cache before every evaluation and measure
+the slowdown of a state-machine event storm.
+
+A2 — **Model id indexing.**  ``Model.find_by_id`` is a linear scan
+(fine for single lookups); the XMI reader and MDA engine instead build
+a dict index once.  Ablation: N lookups via scan vs. via the index.
+
+A3 — **Runtime adjacency caching.**  The state machine runtime caches
+outgoing/incoming transition maps instead of scanning all transitions
+per dispatch (``Vertex.outgoing`` does the model-level scan).  Ablation
+measured via the model-level API against the runtime's cached path.
+"""
+
+import time
+
+import pytest
+
+import repro.metamodel as mm
+from repro import asl
+from repro.statemachines import StateMachineRuntime
+
+from workloads import flat_machine, structural_model
+
+
+# ---------------------------------------------------------------------------
+# A1: ASL parse cache
+# ---------------------------------------------------------------------------
+
+GUARD = "count < 100 and mode == 1"
+EVENTS = 1_000
+
+
+def _storm(clear_cache: bool) -> float:
+    machine = flat_machine(8)
+    # attach a guard+effect to every transition so ASL runs per event
+    for transition in machine.all_transitions():
+        if transition.triggers:
+            transition.guard = GUARD
+            transition.effect = "count = count + 1;"
+    runtime = StateMachineRuntime(
+        machine, context={"count": 0, "mode": 1}).start()
+    start = time.perf_counter()
+    for _ in range(EVENTS):
+        if clear_cache:
+            asl.clear_caches()
+        runtime.send("step")
+    return EVENTS / (time.perf_counter() - start)
+
+
+def table_a1():
+    cached = _storm(clear_cache=False)
+    uncached = _storm(clear_cache=True)
+    return [{
+        "ablation": "A1 ASL parse cache",
+        "cached_events_per_s": round(cached),
+        "uncached_events_per_s": round(uncached),
+        "speedup": round(cached / uncached, 2),
+    }]
+
+
+class TestA1Shape:
+    def test_cache_pays(self):
+        cached = _storm(clear_cache=False)
+        uncached = _storm(clear_cache=True)
+        assert cached > uncached * 1.5
+
+
+def test_benchmark_guard_eval_cached(benchmark):
+    runtime = StateMachineRuntime(
+        flat_machine(4), context={"count": 0, "mode": 1}).start()
+    benchmark(lambda: runtime.send("step"))
+
+
+# ---------------------------------------------------------------------------
+# A2: id index vs linear scan
+# ---------------------------------------------------------------------------
+
+LOOKUPS = 300
+
+
+def table_a2():
+    model = structural_model(2_000)
+    targets = [element.xmi_id
+               for element in list(model.all_owned())[::7]][:LOOKUPS]
+
+    start = time.perf_counter()
+    for xmi_id in targets:
+        model.find_by_id(xmi_id)
+    scan_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index = model.build_id_index()
+    for xmi_id in targets:
+        index[xmi_id]
+    index_time = time.perf_counter() - start
+    return [{
+        "ablation": "A2 id index",
+        "lookups": LOOKUPS,
+        "linear_scan_ms": round(1e3 * scan_time, 1),
+        "dict_index_ms_incl_build": round(1e3 * index_time, 1),
+        "speedup": round(scan_time / max(index_time, 1e-9), 1),
+    }]
+
+
+class TestA2Shape:
+    def test_index_beats_scan_for_batches(self):
+        row = table_a2()[0]
+        assert row["speedup"] > 2
+
+
+# ---------------------------------------------------------------------------
+# A3: adjacency caching (runtime) vs model-level scan
+# ---------------------------------------------------------------------------
+
+def table_a3():
+    machine = flat_machine(64)
+    runtime = StateMachineRuntime(machine).start()
+    state = machine.find_state("S0")
+
+    iterations = 2_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        state.outgoing  # model-level O(T) scan
+    scan_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        runtime._outgoing_of(state)  # runtime cached map
+    cached_time = time.perf_counter() - start
+    return [{
+        "ablation": "A3 adjacency cache",
+        "iterations": iterations,
+        "model_scan_ms": round(1e3 * scan_time, 1),
+        "runtime_cache_ms": round(1e3 * cached_time, 2),
+        "speedup": round(scan_time / max(cached_time, 1e-9)),
+    }]
+
+
+class TestA3Shape:
+    def test_cache_is_much_faster(self):
+        row = table_a3()[0]
+        assert row["speedup"] > 10
+
+
+def table():
+    """All ablation rows."""
+    return table_a1() + table_a2() + table_a3()
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

@@ -1,0 +1,100 @@
+"""D10 — XMI interchange: fidelity and cost (Section 2 / OMG context).
+
+Claim (implicit in the paper's OMG framing): models are exchanged
+between tools via XMI, so interchange must be lossless and affordable.
+
+Measured: write+read round-trips over structural models of 100..10k
+elements; fidelity (element ids, per-metaclass counts) must be 100%,
+throughput reported in elements/s and MB/s.  Shape: near-linear cost.
+"""
+
+import time
+
+import pytest
+
+from repro import xmi
+
+from workloads import structural_model, synthetic_soc_pim
+
+SIZES = (100, 500, 2_000, 10_000)
+
+
+def measure_point(elements: int):
+    model = structural_model(elements)
+    start = time.perf_counter()
+    text = xmi.write_model(model)
+    write_time = time.perf_counter() - start
+    start = time.perf_counter()
+    document = xmi.read_model(text)
+    read_time = time.perf_counter() - start
+
+    original_ids = {e.xmi_id for e in model.all_owned()}
+    restored_ids = {e.xmi_id for e in document.model.all_owned()}
+    fidelity = (document.model.summary() == model.summary()
+                and original_ids == restored_ids)
+    size_mb = len(text.encode()) / 1e6
+    count = model.element_count()
+    return {
+        "elements": count,
+        "bytes": len(text),
+        "write_ms": round(1e3 * write_time, 1),
+        "read_ms": round(1e3 * read_time, 1),
+        "elements_per_s": round(count / (write_time + read_time)),
+        "mb_per_s": round(size_mb / (write_time + read_time), 2),
+        "fidelity": "100%" if fidelity else "BROKEN",
+    }
+
+
+def table():
+    """Rows: the size sweep plus a behavioral-model round-trip row."""
+    rows = [measure_point(size) for size in SIZES]
+    pim, profile = synthetic_soc_pim(20)
+    start = time.perf_counter()
+    text = xmi.write_model(pim, profiles=[profile])
+    document = xmi.read_model(text)
+    elapsed = time.perf_counter() - start
+    rows.append({
+        "elements": pim.element_count(),
+        "bytes": len(text),
+        "note": "behavioral PIM incl. profile + applications",
+        "round_trip_ms": round(1e3 * elapsed, 1),
+        "fidelity": "100%" if document.model.summary() == pim.summary()
+        else "BROKEN",
+    })
+    return rows
+
+
+class TestShape:
+    def test_fidelity_total_across_sizes(self):
+        for size in (100, 1_000):
+            assert measure_point(size)["fidelity"] == "100%"
+
+    def test_near_linear_cost(self):
+        small = measure_point(200)
+        large = measure_point(4_000)
+        size_ratio = large["elements"] / small["elements"]
+        time_ratio = (large["write_ms"] + large["read_ms"]) / max(
+            small["write_ms"] + small["read_ms"], 1e-6)
+        assert time_ratio < size_ratio ** 2
+
+    def test_behavioral_fidelity(self):
+        pim, profile = synthetic_soc_pim(10)
+        document = xmi.read_model(xmi.write_model(pim,
+                                                  profiles=[profile]))
+        assert document.model.summary() == pim.summary()
+
+
+def test_benchmark_write(benchmark):
+    model = structural_model(1_000)
+    benchmark(lambda: xmi.write_model(model))
+
+
+def test_benchmark_read(benchmark):
+    model = structural_model(1_000)
+    text = xmi.write_model(model)
+    benchmark(lambda: xmi.read_model(text))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

@@ -1,0 +1,71 @@
+"""D1 — the abstraction/productivity gap (paper Sections 1 & 3).
+
+Claim: one UML model fans out into much larger platform-specific
+implementations, so raising the abstraction level attacks the design
+productivity gap.
+
+Measured: model LoC-equivalent vs. total generated LoC (all four
+backends) for synthetic SoC PIMs of growing size; the expansion factor
+must exceed 1 everywhere and not collapse as designs grow.
+"""
+
+import pytest
+
+from repro.codegen import generate_all
+from repro.mda import hardware_transformation
+from repro.metrics import abstraction_report
+
+from workloads import synthetic_soc_pim
+
+SWEEP_SIZES = (5, 10, 20, 40)
+
+
+def measure_point(components: int):
+    pim, profile = synthetic_soc_pim(components)
+    result = hardware_transformation().transform(pim, profiles=[profile])
+    generated = generate_all(result.psm)
+    merged = {backend: "\n".join(files.values())
+              for backend, files in generated.items()}
+    return abstraction_report(pim, merged)
+
+
+def table():
+    """Rows: components, model elements, model LoC, generated LoC, factor."""
+    rows = []
+    for components in SWEEP_SIZES:
+        report = measure_point(components)
+        rows.append({
+            "components": components,
+            "model_elements": report.model_elements,
+            "model_loc": round(report.model_loc, 1),
+            "generated_loc": report.total_generated,
+            "per_backend": dict(report.generated),
+            "expansion_factor": round(report.expansion_factor, 2),
+        })
+    return rows
+
+
+class TestShape:
+    def test_expansion_factor_always_above_one(self):
+        for components in (5, 20):
+            report = measure_point(components)
+            assert report.expansion_factor > 1.0, (
+                f"{components} components: abstraction must win")
+
+    def test_factor_stable_with_scale(self):
+        small = measure_point(5)
+        large = measure_point(40)
+        # generated code grows at least proportionally with the model
+        assert large.total_generated > 4 * small.total_generated
+        assert large.expansion_factor >= 0.8 * small.expansion_factor
+
+
+def test_benchmark_generate_20_components(benchmark):
+    pim, profile = synthetic_soc_pim(20)
+    result = hardware_transformation().transform(pim, profiles=[profile])
+    benchmark(lambda: generate_all(result.psm))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

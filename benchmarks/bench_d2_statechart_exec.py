@@ -1,0 +1,117 @@
+"""D2 — statechart executability and flattening speedup (Sections 2, 4).
+
+Claim: the StateChart variant is directly executable, and flattening
+hierarchy away (what hardware synthesis does) buys dispatch speed.
+
+Measured: events/second through (a) hierarchical machines of growing
+depth and orthogonality (interpreter), (b) a flat ring machine
+(interpreter), (c) the semantically-flattened table machine.  Shape:
+flat table >= flat interpreter >= deep hierarchical interpreter, with
+the interpreter slowing as depth grows.
+"""
+
+import time
+
+import pytest
+
+from repro.statemachines import StateMachineRuntime, flatten
+
+from workloads import flat_machine, hierarchical_machine
+
+EVENTS = 2_000
+
+
+def events_per_second(machine, events=EVENTS, alphabet=("step", "toggle")):
+    runtime = StateMachineRuntime(machine).start()
+    sequence = [alphabet[i % len(alphabet)] for i in range(events)]
+    start = time.perf_counter()
+    for event in sequence:
+        runtime.send(event)
+    elapsed = time.perf_counter() - start
+    return events / elapsed
+
+
+def flat_table_events_per_second(machine, events=EVENTS):
+    flat = flatten(machine)
+    sequence = ["step"] * events
+    start = time.perf_counter()
+    flat.run(sequence)
+    elapsed = time.perf_counter() - start
+    return events / elapsed
+
+
+def table():
+    """Rows: machine kind/depth, events/s interpreter, events/s flat."""
+    rows = []
+    for depth in (1, 2, 4, 6):
+        machine = hierarchical_machine(depth)
+        rows.append({
+            "machine": f"hierarchical depth={depth}",
+            "states": len(machine.all_states()),
+            "interpreter_events_per_s": round(events_per_second(machine)),
+        })
+    for orthogonal in (2, 4):
+        machine = hierarchical_machine(2, orthogonal=orthogonal)
+        rows.append({
+            "machine": f"orthogonal depth=2 regions={orthogonal}",
+            "states": len(machine.all_states()),
+            "interpreter_events_per_s": round(events_per_second(machine)),
+        })
+    ring = flat_machine(16)
+    rows.append({
+        "machine": "flat ring 16 (interpreter)",
+        "states": 16,
+        "interpreter_events_per_s": round(
+            events_per_second(ring, alphabet=("step",))),
+    })
+    rows.append({
+        "machine": "flat ring 16 (flattened table)",
+        "states": 16,
+        "interpreter_events_per_s": round(
+            flat_table_events_per_second(ring)),
+    })
+    return rows
+
+
+class TestShape:
+    def test_flattened_table_beats_interpreter(self):
+        ring = flat_machine(16)
+        interpreted = events_per_second(ring, events=1_000,
+                                        alphabet=("step",))
+        tabled = flat_table_events_per_second(ring, events=1_000)
+        assert tabled > interpreted
+
+    def test_depth_costs_throughput(self):
+        shallow = events_per_second(hierarchical_machine(1), events=500)
+        deep = events_per_second(hierarchical_machine(6), events=500)
+        assert shallow > deep
+
+    def test_flattening_preserves_behavior(self):
+        machine = hierarchical_machine(2)
+        flat = flatten(machine)
+        runtime = StateMachineRuntime(machine).start()
+        for index in range(60):
+            event = ("step", "toggle")[index % 2]
+            flat.step(event)
+            runtime.send(event)
+        assert flat.leaf_names() == runtime.active_leaf_names()
+
+
+def test_benchmark_interpreter_hierarchical(benchmark):
+    machine = hierarchical_machine(3)
+    runtime = StateMachineRuntime(machine).start()
+
+    def run():
+        runtime.send("step")
+        runtime.send("toggle")
+    benchmark(run)
+
+
+def test_benchmark_flat_table_dispatch(benchmark):
+    flat = flatten(flat_machine(16))
+    benchmark(lambda: flat.step("step"))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

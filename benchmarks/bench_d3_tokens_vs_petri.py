@@ -1,0 +1,112 @@
+"""D3 — activity token semantics vs. high-level Petri nets (Section 2).
+
+Claim: UML 2.0 token semantics put activities "semantically close to
+high-level Petri Nets".
+
+Measured: for random control-only activities, the token engine's
+reachable-marking set must equal the mapped Petri net's reachable set
+(agreement = 100%), plus relative stepping cost of the two semantics.
+"""
+
+import time
+
+import pytest
+
+from repro.activities import (
+    TokenEngine,
+    activity_to_petri,
+    engine_marking_to_net,
+    explore,
+)
+
+from workloads import random_activity
+
+SEEDS = tuple(range(10))
+SIZES = (10, 25, 50)
+
+
+def agreement(seed: int, nodes: int):
+    activity = random_activity(seed, nodes)
+    engine_markings = {engine_marking_to_net(m)
+                       for m in explore(activity, max_markings=20_000)}
+    net = activity_to_petri(activity)
+    net_markings = {engine_marking_to_net(m)
+                    for m in net.reachable_markings(max_markings=20_000)}
+    return engine_markings, net_markings
+
+
+def table():
+    """Rows: size, seeds checked, marking counts, agreement rate."""
+    rows = []
+    for nodes in SIZES:
+        agree = 0
+        total_markings = 0
+        for seed in SEEDS:
+            engine_markings, net_markings = agreement(seed, nodes)
+            total_markings += len(engine_markings)
+            if engine_markings == net_markings:
+                agree += 1
+        rows.append({
+            "target_nodes": nodes,
+            "seeds": len(SEEDS),
+            "mean_markings": total_markings // len(SEEDS),
+            "agreement": f"{agree}/{len(SEEDS)}",
+        })
+    # relative stepping cost on one representative activity
+    activity = random_activity(0, 30)
+    engine = TokenEngine(activity)
+    start = time.perf_counter()
+    steps = engine.run()
+    engine_time = time.perf_counter() - start
+
+    net = activity_to_petri(activity)
+    marking = net.initial_marking()
+    start = time.perf_counter()
+    net_steps = 0
+    while True:
+        enabled = net.enabled(marking)
+        if not enabled:
+            break
+        marking = net.fire(marking, enabled[0])
+        net_steps += 1
+    net_time = time.perf_counter() - start
+    rows.append({
+        "stepping": "engine vs net (same activity)",
+        "engine_steps": steps,
+        "net_steps": net_steps,
+        "engine_us_per_step": round(1e6 * engine_time / max(steps, 1), 1),
+        "net_us_per_step": round(1e6 * net_time / max(net_steps, 1), 1),
+    })
+    return rows
+
+
+class TestShape:
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_agreement_is_total(self, seed):
+        engine_markings, net_markings = agreement(seed, 25)
+        assert engine_markings == net_markings
+
+    def test_agreement_scales(self):
+        engine_markings, net_markings = agreement(1, 50)
+        assert engine_markings == net_markings
+        assert len(engine_markings) > 10  # non-trivial state space
+
+
+def test_benchmark_token_engine_run(benchmark):
+    activity = random_activity(0, 30)
+
+    def run():
+        engine = TokenEngine(activity)
+        engine.run()
+    benchmark(run)
+
+
+def test_benchmark_petri_reachability(benchmark):
+    activity = random_activity(0, 20)
+    net = activity_to_petri(activity)
+    benchmark(lambda: net.reachable_markings(max_markings=20_000))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

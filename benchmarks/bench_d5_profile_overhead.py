@@ -1,0 +1,104 @@
+"""D5 — profiles tailor UML cheaply (Sections 2 & 4).
+
+Claim: a profile gives a domain-specific language "with semantic
+extensions" without a new metamodel — so applying and checking one must
+cost only a small overhead on top of plain validation.
+
+Measured: stereotype application throughput, and full-model validation
+time with vs. without the SoC profile applied, across model sizes.
+Shape: overhead is a modest constant factor (not superlinear).
+"""
+
+import time
+
+import pytest
+
+import repro.metamodel as mm
+from repro.profiles import apply_stereotype, create_soc_profile
+from repro.validation import validate_model
+
+from workloads import structural_model
+
+
+def apply_profile(model: mm.Model, profile) -> int:
+    """Stereotype every class and its integer attributes; returns count."""
+    applied = 0
+    hw_module = profile.stereotype("HwModule")
+    register = profile.stereotype("Register")
+    for cls in model.elements_of_type(mm.UmlClass):
+        cls.is_active = True
+        apply_stereotype(cls, hw_module)
+        applied += 1
+        for offset, attribute in enumerate(cls.attributes):
+            apply_stereotype(attribute, register, address=offset * 4)
+            applied += 1
+    return applied
+
+
+def measure_point(elements: int):
+    plain = structural_model(elements)
+    start = time.perf_counter()
+    plain_report = validate_model(plain)
+    plain_time = time.perf_counter() - start
+
+    profiled = structural_model(elements)
+    profile = create_soc_profile()
+    start = time.perf_counter()
+    applications = apply_profile(profiled, profile)
+    apply_time = time.perf_counter() - start
+    start = time.perf_counter()
+    profiled_report = validate_model(profiled)
+    profiled_time = time.perf_counter() - start
+    return {
+        "elements": plain.element_count(),
+        "applications": applications,
+        "apply_ms": round(1e3 * apply_time, 2),
+        "validate_plain_ms": round(1e3 * plain_time, 2),
+        "validate_profiled_ms": round(1e3 * profiled_time, 2),
+        "overhead_factor": round(profiled_time / max(plain_time, 1e-9), 2),
+        "plain_ok": plain_report.ok,
+        "profiled_ok": profiled_report.ok,
+    }
+
+
+def table():
+    """Rows: model size sweep with apply/validate timings."""
+    return [measure_point(size) for size in (100, 400, 1200, 3000)]
+
+
+class TestShape:
+    def test_profiled_validation_still_passes(self):
+        row = measure_point(300)
+        assert row["plain_ok"] and row["profiled_ok"]
+
+    def test_overhead_is_bounded(self):
+        row = measure_point(800)
+        # profile constraints cost something, but not an explosion
+        assert row["overhead_factor"] < 25
+
+    def test_application_scales_linearly(self):
+        small = measure_point(200)
+        large = measure_point(1600)
+        ratio = large["applications"] / small["applications"]
+        time_ratio = large["apply_ms"] / max(small["apply_ms"], 1e-6)
+        assert time_ratio < ratio * 20
+
+
+def test_benchmark_apply_stereotypes(benchmark):
+    profile = create_soc_profile()
+
+    def run():
+        model = structural_model(300)
+        apply_profile(model, profile)
+    benchmark(run)
+
+
+def test_benchmark_validate_profiled_model(benchmark):
+    model = structural_model(500)
+    apply_profile(model, create_soc_profile())
+    benchmark(lambda: validate_model(model))
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

@@ -1,0 +1,129 @@
+"""D9 — IP reuse through interfaces (Section 4).
+
+Claim: applying MDA/UML to hardware "promises large scale reuse and
+portability", with "seamless integration of existing IP".
+
+Measured: assemble 20 SoC variants from the IP library with a seeded
+mix of library and custom parts; report the reuse ratio trajectory and
+how many wiring mistakes (incompatible ports) the validator catches
+when deliberately injected.  Shape: reuse ratio rises toward the
+library share as variants grow; injected mismatches are always caught.
+"""
+
+import random
+
+import pytest
+
+import repro.metamodel as mm
+from repro.hw import ip_library
+from repro.metrics import reuse_report
+from repro.profiles import create_soc_profile
+from repro.validation import validate_model
+
+VARIANTS = 20
+
+
+def build_variant(library: mm.Package, seed: int) -> mm.Component:
+    """One SoC variant: 3-8 parts, mostly from the library."""
+    rng = random.Random(seed)
+    top = mm.Component(f"Variant{seed}")
+    library_types = [c for c in library.packaged_elements
+                     if isinstance(c, mm.Component)]
+    for index in range(rng.randint(3, 8)):
+        if rng.random() < 0.75:
+            part_type = rng.choice(library_types)
+        else:
+            part_type = mm.Component(f"Custom{seed}_{index}")
+        top.add_part(f"u{index}", part_type)
+    return top
+
+
+def table():
+    """Rows: cumulative reuse ratio + mismatch detection tally."""
+    profile = create_soc_profile()
+    library = ip_library(profile)
+    rows = []
+    total_parts = 0
+    total_reused = 0
+    for seed in range(VARIANTS):
+        variant = build_variant(library, seed)
+        report = reuse_report(variant, library)
+        total_parts += report.total_parts
+        total_reused += report.library_parts
+        if seed % 5 == 4:
+            rows.append({
+                "variants_built": seed + 1,
+                "cumulative_parts": total_parts,
+                "cumulative_reused": total_reused,
+                "cumulative_reuse_ratio": round(
+                    total_reused / total_parts, 3),
+            })
+    rows.append(_mismatch_row())
+    return rows
+
+
+def _mismatch_row():
+    caught = 0
+    injected = 0
+    for seed in range(8):
+        injected += 1
+        model = mm.Model(f"bad{seed}")
+        iface_a = model.add(mm.Interface("IA"))
+        iface_b = model.add(mm.Interface("IB"))
+        producer = model.add(mm.Component("P"))
+        out_port = producer.add_port("o", direction=mm.PortDirection.OUT)
+        out_port.require(iface_a)
+        consumer = model.add(mm.Component("C"))
+        in_port = consumer.add_port("i", direction=mm.PortDirection.IN)
+        in_port.provide(iface_b)  # wrong interface
+        top = model.add(mm.Component("Top"))
+        part_p = top.add_part("p", producer)
+        part_c = top.add_part("c", consumer)
+        top.connect(out_port, in_port, part_p, part_c, check=False)
+        report = validate_model(model)
+        if report.by_rule("connector-compatible"):
+            caught += 1
+    return {"injected_mismatches": injected, "caught_by_validator": caught}
+
+
+class TestShape:
+    def test_reuse_ratio_reflects_library_share(self):
+        rows = table()
+        final = [r for r in rows if "cumulative_reuse_ratio" in r][-1]
+        # the generator draws 75% of parts from the library
+        assert 0.55 <= final["cumulative_reuse_ratio"] <= 0.92
+
+    def test_all_injected_mismatches_caught(self):
+        row = _mismatch_row()
+        assert row["caught_by_validator"] == row["injected_mismatches"]
+
+    def test_library_variant_simulates(self):
+        """Reused IP is not just structural: a variant actually runs."""
+        from repro.hw import make_memory, make_soc, make_traffic_generator
+        from repro.simulation import SystemSimulation
+
+        top = make_soc("ReuseDemo",
+                       masters=[make_traffic_generator(period=4.0,
+                                                       address_range=512)],
+                       slaves=[(make_memory(size_bytes=512), "bus",
+                                0, 512)])
+        simulation = SystemSimulation(top, quantum=1.0)
+        simulation.run(until=120.0)
+        assert simulation.context_of("m0_trafficgen")["responses"] > 0
+
+
+def test_benchmark_variant_assembly(benchmark):
+    import itertools
+
+    profile = create_soc_profile()
+    library = ip_library(profile)
+    counter = itertools.count()
+
+    def run():
+        build_variant(library, next(counter))
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    for row in table():
+        print(row)

@@ -1,0 +1,16 @@
+"""Benchmark fixtures: deterministic ids, shared result reporting."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_ids():
+    repro.reset_ids()
+    yield

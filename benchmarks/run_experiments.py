@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate every derived-experiment table (D1-D10).
+
+Runs each bench module's ``table()`` and prints the rows — the data
+recorded in EXPERIMENTS.md.  Usage::
+
+    python benchmarks/run_experiments.py            # all experiments
+    python benchmarks/run_experiments.py d3 d7      # a subset
+"""
+
+import importlib
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+EXPERIMENTS = {
+    "d1": ("bench_d1_abstraction_gap",
+           "abstraction/productivity gap"),
+    "d2": ("bench_d2_statechart_exec",
+           "statechart execution & flattening"),
+    "d3": ("bench_d3_tokens_vs_petri",
+           "token semantics vs Petri nets"),
+    "d4": ("bench_d4_interaction_traces",
+           "interaction trace explosion vs conformance"),
+    "d5": ("bench_d5_profile_overhead",
+           "profile application & validation overhead"),
+    "d6": ("bench_d6_mda_transform",
+           "MDA PIM->PSM scaling & completeness"),
+    "d7": ("bench_d7_codegen",
+           "code generation throughput & validity"),
+    "d8": ("bench_d8_cosimulation",
+           "early prototyping simulation levels"),
+    "d9": ("bench_d9_ip_reuse",
+           "IP reuse ratio & mismatch detection"),
+    "d10": ("bench_d10_xmi_roundtrip",
+            "XMI round-trip fidelity & cost"),
+    "ablations": ("bench_ablations",
+                  "design-choice ablations (A1-A3)"),
+}
+
+
+def run(selected):
+    import repro
+
+    for key in selected:
+        module_name, title = EXPERIMENTS[key]
+        repro.reset_ids()
+        print(f"\n=== {key.upper()} — {title} ===")
+        module = importlib.import_module(module_name)
+        start = time.perf_counter()
+        for row in module.table():
+            print("  ", row)
+        print(f"   ({time.perf_counter() - start:.1f}s)")
+
+
+def main():
+    requested = [a.lower() for a in sys.argv[1:]] or list(EXPERIMENTS)
+    unknown = [k for k in requested if k not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; "
+                         f"choose from {list(EXPERIMENTS)}")
+    run(requested)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Deterministic workload generators shared by the D1-D10 benchmarks.
+
+Every generator takes a seed (or is fully deterministic) so benchmark
+runs are reproducible; sizes are parameters so the sweeps in
+EXPERIMENTS.md and the quick pytest-benchmark runs can share code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import repro.metamodel as mm
+from repro.activities import Activity
+from repro.interactions import Interaction, Message
+from repro.profiles import Profile, apply_stereotype, create_soc_profile
+from repro.statemachines import StateMachine, TransitionKind
+
+
+def synthetic_soc_pim(components: int, seed: int = 1,
+                      with_profile: bool = True
+                      ) -> Tuple[mm.Model, Profile]:
+    """A synthetic SoC PIM: N components with registers, ports and FSMs.
+
+    Each component gets 2-5 integer attributes, 1-3 ports, and a small
+    protocol state machine whose effects exercise guards/sends — the
+    realistic "design entry" payload for D1/D6/D7.
+    """
+    rng = random.Random(seed)
+    profile = create_soc_profile()
+    model = mm.Model(f"soc{components}")
+    design = model.create_package("design")
+    for index in range(components):
+        component = design.add(mm.Component(f"Block{index}"))
+        if with_profile:
+            apply_stereotype(component, profile.stereotype("HwModule"))
+        attribute_count = rng.randint(2, 5)
+        for a_index in range(attribute_count):
+            component.add_attribute(f"reg{a_index}", mm.INTEGER,
+                                    default=rng.randint(0, 255))
+        for p_index in range(rng.randint(1, 3)):
+            component.add_port(
+                f"p{p_index}",
+                direction=rng.choice(list(mm.PortDirection)))
+        operation = component.add_operation("service", mm.INTEGER)
+        operation.add_parameter("request", mm.INTEGER)
+        operation.set_body("reg0 = reg0 + request; return reg0;")
+
+        machine = StateMachine(f"Fsm{index}")
+        region = machine.region
+        init = region.add_initial()
+        idle = region.add_state("Idle")
+        busy = region.add_state("Busy")
+        done = region.add_state("Done")
+        region.add_transition(init, idle)
+        region.add_transition(idle, busy, trigger="start",
+                              guard="reg0 < 1000",
+                              effect='reg0 = reg0 + 1; '
+                                     'send Ack(v=reg0) to "p0";')
+        region.add_transition(busy, done, after=float(rng.randint(2, 9)))
+        region.add_transition(done, idle, trigger="reset",
+                              effect="reg1 = 0;")
+        component.add_behavior(machine, as_classifier_behavior=True)
+    return model, profile
+
+
+def hierarchical_machine(depth: int, orthogonal: int = 1) -> StateMachine:
+    """A machine nested ``depth`` levels deep with ``orthogonal`` regions.
+
+    Events: ``step`` cycles the two leaves of every region; ``reset``
+    jumps back to the outermost A-state.  Used by D2.
+    """
+    machine = StateMachine(f"deep{depth}x{orthogonal}")
+    region = machine.region
+    init = region.add_initial()
+    top_a = region.add_state("L0A")
+    top_b = region.add_state("L0B")
+    region.add_transition(init, top_a)
+    region.add_transition(top_a, top_b, trigger="toggle")
+    region.add_transition(top_b, top_a, trigger="toggle")
+
+    def populate(state, level):
+        if level > depth:
+            return
+        for r_index in range(orthogonal):
+            nested = state.add_region(f"r{level}_{r_index}")
+            nested_init = nested.add_initial()
+            leaf_a = nested.add_state(f"L{level}R{r_index}A")
+            leaf_b = nested.add_state(f"L{level}R{r_index}B")
+            nested.add_transition(nested_init, leaf_a)
+            nested.add_transition(leaf_a, leaf_b, trigger="step")
+            nested.add_transition(leaf_b, leaf_a, trigger="step")
+            if r_index == 0:
+                populate(leaf_a, level + 1)
+
+    populate(top_a, 1)
+    return machine
+
+
+def flat_machine(states: int) -> StateMachine:
+    """A ring of N states cycled by ``step`` — the flat baseline for D2."""
+    machine = StateMachine(f"ring{states}")
+    region = machine.region
+    init = region.add_initial()
+    ring = [region.add_state(f"S{i}") for i in range(states)]
+    region.add_transition(init, ring[0])
+    for current, following in zip(ring, ring[1:] + ring[:1]):
+        region.add_transition(current, following, trigger="step")
+    return machine
+
+
+def random_activity(seed: int, target_nodes: int = 20) -> Activity:
+    """A random well-formed control-only activity (D3 workload)."""
+    rng = random.Random(seed)
+    activity = Activity(f"rand{seed}")
+    init = activity.add_initial()
+    final = activity.add_final()
+    frontier = [init]
+    count = 0
+    while frontier and count < target_nodes:
+        node = frontier.pop(0)
+        count += 1
+        choice = rng.choice(["action", "fork", "decision", "action"])
+        if choice == "action":
+            action = activity.add_action(f"act{count}")
+            activity.flow(node, action)
+            frontier.append(action)
+        elif choice == "fork":
+            fork = activity.add_fork(f"fork{count}")
+            join = activity.add_join(f"join{count}")
+            activity.flow(node, fork)
+            for branch in range(2):
+                step = activity.add_action(f"b{count}_{branch}")
+                activity.flow(fork, step)
+                activity.flow(step, join)
+            frontier.append(join)
+        else:
+            decision = activity.add_decision(f"dec{count}")
+            merge = activity.add_merge(f"mrg{count}")
+            activity.flow(node, decision)
+            for branch in range(2):
+                step = activity.add_action(f"d{count}_{branch}")
+                activity.flow(decision, step)
+                activity.flow(step, merge)
+            frontier.append(merge)
+    for node in frontier:
+        activity.flow(node, final)
+    activity.validate()
+    return activity
+
+
+def par_interaction(lifelines: int, messages_per_operand: int
+                    ) -> Interaction:
+    """A par fragment with one operand per lifeline pair (D4 workload)."""
+    interaction = Interaction(f"par{lifelines}x{messages_per_operand}")
+    participants = [interaction.add_lifeline(f"l{i}")
+                    for i in range(lifelines)]
+    par = interaction.par()
+    for index in range(max(lifelines - 1, 2)):
+        operand = par.add_operand()
+        sender = participants[index % lifelines]
+        receiver = participants[(index + 1) % lifelines]
+        for m_index in range(messages_per_operand):
+            operand.add(Message(f"m{index}_{m_index}", sender, receiver))
+    return interaction
+
+
+def structural_model(elements: int, seed: int = 3) -> mm.Model:
+    """A plain structural model of roughly ``elements`` elements
+    (classes, attributes, operations, associations) for D5/D10."""
+    rng = random.Random(seed)
+    model = mm.Model(f"big{elements}")
+    package = model.create_package("p0")
+    classes: List[mm.UmlClass] = []
+    while model.element_count() < elements:
+        cls = package.add(mm.UmlClass(f"C{len(classes)}"))
+        classes.append(cls)
+        for a_index in range(rng.randint(1, 4)):
+            cls.add_attribute(f"a{a_index}", mm.INTEGER,
+                              default=rng.randint(0, 9))
+        if rng.random() < 0.5:
+            operation = cls.add_operation("op", mm.INTEGER)
+            operation.add_parameter("x", mm.INTEGER)
+        if len(classes) >= 2 and rng.random() < 0.4:
+            package.add(mm.associate(cls, rng.choice(classes[:-1])))
+        if len(classes) % 25 == 0:
+            package = model.create_package(f"p{len(classes) // 25}")
+    return model

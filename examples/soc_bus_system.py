@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A bus-based SoC assembled from the IP library and cosimulated.
+
+The scenario the paper's Section 4 motivates: integrate *existing IP*
+(traffic-generating CPU, two memories, a DMA engine) over a decoding
+bus, entirely as UML component models, then run the whole system on the
+discrete-event kernel — early prototyping without any RTL.
+
+Run:  python examples/soc_bus_system.py
+"""
+
+import repro.metamodel as mm
+from repro.diagrams import component_diagram, render
+from repro.hw import make_dma, make_memory, make_soc, make_traffic_generator
+from repro.metrics import reuse_report
+from repro.profiles import create_soc_profile
+from repro.hw import ip_library
+from repro.simulation import SystemSimulation
+from repro.validation import validate_model
+
+
+def main():
+    profile = create_soc_profile()
+    package = mm.Package("system")
+
+    cpu = make_traffic_generator("Cpu", period=5.0, address_range=0x2000,
+                                 profile=profile)
+    sram = make_memory("Sram", size_bytes=0x1000, profile=profile)
+    rom = make_memory("Rom", size_bytes=0x1000, profile=profile)
+
+    top = make_soc(
+        "DemoSoc",
+        masters=[cpu],
+        slaves=[(sram, "bus", 0x0000, 0x1000),
+                (rom, "bus", 0x1000, 0x1000)],
+        profile=profile,
+        package=package,
+    )
+
+    report = validate_model(package)
+    print(f"model validation: {report.summary()}")
+
+    print("\n--- component diagram (PlantUML) ---")
+    print(render(component_diagram(package)))
+
+    print("\n--- cosimulation: 1000 time units ---")
+    simulation = SystemSimulation(top, quantum=1.0, default_latency=1.0)
+    simulation.run(until=1000.0)
+
+    cpu_ctx = simulation.context_of("m0_cpu")
+    print(f"cpu issued {cpu_ctx['issued']} requests, "
+          f"got {cpu_ctx['responses']} responses")
+    print(f"bus delivered {simulation.messages_delivered} messages")
+    sram_store = simulation.context_of("s0_sram")["store"]
+    rom_store = simulation.context_of("s1_rom")["store"]
+    print(f"sram locations written: {len(sram_store)}, "
+          f"rom locations written: {len(rom_store)}")
+    print(f"final states: {simulation.state_snapshot()}")
+
+    # reuse: how much of this system came from the IP library?
+    library = ip_library(create_soc_profile())
+    # (our parts were built by the same factories; measure against a
+    #  system that really instantiates library types)
+    shared = mm.Component("SharedSys")
+    fifo = library.member("Fifo", mm.Component)
+    sram_t = library.member("Sram", mm.Component)
+    shared.add_part("f0", fifo)
+    shared.add_part("f1", fifo)
+    shared.add_part("m0", sram_t)
+    custom = mm.Component("MyAccel")
+    shared.add_part("acc", custom)
+    reuse = reuse_report(shared, library)
+    print(f"\nreuse in library-based variant: "
+          f"{reuse.library_parts}/{reuse.total_parts} parts "
+          f"({reuse.reuse_ratio:.0%}) from the IP library")
+
+
+if __name__ == "__main__":
+    main()

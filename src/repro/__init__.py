@@ -1,0 +1,70 @@
+"""repro (uml2soc): UML 2.0 modeling, execution, MDA and HDL codegen.
+
+A reproduction of *"UML 2.0 - Overview and Perspectives in SoC Design"*
+(Schattkowsky, DATE 2005) as a working library: the UML 2.0 metamodel
+surveyed by the paper, the executable semantics it highlights
+(STATEMATE-style statecharts, token-based activities, MSC-style
+interactions, the ASL action language), the tailoring machinery it
+calls for (profiles, including a SoC profile), and the MDA flow it
+envisions (PIM->PSM transformation, code generation to VHDL / Verilog /
+SystemC / Python, discrete-event cosimulation of the models).
+
+Subpackages
+-----------
+``metamodel``      UML 2.0 structural metamodel (S1)
+``statemachines``  statecharts + run-to-completion runtime (S2)
+``activities``     token-semantics activities + Petri mapping (S3)
+``interactions``   sequence diagrams + trace semantics (S4)
+``profiles``       profile mechanism, SoC & UML-RT profiles (S5)
+``asl``            the Action Specification Language (S6)
+``xmi``            XMI interchange (S7)
+``mda``            PIM->PSM transformation engine (S8)
+``codegen``        VHDL/Verilog/SystemC/Python backends (S9)
+``simulation``     discrete-event kernel + cosimulation (S10)
+``hw``             IP library and bus fabric (S11)
+``validation``     well-formedness rules (S12)
+``metrics``        size/complexity/productivity metrics (S13)
+``diagrams``       the 13 diagram types + PlantUML export (S14)
+
+Quick start::
+
+    import repro.metamodel as mm
+    from repro.statemachines import StateMachine, StateMachineRuntime
+
+    model = mm.Model("soc")
+    cpu = model.add(mm.Component("Cpu"))
+    machine = StateMachine("boot")
+    region = machine.region
+    region.add_transition(region.add_initial(), region.add_state("Run"))
+    cpu.add_behavior(machine, as_classifier_behavior=True)
+    runtime = StateMachineRuntime(machine).start()
+"""
+
+from ._ids import reset_ids
+from .errors import (
+    ActivityError,
+    AslRuntimeError,
+    AslSyntaxError,
+    CodegenError,
+    InteractionError,
+    LookupFailed,
+    ModelError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    StateMachineError,
+    TransformError,
+    ValidationError,
+    XmiError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "reset_ids",
+    "ActivityError", "AslRuntimeError", "AslSyntaxError", "CodegenError",
+    "InteractionError", "LookupFailed", "ModelError", "ProfileError",
+    "ReproError", "SimulationError", "StateMachineError", "TransformError",
+    "ValidationError", "XmiError",
+    "__version__",
+]

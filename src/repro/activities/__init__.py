@@ -1,0 +1,49 @@
+"""UML 2.0 activities with token semantics (subsystem S3).
+
+Activity graphs, the token-game execution engine, and the Petri net
+mapping that substantiates the paper's "semantically close to
+high-level Petri Nets" claim.
+"""
+
+from .nodes import (
+    AcceptEventAction,
+    Action,
+    ActivityFinalNode,
+    ActivityNode,
+    ActivityParameterNode,
+    CentralBufferNode,
+    ControlNode,
+    DecisionNode,
+    ExecutableNode,
+    FlowFinalNode,
+    ForkNode,
+    InitialNode,
+    InputPin,
+    JoinNode,
+    MergeNode,
+    ObjectNode,
+    OutputPin,
+    Pin,
+    SendSignalAction,
+)
+from .graph import Activity, ActivityEdge, ControlFlow, ObjectFlow
+from .engine import CONTROL, Firing, TokenEngine, explore
+from .petri import (
+    DONE_PLACE,
+    PetriNet,
+    PetriTransition,
+    activity_to_petri,
+    engine_marking_to_net,
+)
+
+__all__ = [
+    "AcceptEventAction", "Action", "ActivityFinalNode", "ActivityNode",
+    "ActivityParameterNode", "CentralBufferNode", "ControlNode",
+    "DecisionNode", "ExecutableNode", "FlowFinalNode", "ForkNode",
+    "InitialNode", "InputPin", "JoinNode", "MergeNode", "ObjectNode",
+    "OutputPin", "Pin", "SendSignalAction",
+    "Activity", "ActivityEdge", "ControlFlow", "ObjectFlow",
+    "CONTROL", "Firing", "TokenEngine", "explore",
+    "DONE_PLACE", "PetriNet", "PetriTransition", "activity_to_petri",
+    "engine_marking_to_net",
+]

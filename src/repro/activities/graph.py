@@ -1,0 +1,269 @@
+"""Activity graphs: the container for nodes and edges.
+
+An :class:`Activity` owns :class:`ActivityNode` instances and the
+:class:`ControlFlow`/:class:`ObjectFlow` edges between them, offers
+builder helpers mirroring the node vocabulary, and validates the
+structural well-formedness rules the token engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+from ..errors import ActivityError
+from ..metamodel.element import Element
+from ..metamodel.namespaces import PackageableElement
+from ..metamodel.types import TypeElement
+from .nodes import (
+    AcceptEventAction,
+    Action,
+    ActivityFinalNode,
+    ActivityNode,
+    ActivityParameterNode,
+    Behavior,
+    CentralBufferNode,
+    ControlNode,
+    DecisionNode,
+    FlowFinalNode,
+    ForkNode,
+    InitialNode,
+    InputPin,
+    JoinNode,
+    MergeNode,
+    ObjectNode,
+    OutputPin,
+    Pin,
+    SendSignalAction,
+)
+
+#: Edge guards: ASL expression text or a predicate over the engine env.
+Guard = Union[str, Callable, None]
+
+
+class ActivityEdge(Element):
+    """Abstract directed edge of an activity graph."""
+
+    _id_tag = "ActivityEdge"
+
+    def __init__(self, source: ActivityNode, target: ActivityNode,
+                 guard: Guard = None, weight: int = 1, name: str = ""):
+        super().__init__()
+        if weight < 1:
+            raise ActivityError("edge weight must be >= 1")
+        self.source = source
+        self.target = target
+        self.guard = guard
+        self.weight = weight
+        self.name = name
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.source.name!r} -> "
+                f"{self.target.name!r}>")
+
+
+class ControlFlow(ActivityEdge):
+    """An edge carrying control tokens."""
+
+    _id_tag = "ControlFlow"
+
+
+class ObjectFlow(ActivityEdge):
+    """An edge carrying object (data) tokens."""
+
+    _id_tag = "ObjectFlow"
+
+
+class Activity(PackageableElement):
+    """A UML 2.0 activity: nodes plus flows, with token semantics."""
+
+    _id_tag = "Activity"
+
+    # -- content ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[ActivityNode, ...]:
+        """Directly owned nodes (pins excluded — they live on actions)."""
+        return self.owned_of_type(ActivityNode)
+
+    @property
+    def all_nodes(self) -> Tuple[ActivityNode, ...]:
+        """All nodes including pins owned by actions."""
+        return self.descendants_of_type(ActivityNode)
+
+    @property
+    def edges(self) -> Tuple[ActivityEdge, ...]:
+        """Owned edges."""
+        return self.owned_of_type(ActivityEdge)
+
+    @property
+    def actions(self) -> Tuple[Action, ...]:
+        """Owned actions."""
+        return self.owned_of_type(Action)
+
+    def node(self, name: str) -> ActivityNode:
+        """Lookup a directly owned node by name."""
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise ActivityError(f"activity {self.name!r} has no node {name!r}")
+
+    # -- builders ------------------------------------------------------------
+
+    def _add_node(self, node: ActivityNode) -> ActivityNode:
+        if node.name and any(n.name == node.name for n in self.nodes):
+            raise ActivityError(
+                f"activity {self.name!r} already has a node {node.name!r}")
+        self._own(node)
+        return node
+
+    def add_initial(self, name: str = "initial") -> InitialNode:
+        """Add the initial (control token source) node."""
+        return self._add_node(InitialNode(name))  # type: ignore[return-value]
+
+    def add_final(self, name: str = "final") -> ActivityFinalNode:
+        """Add an activity-final (terminate everything) node."""
+        return self._add_node(ActivityFinalNode(name))  # type: ignore[return-value]
+
+    def add_flow_final(self, name: str = "flowFinal") -> FlowFinalNode:
+        """Add a flow-final (sink one flow) node."""
+        return self._add_node(FlowFinalNode(name))  # type: ignore[return-value]
+
+    def add_action(self, name: str, behavior: Behavior = None) -> Action:
+        """Add an opaque action."""
+        return self._add_node(Action(name, behavior))  # type: ignore[return-value]
+
+    def add_send_signal(self, name: str, signal: str = "") -> SendSignalAction:
+        """Add a send-signal action."""
+        return self._add_node(SendSignalAction(name, signal))  # type: ignore[return-value]
+
+    def add_accept_event(self, name: str, event: str = "") -> AcceptEventAction:
+        """Add an accept-event action."""
+        return self._add_node(AcceptEventAction(name, event))  # type: ignore[return-value]
+
+    def add_fork(self, name: str = "fork") -> ForkNode:
+        """Add a fork (parallel split) node."""
+        return self._add_node(ForkNode(name))  # type: ignore[return-value]
+
+    def add_join(self, name: str = "join") -> JoinNode:
+        """Add a join (parallel synchronization) node."""
+        return self._add_node(JoinNode(name))  # type: ignore[return-value]
+
+    def add_decision(self, name: str = "decision") -> DecisionNode:
+        """Add a decision (guarded branch) node."""
+        return self._add_node(DecisionNode(name))  # type: ignore[return-value]
+
+    def add_merge(self, name: str = "merge") -> MergeNode:
+        """Add a merge (unsynchronized union) node."""
+        return self._add_node(MergeNode(name))  # type: ignore[return-value]
+
+    def add_buffer(self, name: str, type: Optional[TypeElement] = None,
+                   upper_bound: Optional[int] = None) -> CentralBufferNode:
+        """Add a central buffer node."""
+        return self._add_node(  # type: ignore[return-value]
+            CentralBufferNode(name, type, upper_bound))
+
+    def add_parameter_node(self, name: str,
+                           type: Optional[TypeElement] = None,
+                           is_input: bool = True) -> ActivityParameterNode:
+        """Add an activity parameter node."""
+        return self._add_node(  # type: ignore[return-value]
+            ActivityParameterNode(name, type, is_input))
+
+    def flow(self, source: ActivityNode, target: ActivityNode,
+             guard: Guard = None, weight: int = 1) -> ControlFlow:
+        """Add a control flow edge."""
+        edge = ControlFlow(source, target, guard, weight)
+        self._own(edge)
+        return edge
+
+    def object_flow(self, source: ActivityNode, target: ActivityNode,
+                    guard: Guard = None, weight: int = 1) -> ObjectFlow:
+        """Add an object flow edge (endpoints must be object/action nodes)."""
+        for endpoint in (source, target):
+            if not isinstance(endpoint, (ObjectNode, Action)):
+                raise ActivityError(
+                    f"object flows connect object nodes/pins/actions, "
+                    f"not {type(endpoint).__name__}")
+        edge = ObjectFlow(source, target, guard, weight)
+        self._own(edge)
+        return edge
+
+    def chain(self, *nodes: ActivityNode) -> Tuple[ControlFlow, ...]:
+        """Connect nodes in sequence with control flows (convenience)."""
+        created = []
+        for source, target in zip(nodes, nodes[1:]):
+            created.append(self.flow(source, target))
+        return tuple(created)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ActivityError` on structural defects.
+
+        Rules enforced (the ones the token engine depends on):
+        initial nodes have no incoming and exactly one outgoing edge;
+        final nodes have no outgoing edges; fork/decision have one
+        incoming; join/merge have one outgoing; join has >= 2 incoming;
+        fork has >= 2 outgoing; every edge endpoint belongs to this
+        activity; object flows touch at least one object node.
+        """
+        owned = set(map(id, self.all_nodes))
+        for edge in self.edges:
+            if id(edge.source) not in owned or id(edge.target) not in owned:
+                raise ActivityError(
+                    f"{edge!r} references a node outside activity "
+                    f"{self.name!r}")
+        for node in self.nodes:
+            n_in = len(node.incoming)
+            n_out = len(node.outgoing)
+            if isinstance(node, InitialNode):
+                if n_in:
+                    raise ActivityError(
+                        f"initial node {node.name!r} must not have "
+                        "incoming edges")
+                if n_out != 1:
+                    raise ActivityError(
+                        f"initial node {node.name!r} must have exactly one "
+                        f"outgoing edge, has {n_out}")
+            elif isinstance(node, (ActivityFinalNode, FlowFinalNode)):
+                if n_out:
+                    raise ActivityError(
+                        f"final node {node.name!r} must not have outgoing "
+                        "edges")
+                if not n_in:
+                    raise ActivityError(
+                        f"final node {node.name!r} is unreachable (no "
+                        "incoming edges)")
+            elif isinstance(node, ForkNode):
+                if n_in != 1:
+                    raise ActivityError(
+                        f"fork {node.name!r} needs exactly 1 incoming edge")
+                if n_out < 2:
+                    raise ActivityError(
+                        f"fork {node.name!r} needs >= 2 outgoing edges")
+            elif isinstance(node, JoinNode):
+                if n_out != 1:
+                    raise ActivityError(
+                        f"join {node.name!r} needs exactly 1 outgoing edge")
+                if n_in < 2:
+                    raise ActivityError(
+                        f"join {node.name!r} needs >= 2 incoming edges")
+            elif isinstance(node, DecisionNode):
+                if n_in != 1:
+                    raise ActivityError(
+                        f"decision {node.name!r} needs exactly 1 incoming "
+                        "edge")
+                if n_out < 2:
+                    raise ActivityError(
+                        f"decision {node.name!r} needs >= 2 outgoing edges")
+            elif isinstance(node, MergeNode):
+                if n_out != 1:
+                    raise ActivityError(
+                        f"merge {node.name!r} needs exactly 1 outgoing edge")
+                if n_in < 2:
+                    raise ActivityError(
+                        f"merge {node.name!r} needs >= 2 incoming edges")
+
+    def __repr__(self) -> str:
+        return (f"<Activity {self.name!r} ({len(self.nodes)} nodes, "
+                f"{len(self.edges)} edges)>")

@@ -1,0 +1,226 @@
+"""Activity nodes: actions, control nodes, object nodes, pins.
+
+UML 2.0 gave activities a token-flow semantics "semantically close to
+high-level Petri Nets" (the paper, Section 2).  The node kinds defined
+here are the vocabulary of that token game; the execution rules live in
+:mod:`repro.activities.engine` and the formal Petri mapping in
+:mod:`repro.activities.petri`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+from ..errors import ActivityError
+from ..metamodel.element import Element
+from ..metamodel.namespaces import NamedElement
+from ..metamodel.types import TypeElement
+
+#: Node behaviors: ASL source text or a Python callable.
+Behavior = Union[str, Callable, None]
+
+
+class ActivityNode(NamedElement):
+    """Abstract node of an activity graph."""
+
+    _id_tag = "ActivityNode"
+
+    @property
+    def activity(self):
+        """The owning activity (import-cycle-free duck lookup)."""
+        from .graph import Activity  # local import: graph imports nodes
+
+        node = self.owner
+        while node is not None:
+            if isinstance(node, Activity):
+                return node
+            node = node.owner
+        return None
+
+    @property
+    def incoming(self) -> Tuple["Element", ...]:
+        """Edges entering this node."""
+        activity = self.activity
+        if activity is None:
+            return ()
+        return tuple(e for e in activity.edges if e.target is self)
+
+    @property
+    def outgoing(self) -> Tuple["Element", ...]:
+        """Edges leaving this node."""
+        activity = self.activity
+        if activity is None:
+            return ()
+        return tuple(e for e in activity.edges if e.source is self)
+
+
+class ExecutableNode(ActivityNode):
+    """A node that performs computation when it fires."""
+
+    _id_tag = "ExecutableNode"
+
+
+class Action(ExecutableNode):
+    """An opaque action: the atomic unit of behavior.
+
+    ``behavior`` is ASL source or a callable ``f(env) -> None``; the
+    engine exposes input-pin values as ASL variables named after the
+    pins and collects output-pin variables after execution.
+    """
+
+    _id_tag = "Action"
+
+    def __init__(self, name: str = "", behavior: Behavior = None):
+        super().__init__(name)
+        self.behavior = behavior
+
+    @property
+    def input_pins(self) -> Tuple["InputPin", ...]:
+        """Owned input pins, in declaration order."""
+        return self.owned_of_type(InputPin)
+
+    @property
+    def output_pins(self) -> Tuple["OutputPin", ...]:
+        """Owned output pins, in declaration order."""
+        return self.owned_of_type(OutputPin)
+
+    def add_input_pin(self, name: str,
+                      type: Optional[TypeElement] = None) -> "InputPin":
+        """Create and own an input pin."""
+        if any(p.name == name for p in self.input_pins):
+            raise ActivityError(
+                f"action {self.name!r} already has input pin {name!r}")
+        pin = InputPin(name, type)
+        self._own(pin)
+        return pin
+
+    def add_output_pin(self, name: str,
+                       type: Optional[TypeElement] = None) -> "OutputPin":
+        """Create and own an output pin."""
+        if any(p.name == name for p in self.output_pins):
+            raise ActivityError(
+                f"action {self.name!r} already has output pin {name!r}")
+        pin = OutputPin(name, type)
+        self._own(pin)
+        return pin
+
+
+class SendSignalAction(Action):
+    """Fires a signal (routed to the engine's signal sink)."""
+
+    _id_tag = "SendSignalAction"
+
+    def __init__(self, name: str = "", signal: str = ""):
+        super().__init__(name)
+        self.signal = signal or name
+
+
+class AcceptEventAction(Action):
+    """Blocks until a matching external event is delivered to the engine."""
+
+    _id_tag = "AcceptEventAction"
+
+    def __init__(self, name: str = "", event: str = ""):
+        super().__init__(name)
+        self.event = event or name
+
+
+class ControlNode(ActivityNode):
+    """Abstract coordination node (no computation)."""
+
+    _id_tag = "ControlNode"
+
+
+class InitialNode(ControlNode):
+    """Source of the initial control token."""
+
+    _id_tag = "InitialNode"
+
+
+class ActivityFinalNode(ControlNode):
+    """Consuming a token here terminates the entire activity."""
+
+    _id_tag = "ActivityFinalNode"
+
+
+class FlowFinalNode(ControlNode):
+    """Consuming a token here destroys just that flow."""
+
+    _id_tag = "FlowFinalNode"
+
+
+class ForkNode(ControlNode):
+    """Duplicates an incoming token onto every outgoing edge."""
+
+    _id_tag = "ForkNode"
+
+
+class JoinNode(ControlNode):
+    """Synchronizes: consumes one token from *every* incoming edge."""
+
+    _id_tag = "JoinNode"
+
+
+class DecisionNode(ControlNode):
+    """Routes an incoming token to exactly one outgoing edge (guards)."""
+
+    _id_tag = "DecisionNode"
+
+
+class MergeNode(ControlNode):
+    """Passes tokens from any incoming edge to the single outgoing edge."""
+
+    _id_tag = "MergeNode"
+
+
+class ObjectNode(ActivityNode):
+    """A node that holds object (data) tokens."""
+
+    _id_tag = "ObjectNode"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 upper_bound: Optional[int] = None):
+        super().__init__(name)
+        self.type = type
+        self.upper_bound = upper_bound  # None = unbounded
+
+
+class CentralBufferNode(ObjectNode):
+    """A buffer decoupling producers and consumers (a FIFO place)."""
+
+    _id_tag = "CentralBufferNode"
+
+
+class ActivityParameterNode(ObjectNode):
+    """Carries activity inputs/outputs across the activity boundary."""
+
+    _id_tag = "ActivityParameterNode"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 is_input: bool = True):
+        super().__init__(name, type)
+        self.is_input = is_input
+
+
+class Pin(ObjectNode):
+    """An object node attached to an action."""
+
+    _id_tag = "Pin"
+
+    @property
+    def action(self) -> Optional[Action]:
+        """The owning action."""
+        owner = self.owner
+        return owner if isinstance(owner, Action) else None
+
+
+class InputPin(Pin):
+    """Receives object tokens consumed when the action fires."""
+
+    _id_tag = "InputPin"
+
+
+class OutputPin(Pin):
+    """Emits object tokens produced by the action's behavior."""
+
+    _id_tag = "OutputPin"

@@ -1,0 +1,263 @@
+"""Petri nets and the activity-to-Petri-net mapping.
+
+The paper's claim: UML 2.0 token semantics "move [activities]
+semantically close to high-level Petri Nets".  This module makes the
+claim checkable.  :class:`PetriNet` is a standard place/transition net
+with weighted arcs; :func:`activity_to_petri` maps an activity onto a
+net such that, for control-only activities, the reachable markings of
+the token engine (:func:`repro.activities.engine.explore`) and of the
+net coincide location-for-location — the property experiment D3
+verifies over randomly generated activities.
+
+Mapping (place ids reuse the activity element ids, so markings compare
+directly):
+
+=====================  =====================================================
+activity element       Petri structure
+=====================  =====================================================
+edge                   place (same id)
+initial node           place (same id) marked with 1 + one transition per
+                       outgoing edge (conflict = UML's offer-to-one)
+action / join / fork   one transition consuming every in-edge place,
+                       producing every out-edge place
+decision               one transition per outgoing edge (guards abstracted)
+merge                  one transition per incoming edge
+flow final             one transition per incoming edge, no output
+activity final         one transition per incoming edge, producing a
+                       `<done>` place that disables nothing — global
+                       termination is approximated (see note)
+object/buffer node     place (same id); in-edges feed it, out-edges drain
+=====================  =====================================================
+
+Note on activity final: a Petri net transition cannot atomically clear
+arbitrary other places, so exact equivalence is stated for activities
+where the final node fires last (single-terminus activities, which the
+D3 generator produces).  For such activities the engine's post-final
+marking (empty) corresponds to the net's ``<done>``-marked state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ActivityError
+from .graph import Activity
+from .nodes import (
+    AcceptEventAction,
+    Action,
+    ActivityFinalNode,
+    ActivityParameterNode,
+    DecisionNode,
+    FlowFinalNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    MergeNode,
+    ObjectNode,
+)
+
+#: A marking: sorted tuple of (place id, token count), zero counts omitted.
+Marking = Tuple[Tuple[str, int], ...]
+
+#: The synthetic place marked when an activity-final transition fires.
+DONE_PLACE = "<done>"
+
+
+class PetriTransition:
+    """A transition with weighted input and output arcs."""
+
+    __slots__ = ("name", "inputs", "outputs")
+
+    def __init__(self, name: str,
+                 inputs: Dict[str, int], outputs: Dict[str, int]):
+        self.name = name
+        self.inputs = dict(inputs)
+        self.outputs = dict(outputs)
+
+    def __repr__(self) -> str:
+        return f"<PetriTransition {self.name}>"
+
+
+class PetriNet:
+    """A place/transition net with natural-number markings."""
+
+    def __init__(self) -> None:
+        self.places: Set[str] = set()
+        self.transitions: List[PetriTransition] = []
+        self.initial: Dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_place(self, place: str, tokens: int = 0) -> str:
+        """Declare a place, optionally with initial tokens."""
+        self.places.add(place)
+        if tokens:
+            self.initial[place] = self.initial.get(place, 0) + tokens
+        return place
+
+    def add_transition(self, name: str, inputs: Dict[str, int],
+                       outputs: Dict[str, int]) -> PetriTransition:
+        """Declare a transition; all referenced places are auto-added."""
+        for place in list(inputs) + list(outputs):
+            self.places.add(place)
+        transition = PetriTransition(name, inputs, outputs)
+        self.transitions.append(transition)
+        return transition
+
+    # -- semantics ------------------------------------------------------------
+
+    def initial_marking(self) -> Marking:
+        """The canonical initial marking."""
+        return tuple(sorted((p, c) for p, c in self.initial.items() if c))
+
+    @staticmethod
+    def _as_dict(marking: Marking) -> Dict[str, int]:
+        return dict(marking)
+
+    def enabled(self, marking: Marking) -> List[PetriTransition]:
+        """Transitions enabled under ``marking``."""
+        held = self._as_dict(marking)
+        return [t for t in self.transitions
+                if all(held.get(place, 0) >= need
+                       for place, need in t.inputs.items())]
+
+    def fire(self, marking: Marking, transition: PetriTransition) -> Marking:
+        """The successor marking after firing ``transition``."""
+        held = self._as_dict(marking)
+        for place, need in transition.inputs.items():
+            if held.get(place, 0) < need:
+                raise ActivityError(
+                    f"transition {transition.name!r} not enabled")
+            held[place] -= need
+        for place, produced in transition.outputs.items():
+            held[place] = held.get(place, 0) + produced
+        return tuple(sorted((p, c) for p, c in held.items() if c))
+
+    def reachable_markings(self, max_markings: int = 50_000) -> Set[Marking]:
+        """BFS over the reachability graph (bounded)."""
+        initial = self.initial_marking()
+        seen: Set[Marking] = {initial}
+        frontier = [initial]
+        while frontier:
+            marking = frontier.pop()
+            for transition in self.enabled(marking):
+                successor = self.fire(marking, transition)
+                if successor not in seen:
+                    if len(seen) >= max_markings:
+                        raise ActivityError(
+                            f"reachability exceeded {max_markings} markings")
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    def is_bounded(self, bound: int, max_markings: int = 50_000) -> bool:
+        """True when no reachable place ever exceeds ``bound`` tokens."""
+        for marking in self.reachable_markings(max_markings):
+            if any(count > bound for _, count in marking):
+                return False
+        return True
+
+    def deadlock_markings(self, max_markings: int = 50_000) -> Set[Marking]:
+        """Reachable markings with no enabled transition."""
+        return {m for m in self.reachable_markings(max_markings)
+                if not self.enabled(m)}
+
+    def __repr__(self) -> str:
+        return (f"<PetriNet {len(self.places)} places, "
+                f"{len(self.transitions)} transitions>")
+
+
+def activity_to_petri(activity: Activity) -> PetriNet:
+    """Translate an activity into a Petri net (see module docstring).
+
+    Raises :class:`~repro.errors.ActivityError` for activities using
+    accept-event actions (external events have no net counterpart here)
+    or guarded edges (guards are data-dependent; the structural net
+    over-approximates them, so we refuse rather than silently diverge).
+    """
+    activity.validate()
+    net = PetriNet()
+
+    for edge in activity.edges:
+        if edge.guard is not None and not (
+                isinstance(edge.guard, str) and edge.guard.strip() == "else"):
+            raise ActivityError(
+                "guarded activities cannot be mapped exactly; "
+                "strip guards for the structural mapping")
+        net.add_place(edge.xmi_id)
+
+    for node in activity.nodes:
+        in_edges = [e for e in activity.edges if e.target is node]
+        out_edges = [e for e in activity.edges if e.source is node]
+        identifier = node.name or node.xmi_id
+
+        if isinstance(node, AcceptEventAction):
+            raise ActivityError(
+                "accept-event actions have no Petri counterpart (external "
+                "event pool); remove them before mapping")
+
+        if isinstance(node, InitialNode):
+            net.add_place(node.xmi_id, tokens=1)
+            for index, edge in enumerate(out_edges):
+                net.add_transition(f"{identifier}/out{index}",
+                                   {node.xmi_id: 1}, {edge.xmi_id: 1})
+        elif isinstance(node, ActivityFinalNode):
+            net.add_place(DONE_PLACE)
+            for index, edge in enumerate(in_edges):
+                net.add_transition(f"{identifier}/in{index}",
+                                   {edge.xmi_id: edge.weight},
+                                   {DONE_PLACE: 1})
+        elif isinstance(node, FlowFinalNode):
+            for index, edge in enumerate(in_edges):
+                net.add_transition(f"{identifier}/in{index}",
+                                   {edge.xmi_id: edge.weight}, {})
+        elif isinstance(node, DecisionNode):
+            source = in_edges[0]
+            for index, edge in enumerate(out_edges):
+                net.add_transition(f"{identifier}/branch{index}",
+                                   {source.xmi_id: source.weight},
+                                   {edge.xmi_id: 1})
+        elif isinstance(node, MergeNode):
+            sink = out_edges[0]
+            for index, edge in enumerate(in_edges):
+                net.add_transition(f"{identifier}/in{index}",
+                                   {edge.xmi_id: edge.weight},
+                                   {sink.xmi_id: 1})
+        elif isinstance(node, (Action, ForkNode, JoinNode)):
+            # implicit join of all inputs, implicit fork of all outputs
+            pin_in = []
+            pin_out = []
+            if isinstance(node, Action):
+                for pin in node.input_pins:
+                    pin_in.extend(e for e in activity.edges if e.target is pin)
+                for pin in node.output_pins:
+                    pin_out.extend(e for e in activity.edges if e.source is pin)
+            inputs = {e.xmi_id: e.weight for e in in_edges + pin_in}
+            outputs = {e.xmi_id: 1 for e in out_edges + pin_out}
+            net.add_transition(identifier, inputs, outputs)
+        elif isinstance(node, ObjectNode):
+            net.add_place(node.xmi_id)
+            if isinstance(node, ActivityParameterNode) and node.is_input:
+                pass  # inputs are seeded externally; place starts empty here
+            for index, edge in enumerate(in_edges):
+                net.add_transition(f"{identifier}/absorb{index}",
+                                   {edge.xmi_id: edge.weight},
+                                   {node.xmi_id: 1})
+            for index, edge in enumerate(out_edges):
+                net.add_transition(f"{identifier}/emit{index}",
+                                   {node.xmi_id: 1}, {edge.xmi_id: 1})
+        else:
+            raise ActivityError(f"unmapped node kind {type(node).__name__}")
+
+    return net
+
+
+def engine_marking_to_net(marking: Marking) -> Marking:
+    """Project an engine marking for comparison with net markings.
+
+    The engine's post-final marking is empty; the net's is ``<done>``.
+    Both are mapped to the empty tuple so the comparison in D3 treats
+    termination uniformly.
+    """
+    return tuple((place, count) for place, count in marking
+                 if place != DONE_PLACE)

@@ -1,0 +1,231 @@
+"""Command-line interface: the tool face of the library.
+
+Subcommands operate on XMI files written by :mod:`repro.xmi`::
+
+    python -m repro info      model.xmi
+    python -m repro validate  model.xmi
+    python -m repro generate  model.xmi --backend vhdl -o build/
+    python -m repro transform model.xmi --platform hw -o psm.xmi
+    python -m repro simulate  model.xmi --top design::Top --until 100
+    python -m repro diagram   model.xmi --kind class --scope design
+
+Every command exits non-zero on failure, so the CLI slots into build
+scripts (the "integration with a design process" of the paper's MDA
+section).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import metamodel as mm
+from . import xmi
+from .errors import ReproError
+
+
+def _load(path: str):
+    document = xmi.read_file(path)
+    if document.model is None:
+        raise ReproError(f"{path} contains no model")
+    return document
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    document = _load(args.model)
+    model = document.model
+    print(f"model: {model.name} ({model.element_count()} elements)")
+    if document.profiles:
+        print(f"profiles: {[p.name for p in document.profiles]}")
+    for kind, count in sorted(model.summary().items()):
+        print(f"  {kind:28} {count}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import validate_model
+
+    document = _load(args.model)
+    report = validate_model(document.model)
+    for finding in report.findings:
+        print(finding)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .codegen import VALIDATORS, python_gen, systemc, verilog, vhdl
+    from .codegen.testbench import (
+        generate_verilog_testbench,
+        generate_vhdl_testbench,
+    )
+
+    generators = {
+        "vhdl": vhdl.generate,
+        "verilog": verilog.generate,
+        "systemc": systemc.generate,
+        "python": lambda scope: {"generated.py":
+                                 python_gen.generate_module(scope)},
+    }
+    document = _load(args.model)
+    files = generators[args.backend](document.model)
+    if args.testbench and args.backend in ("vhdl", "verilog"):
+        from .codegen.base import hardware_components
+
+        bench_generator = (generate_vhdl_testbench
+                           if args.backend == "vhdl"
+                           else generate_verilog_testbench)
+        suffix = ".vhd" if args.backend == "vhdl" else ".v"
+        for component in hardware_components(document.model):
+            bench_name = f"{component.name.lower()}_tb{suffix}"
+            files[bench_name] = bench_generator(component)
+    os.makedirs(args.output, exist_ok=True)
+    failures = 0
+    for filename, text in sorted(files.items()):
+        issues = VALIDATORS[args.backend](text)
+        target = os.path.join(args.output, filename)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        status = "ok" if not issues else f"INVALID: {issues}"
+        if issues:
+            failures += 1
+        print(f"  {target}  ({len(text.splitlines())} lines)  {status}")
+    print(f"{len(files)} file(s) generated, {failures} invalid")
+    return 0 if not failures else 1
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    from .mda import hardware_transformation, software_transformation
+
+    document = _load(args.model)
+    transformation = (hardware_transformation() if args.platform == "hw"
+                      else software_transformation())
+    result = transformation.transform(document.model,
+                                      profiles=document.profiles)
+    print(f"applied {result.rules_applied} rule application(s); "
+          f"completeness {result.completeness():.0%}")
+    xmi.write_file(args.output, result.psm, profiles=document.profiles)
+    print(f"PSM written to {args.output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulation import SystemSimulation
+
+    document = _load(args.model)
+    top = document.model.resolve(args.top, mm.Component)
+    simulation = SystemSimulation(top, quantum=args.quantum)
+    simulation.run(until=args.until)
+    print(f"simulated {args.until} time units: "
+          f"{simulation.messages_delivered} message(s) delivered, "
+          f"{simulation.messages_dropped} dropped")
+    for name, states in simulation.state_snapshot().items():
+        print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
+    return 0
+
+
+def cmd_diagram(args: argparse.Namespace) -> int:
+    from . import statemachines as st
+    from .diagrams import (
+        class_diagram,
+        component_diagram,
+        render,
+        render_state_machine,
+    )
+
+    document = _load(args.model)
+    scope = document.model
+    if args.scope:
+        scope = document.model.resolve(args.scope, mm.Package)
+    if args.kind == "class":
+        print(render(class_diagram(scope)))
+    elif args.kind == "component":
+        print(render(component_diagram(scope)))
+    elif args.kind == "statemachine":
+        machines = scope.descendants_of_type(st.StateMachine)
+        if not machines:
+            raise ReproError(f"no state machines under {scope.name!r}")
+        for machine in machines:
+            print(render_state_machine(machine))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UML 2.0 / SoC model toolchain (validate, "
+                    "transform, generate, simulate)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="summarize a model file")
+    info.add_argument("model")
+    info.set_defaults(handler=cmd_info)
+
+    validate = commands.add_parser("validate",
+                                   help="run well-formedness rules")
+    validate.add_argument("model")
+    validate.set_defaults(handler=cmd_validate)
+
+    generate = commands.add_parser("generate", help="generate code")
+    generate.add_argument("model")
+    generate.add_argument("--backend", default="vhdl",
+                          choices=("vhdl", "verilog", "systemc",
+                                   "python"))
+    generate.add_argument("--testbench", action="store_true",
+                          help="also emit a testbench per component "
+                               "(vhdl/verilog)")
+    generate.add_argument("-o", "--output", default="generated")
+    generate.set_defaults(handler=cmd_generate)
+
+    transform = commands.add_parser("transform",
+                                    help="PIM -> PSM (MDA mapping)")
+    transform.add_argument("model")
+    transform.add_argument("--platform", default="hw",
+                           choices=("hw", "sw"))
+    transform.add_argument("-o", "--output", default="psm.xmi")
+    transform.set_defaults(handler=cmd_transform)
+
+    simulate = commands.add_parser("simulate",
+                                   help="cosimulate a top component")
+    simulate.add_argument("model")
+    simulate.add_argument("--top", required=True,
+                          help="qualified name, e.g. design::Top")
+    simulate.add_argument("--until", type=float, default=100.0)
+    simulate.add_argument("--quantum", type=float, default=1.0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    diagram = commands.add_parser("diagram",
+                                  help="export PlantUML diagrams")
+    diagram.add_argument("model")
+    diagram.add_argument("--kind", default="class",
+                         choices=("class", "component", "statemachine"))
+    diagram.add_argument("--scope", default="",
+                         help="qualified package name (default: model)")
+    diagram.set_defaults(handler=cmd_diagram)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,366 @@
+"""Shared code-generation infrastructure.
+
+Common pieces used by all four backends (VHDL, Verilog, SystemC,
+Python): an indentation-aware :class:`CodeWriter`, identifier
+sanitization per target language, and the *machine analysis* that
+reduces a UML state machine to the synthesizable view the HDL backends
+emit — states, triggers (input strobes), sends (output strobes with
+payloads), timed transitions (cycle counters) and integer context
+registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import asl
+from ..errors import CodegenError
+from ..metamodel.classifiers import UmlClass
+from ..metamodel.components import Component, Port
+from ..statemachines.events import ChangeEvent, TimeEvent
+from ..statemachines.kernel import (
+    FinalState,
+    Pseudostate,
+    PseudostateKind,
+    State,
+    StateMachine,
+    Transition,
+)
+
+
+class CodeWriter:
+    """Emit indented source text."""
+
+    def __init__(self, indent_unit: str = "    "):
+        self._lines: List[str] = []
+        self._level = 0
+        self._unit = indent_unit
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Append one line at the current indent (chainable)."""
+        if text:
+            self._lines.append(self._unit * self._level + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        """Append several lines (chainable)."""
+        for text in texts:
+            self.line(text)
+        return self
+
+    def indent(self) -> "CodeWriter":
+        """Increase the indent level (chainable)."""
+        self._level += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        """Decrease the indent level (chainable)."""
+        if self._level == 0:
+            raise CodegenError("cannot dedent below zero")
+        self._level -= 1
+        return self
+
+    def block(self, raw: str) -> "CodeWriter":
+        """Append a pre-formatted block, re-indented to the current level."""
+        for text in raw.splitlines():
+            self.line(text)
+        return self
+
+    def text(self) -> str:
+        """The accumulated source text."""
+        return "\n".join(self._lines) + "\n"
+
+
+_KEYWORD_SUFFIX = "_x"
+
+_VHDL_KEYWORDS = frozenset("""
+abs access after alias all and architecture array assert attribute begin
+block body buffer bus case component configuration constant disconnect
+downto else elsif end entity exit file for function generate generic group
+guarded if impure in inertial inout is label library linkage literal loop
+map mod nand new next nor not null of on open or others out package port
+postponed procedure process pure range record register reject rem report
+return rol ror select severity shared signal sla sll sra srl subtype then
+to transport type unaffected units until use variable wait when while with
+xnor xor
+""".split())
+
+_VERILOG_KEYWORDS = frozenset("""
+always and assign begin buf case casex casez default define else end
+endcase endfunction endmodule endtask for forever function if initial
+inout input integer module nand negedge nor not or output parameter
+posedge reg repeat task time tri wire while localparam logic
+""".split())
+
+_PYTHON_KEYWORDS = frozenset("""
+False None True and as assert async await break class continue def del
+elif else except finally for from global if import in is lambda nonlocal
+not or pass raise return try while with yield
+""".split())
+
+
+def sanitize(name: str, language: str = "python") -> str:
+    """Make a model name a legal identifier in the target language."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_"
+                      for c in name) or "unnamed"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    keywords = {"vhdl": _VHDL_KEYWORDS, "verilog": _VERILOG_KEYWORDS,
+                "systemc": _PYTHON_KEYWORDS, "python": _PYTHON_KEYWORDS}
+    if cleaned.lower() in keywords.get(language, frozenset()):
+        cleaned += _KEYWORD_SUFFIX
+    return cleaned
+
+
+# ---------------------------------------------------------------------------
+# ASL inspection helpers
+# ---------------------------------------------------------------------------
+
+def collect_sends(source: Optional[str]) -> List[Tuple[str, Tuple[str, ...], Optional[str]]]:
+    """All ``send`` statements in an ASL snippet.
+
+    Returns ``(signal, argument names, target port or None)`` tuples;
+    unparseable / callable actions yield nothing.
+    """
+    if not isinstance(source, str):
+        return []
+    try:
+        program = asl.parse(source)
+    except Exception:
+        return []
+    sends: List[Tuple[str, Tuple[str, ...], Optional[str]]] = []
+
+    def walk(statements) -> None:
+        for statement in statements:
+            if isinstance(statement, asl.Send):
+                target = None
+                if isinstance(statement.target, asl.Literal) \
+                        and isinstance(statement.target.value, str):
+                    target = statement.target.value
+                sends.append((statement.signal,
+                              tuple(k for k, _ in statement.arguments),
+                              target))
+            elif isinstance(statement, asl.If):
+                walk(statement.then_body)
+                walk(statement.else_body)
+            elif isinstance(statement, (asl.While, asl.For)):
+                walk(statement.body)
+
+    walk(program.body)
+    return sends
+
+
+def collect_assigned_names(source: Optional[str]) -> Set[str]:
+    """Plain variable names assigned anywhere in an ASL snippet."""
+    if not isinstance(source, str):
+        return set()
+    try:
+        program = asl.parse(source)
+    except Exception:
+        return set()
+    names: Set[str] = set()
+
+    def walk(statements) -> None:
+        for statement in statements:
+            if isinstance(statement, asl.Assign) \
+                    and isinstance(statement.target, asl.Name):
+                names.add(statement.target.identifier)
+            elif isinstance(statement, asl.If):
+                walk(statement.then_body)
+                walk(statement.else_body)
+            elif isinstance(statement, (asl.While, asl.For)):
+                walk(statement.body)
+
+    walk(program.body)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# machine analysis (the synthesizable view)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TransitionView:
+    """One transition as the HDL backends see it."""
+
+    source: str
+    target: str
+    trigger: Optional[str]        # input event name, None for completion
+    after_cycles: Optional[int]   # timed transition, in cycles
+    guard: Optional[str]          # ASL guard text (None or untranslated)
+    effect: Optional[str]         # ASL effect text
+    is_internal: bool = False
+
+
+@dataclass
+class MachineView:
+    """A state machine reduced to what RTL needs."""
+
+    name: str
+    states: List[str]
+    initial: str
+    transitions: List[TransitionView]
+    triggers: List[str]                         # input event names
+    outputs: List[Tuple[str, str]]              # (port, signal) strobes
+    registers: List[Tuple[str, int]]            # (context var, reset value)
+    has_hierarchy: bool = False
+    notes: List[str] = field(default_factory=list)
+
+
+def analyze_machine(machine: StateMachine,
+                    owner: Optional[UmlClass] = None) -> MachineView:
+    """Reduce a machine to a :class:`MachineView`.
+
+    Hierarchical machines are handled by listing leaf states and
+    treating transitions at composite level as transitions from each of
+    the composite's leaves (a standard flattening approximation noted in
+    ``notes``).  Pseudostate routing other than initial is recorded as a
+    note — RTL for choice trees is emitted by the backends as guard
+    chains where possible.
+    """
+    machine.validate()
+    view = MachineView(name=machine.name or "machine", states=[],
+                       initial="", transitions=[], triggers=[], outputs=[],
+                       registers=[])
+
+    leaf_states = [s for s in machine.all_states()
+                   if s.is_simple and not isinstance(s, FinalState)]
+    final_states = [s for s in machine.all_states()
+                    if isinstance(s, FinalState)]
+    view.states = [s.name for s in leaf_states] \
+        + [s.name for s in final_states]
+    view.has_hierarchy = any(s.is_composite for s in machine.all_states())
+    if view.has_hierarchy:
+        view.notes.append(
+            "hierarchical machine: composite-level transitions apply to "
+            "each nested leaf state")
+
+    # initial state: follow the initial pseudostate chain to a state
+    region = machine.regions[0]
+    entry = region.initial
+    if entry is None:
+        raise CodegenError(f"machine {machine.name!r} has no initial state")
+    target = entry.outgoing[0].target
+    seen = 0
+    while not isinstance(target, State):
+        outgoing = target.outgoing
+        if not outgoing or seen > 64:
+            raise CodegenError(
+                f"machine {machine.name!r}: cannot resolve initial state")
+        target = outgoing[0].target
+        seen += 1
+    while isinstance(target, State) and target.is_composite:
+        nested_initial = target.regions[0].initial
+        if nested_initial is None:
+            break
+        target = nested_initial.outgoing[0].target
+    view.initial = target.name
+
+    def leaves_of(state: State) -> List[str]:
+        if state.is_simple:
+            return [state.name]
+        collected: List[str] = []
+        for nested_region in state.regions:
+            for nested in nested_region.states:
+                collected.extend(leaves_of(nested))
+        return collected
+
+    triggers: Set[str] = set()
+    outputs: Set[Tuple[str, str]] = set()
+    register_names: Dict[str, int] = {}
+
+    if owner is not None:
+        for attribute in owner.all_attributes():
+            if isinstance(attribute, Port):
+                continue
+            default = attribute.default_value
+            if isinstance(default, bool):
+                default = int(default)
+            if isinstance(default, int):
+                register_names[attribute.name] = default
+
+    for transition in machine.all_transitions():
+        source, target_vertex = transition.source, transition.target
+        if isinstance(source, Pseudostate):
+            if source.kind is not PseudostateKind.INITIAL:
+                view.notes.append(
+                    f"pseudostate routing via {source.kind.value} "
+                    f"{source.name!r} approximated")
+            continue
+        if isinstance(target_vertex, Pseudostate):
+            view.notes.append(
+                f"transition into {target_vertex.kind.value} "
+                f"{target_vertex.name!r} approximated")
+            continue
+        if not isinstance(source, State) or not isinstance(target_vertex,
+                                                           State):
+            continue
+        source_leaves = leaves_of(source)
+        target_name = target_vertex.name
+        if isinstance(target_vertex, State) and target_vertex.is_composite:
+            nested = leaves_of(target_vertex)
+            target_name = nested[0] if nested else target_vertex.name
+
+        trigger_name: Optional[str] = None
+        after_cycles: Optional[int] = None
+        for event in transition.triggers:
+            if isinstance(event, TimeEvent):
+                after_cycles = max(int(round(event.after)), 1)
+            elif isinstance(event, ChangeEvent):
+                view.notes.append(
+                    f"change trigger {event.name!r} approximated as "
+                    "a guard")
+            else:
+                trigger_name = event.name
+                triggers.add(event.name)
+
+        guard = transition.guard if isinstance(transition.guard, str) \
+            else None
+        effect = transition.effect if isinstance(transition.effect, str) \
+            else None
+        if callable(transition.guard) or callable(transition.effect):
+            view.notes.append(
+                f"callable guard/effect on {transition!r} cannot be "
+                "translated; emitted as comment")
+
+        for signal, args, port in collect_sends(effect):
+            outputs.add((port or "self", signal))
+        for name in collect_assigned_names(effect):
+            register_names.setdefault(name, 0)
+        if guard:
+            pass  # guards only read registers; reads need no declaration
+
+        for leaf in source_leaves:
+            view.transitions.append(TransitionView(
+                source=leaf, target=target_name, trigger=trigger_name,
+                after_cycles=after_cycles, guard=guard, effect=effect,
+                is_internal=(transition.kind.name == "INTERNAL")))
+
+    for state in machine.all_states():
+        for action in (state.entry, state.exit, state.do_activity):
+            for signal, args, port in collect_sends(
+                    action if isinstance(action, str) else None):
+                outputs.add((port or "self", signal))
+            for name in collect_assigned_names(
+                    action if isinstance(action, str) else None):
+                register_names.setdefault(name, 0)
+
+    view.triggers = sorted(triggers)
+    view.outputs = sorted(outputs)
+    view.registers = sorted(register_names.items())
+    return view
+
+
+def machines_of(classifier: UmlClass) -> List[StateMachine]:
+    """The state machines owned by a classifier."""
+    return list(classifier.owned_of_type(StateMachine))
+
+
+def hardware_components(scope) -> List[Component]:
+    """All components under a scope, in qualified-name order."""
+    components = list(scope.descendants_of_type(Component)) \
+        if not isinstance(scope, Component) else [scope]
+    return sorted(components, key=lambda c: c.qualified_name)

@@ -1,0 +1,309 @@
+"""Executable Python code generation from PSM classes.
+
+The fully-behavioural backend: each class/component becomes a plain
+Python class whose generated methods replay the model exactly —
+
+* UML operations with ASL bodies become methods;
+* the classifier state machine becomes ``dispatch(event, **params)``
+  (flat transition chains with translated guards/effects, entry/exit
+  actions, internal transitions) and ``advance(cycles)`` for ``after``
+  transitions;
+* ``send`` statements call ``self._send`` which appends to
+  ``self.outbox`` and invokes the optional ``on_send`` callback — the
+  hook a generated-code testbench wires to its scheduler.
+
+Because translation is complete (not a synthesizable subset), the
+generated code's observable behaviour matches the interpreted model;
+the test suite asserts this equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import CodegenError
+from ..metamodel.classifiers import UmlClass
+from ..metamodel.components import Port
+from ..metamodel.element import Element
+from ..statemachines.kernel import (
+    State,
+    StateMachine,
+    Transition,
+    TransitionKind,
+)
+from .base import CodeWriter, hardware_components, sanitize
+from .transpile import (
+    PYTHON_ATTR_HELPER,
+    PYTHON_PRELUDE,
+    to_python_expression,
+    to_python_statements,
+)
+from .. import asl
+
+
+def _py_name(name: str) -> str:
+    return sanitize(name, "python")
+
+
+def _flat_machine(machine: StateMachine):
+    """(states, initial, transitions) for a flat machine; raises otherwise."""
+    machine.validate()
+    if any(state.is_composite for state in machine.all_states()):
+        raise CodegenError(
+            f"python backend requires a flat machine; flatten "
+            f"{machine.name!r} first (repro.statemachines.flatten)")
+    region = machine.regions[0]
+    states = [s for s in region.states]
+    initial_pseudo = region.initial
+    if initial_pseudo is None:
+        raise CodegenError(f"machine {machine.name!r} has no initial")
+    initial = initial_pseudo.outgoing[0].target
+    if not isinstance(initial, State):
+        raise CodegenError(
+            f"machine {machine.name!r}: initial must enter a state "
+            "directly for code generation")
+    transitions = [t for t in region.transitions
+                   if isinstance(t.source, State)
+                   and isinstance(t.target, State)]
+    return states, initial, transitions
+
+
+def _emit_action(writer: CodeWriter, action, self_names: Set[str],
+                 label: str) -> None:
+    if action is None:
+        return
+    if callable(action):
+        writer.line(f"# {label}: Python callable in the model; not "
+                    "translatable")
+        return
+    for line in to_python_statements(action, self_names):
+        writer.line(line)
+
+
+def generate_class(classifier: UmlClass) -> str:
+    """Generate one Python class (source text) for a UML class."""
+    writer = CodeWriter()
+    class_name = _py_name(classifier.name or "Generated")
+
+    self_names: Set[str] = set()
+    for attribute in classifier.all_attributes():
+        if not isinstance(attribute, Port):
+            self_names.add(attribute.name)
+
+    machine = classifier.classifier_behavior \
+        if isinstance(classifier.classifier_behavior, StateMachine) else None
+    flat = None
+    if machine is not None:
+        flat = _flat_machine(machine)
+        for transition in machine.all_transitions():
+            if isinstance(transition.effect, str):
+                from .base import collect_assigned_names
+
+                self_names |= collect_assigned_names(transition.effect)
+        for state in machine.all_states():
+            for action in (state.entry, state.exit, state.do_activity):
+                if isinstance(action, str):
+                    from .base import collect_assigned_names
+
+                    self_names |= collect_assigned_names(action)
+
+    writer.line(f"class {class_name}:")
+    writer.indent()
+    doc = (classifier.comments[0].body if classifier.comments
+           else f"Generated from UML class {classifier.name!r}.")
+    writer.line(f'"""{doc}"""')
+    writer.line("")
+    writer.line("def __init__(self, on_send=None):")
+    writer.indent()
+    writer.line("self.on_send = on_send")
+    writer.line("self.outbox = []")
+    for attribute in classifier.all_attributes():
+        if isinstance(attribute, Port):
+            continue
+        default = attribute.default_value
+        writer.line(f"self.{_py_name(attribute.name)} = {default!r}")
+    if flat is not None:
+        states, initial, _transitions = flat
+        writer.line(f"self.state = {initial.name!r}")
+        writer.line("self._timer = 0")
+        writer.line(f"self._enter_{_py_name(initial.name)}()")
+    writer.dedent()
+    writer.line("")
+
+    writer.line("def _send(self, signal, target=None, **arguments):")
+    writer.indent()
+    writer.line("self.outbox.append((signal, target, arguments))")
+    writer.line("if self.on_send is not None:")
+    writer.indent()
+    writer.line("self.on_send(signal, target, arguments)")
+    writer.dedent()
+    writer.dedent()
+    writer.line("")
+
+    # operations with ASL bodies
+    for operation in classifier.operations:
+        if operation.body is None:
+            continue
+        params = ", ".join(_py_name(p.name)
+                           for p in operation.in_parameters)
+        signature = f"def {_py_name(operation.name)}(self" \
+            + (f", {params}" if params else "") + "):"
+        writer.line(signature)
+        writer.indent()
+        local_names = self_names - {p.name
+                                    for p in operation.in_parameters}
+        for line in to_python_statements(operation.body, local_names):
+            writer.line(line)
+        writer.dedent()
+        writer.line("")
+
+    if flat is not None:
+        states, initial, transitions = flat
+        # entry helpers (reset the state timer, run entry actions)
+        for state in states:
+            writer.line(f"def _enter_{_py_name(state.name)}(self):")
+            writer.indent()
+            writer.line("self._timer = 0")
+            _emit_action(writer, state.entry, self_names, "entry")
+            _emit_action(writer, state.do_activity, self_names, "do")
+            writer.line("return None")
+            writer.dedent()
+            writer.line("")
+
+        writer.line("def dispatch(self, event_name, **event):")
+        writer.indent()
+        writer.line('"""Run-to-completion step for one signal event."""')
+        emitted_any = False
+        for state in states:
+            state_transitions = [
+                t for t in transitions
+                if t.source is state and t.triggers
+                and not any(type(e).__name__ == "TimeEvent"
+                            for e in t.triggers)]
+            if not state_transitions:
+                continue
+            keyword = "if" if not emitted_any else "elif"
+            emitted_any = True
+            writer.line(f"{keyword} self.state == {state.name!r}:")
+            writer.indent()
+            for transition in state_transitions:
+                _emit_dispatch_arm(writer, transition, self_names)
+            writer.line("return False")
+            writer.dedent()
+        writer.line("return False")
+        writer.dedent()
+        writer.line("")
+
+        writer.line("def advance(self, cycles=1):")
+        writer.indent()
+        writer.line('"""Advance local time, firing due after() '
+                    'transitions."""')
+        writer.line("fired = 0")
+        writer.line("for _ in range(cycles):")
+        writer.indent()
+        writer.line("self._timer += 1")
+        emitted_any = False
+        for state in states:
+            timed = [(t, e) for t in transitions if t.source is state
+                     for e in t.triggers
+                     if type(e).__name__ == "TimeEvent"]
+            if not timed:
+                continue
+            keyword = "if" if not emitted_any else "elif"
+            emitted_any = True
+            writer.line(f"{keyword} self.state == {state.name!r}:")
+            writer.indent()
+            for transition, event in timed:
+                threshold = max(int(round(event.after)), 1)
+                writer.line(f"if self._timer >= {threshold}:")
+                writer.indent()
+                _emit_fire(writer, transition, self_names, has_event=False)
+                writer.line("fired += 1")
+                writer.dedent()
+            writer.dedent()
+        writer.dedent()
+        writer.line("return fired")
+        writer.dedent()
+    writer.dedent()
+    return writer.text()
+
+
+def _emit_dispatch_arm(writer: CodeWriter, transition: Transition,
+                       self_names: Set[str]) -> None:
+    trigger_names = sorted({e.name for e in transition.triggers})
+    trigger_check = " or ".join(f"event_name == {n!r}"
+                                for n in trigger_names)
+    guard_check = ""
+    if isinstance(transition.guard, str):
+        guard_py = to_python_expression(
+            asl.parse_expression(transition.guard), self_names)
+        guard_check = f" and ({guard_py})"
+    elif callable(transition.guard):
+        writer.line("# callable guard not translatable; treated as False")
+        return
+    writer.line(f"if ({trigger_check}){guard_check}:")
+    writer.indent()
+    _emit_fire(writer, transition, self_names, has_event=True)
+    writer.line("return True")
+    writer.dedent()
+
+
+def _emit_fire(writer: CodeWriter, transition: Transition,
+               self_names: Set[str], has_event: bool) -> None:
+    if not has_event:
+        writer.line("event = {}")
+    source, target = transition.source, transition.target
+    internal = transition.kind is TransitionKind.INTERNAL
+    if not internal and isinstance(source, State):
+        _emit_action(writer, source.exit, self_names, "exit")
+    if isinstance(transition.effect, str):
+        for line in to_python_statements(transition.effect, self_names):
+            writer.line(line)
+    elif callable(transition.effect):
+        writer.line("# callable effect not translatable")
+    if not internal and isinstance(target, State):
+        writer.line(f"self.state = {target.name!r}")
+        writer.line(f"self._enter_{_py_name(target.name)}()")
+
+
+def generate_module(scope: Element) -> str:
+    """Generate one Python module containing every class under scope."""
+    classes = [c for c in hardware_components(scope)] \
+        if not isinstance(scope, UmlClass) else [scope]
+    if not isinstance(scope, UmlClass):
+        # include plain classes too, not only components
+        seen = set(map(id, classes))
+        for element in scope.descendants_of_type(UmlClass):
+            if id(element) not in seen:
+                classes.append(element)
+                seen.add(id(element))
+    if not classes:
+        raise CodegenError("no classes found to generate Python for")
+
+    writer = CodeWriter()
+    writer.line('"""Generated by repro.codegen.python_gen — executable '
+                'model code."""')
+    writer.line("")
+    writer.block(PYTHON_PRELUDE)
+    writer.line("")
+    writer.block(PYTHON_ATTR_HELPER)
+    writer.line("")
+    for classifier in classes:
+        machine = classifier.classifier_behavior
+        if machine is not None and not isinstance(machine, StateMachine):
+            continue
+        try:
+            writer.block(generate_class(classifier))
+        except CodegenError as error:
+            writer.line(f"# skipped {classifier.name}: {error}")
+        writer.line("")
+    return writer.text()
+
+
+def compile_module(scope: Element) -> Dict[str, type]:
+    """Generate, exec and return the classes keyed by class name."""
+    source = generate_module(scope)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<repro-generated>", "exec"), namespace)
+    return {name: obj for name, obj in namespace.items()
+            if isinstance(obj, type)}

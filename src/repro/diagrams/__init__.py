@@ -1,0 +1,44 @@
+"""The 13 UML 2.0 diagram types as views + PlantUML export (S14)."""
+
+from .registry import (
+    BEHAVIORAL_KINDS,
+    Diagram,
+    DiagramKind,
+    PHYSICAL_KINDS,
+    STRUCTURAL_KINDS,
+    activity_diagram,
+    class_diagram,
+    communication_diagram,
+    component_diagram,
+    composite_structure_diagram,
+    deployment_diagram,
+    interaction_overview_diagram,
+    object_diagram,
+    package_diagram,
+    sequence_diagram,
+    state_machine_diagram,
+    timing_diagram,
+    use_case_diagram,
+)
+from .plantuml import (
+    render,
+    render_activity,
+    render_class_diagram,
+    render_classifier,
+    render_deployment,
+    render_interaction,
+    render_state_machine,
+)
+
+__all__ = [
+    "BEHAVIORAL_KINDS", "Diagram", "DiagramKind", "PHYSICAL_KINDS",
+    "STRUCTURAL_KINDS",
+    "activity_diagram", "class_diagram", "communication_diagram",
+    "component_diagram", "composite_structure_diagram",
+    "deployment_diagram", "interaction_overview_diagram", "object_diagram",
+    "package_diagram", "sequence_diagram", "state_machine_diagram",
+    "timing_diagram", "use_case_diagram",
+    "render", "render_activity", "render_class_diagram",
+    "render_classifier", "render_deployment", "render_interaction",
+    "render_state_machine",
+]

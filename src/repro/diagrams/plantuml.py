@@ -1,0 +1,294 @@
+"""Render diagrams to PlantUML text.
+
+Textual diagram export makes models reviewable in any PlantUML viewer
+and gives the documentation pipeline something to embed.  Each renderer
+consumes a :class:`~repro.diagrams.registry.Diagram` (or the underlying
+element directly) and returns ``@startuml .. @enduml`` text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import activities as ac
+from .. import interactions as ixn
+from .. import metamodel as mm
+from .. import statemachines as st
+from ..profiles.core import stereotypes_of
+from .registry import Diagram, DiagramKind
+
+
+def _stereo(element: mm.Element) -> str:
+    names = [s.name for s in stereotypes_of(element)]
+    return " " + " ".join(f"<<{n}>>" for n in names) if names else ""
+
+
+def _safe(name: str) -> str:
+    return name.replace(" ", "_").replace("-", "_") or "unnamed"
+
+
+# ---------------------------------------------------------------------------
+# class / component diagrams
+# ---------------------------------------------------------------------------
+
+def render_classifier(classifier: mm.Classifier) -> List[str]:
+    """PlantUML lines declaring one classifier with its features."""
+    if isinstance(classifier, mm.Interface):
+        keyword = "interface"
+    elif isinstance(classifier, mm.Component):
+        keyword = "component" if not classifier.attributes \
+            and not classifier.operations else "class"
+    elif isinstance(classifier, mm.Enumeration):
+        keyword = "enum"
+    elif getattr(classifier, "is_abstract", False):
+        keyword = "abstract class"
+    else:
+        keyword = "class"
+    lines = [f"{keyword} {_safe(classifier.name)}{_stereo(classifier)} {{"]
+    if isinstance(classifier, mm.Enumeration):
+        for literal in classifier.literals:
+            lines.append(f"  {literal.name}")
+    else:
+        for attribute in classifier.attributes:
+            if isinstance(attribute, mm.Port):
+                continue
+            type_part = f": {attribute.type_name}" if attribute.type else ""
+            multiplicity = attribute.multiplicity
+            mult_part = f" [{multiplicity}]" if str(multiplicity) != "1" else ""
+            lines.append(f"  {attribute.name}{type_part}{mult_part}")
+        for operation in classifier.operations:
+            lines.append(f"  {operation.signature}")
+    lines.append("}")
+    return lines
+
+
+def render_class_diagram(diagram: Diagram) -> str:
+    """A class/component diagram as PlantUML."""
+    lines = ["@startuml", f"title {diagram.name}"]
+    classifiers = [e for e in diagram.elements
+                   if isinstance(e, mm.Classifier)]
+    for classifier in classifiers:
+        lines.extend(render_classifier(classifier))
+    shown = {id(c) for c in classifiers}
+    for classifier in classifiers:
+        for general in classifier.generals:
+            if id(general) in shown:
+                lines.append(f"{_safe(general.name)} <|-- "
+                             f"{_safe(classifier.name)}")
+        for contract in classifier.realized_interfaces:
+            if id(contract) in shown:
+                lines.append(f"{_safe(contract.name)} <|.. "
+                             f"{_safe(classifier.name)}")
+    for element in diagram.elements:
+        if isinstance(element, mm.Association) and element.is_binary:
+            first, second = element.end_types
+            if id(first) in shown and id(second) in shown:
+                label = f" : {element.name}" if element.name else ""
+                ends = element.member_ends
+                lines.append(
+                    f'{_safe(second.name)} "{ends[1].multiplicity}" -- '
+                    f'"{ends[0].multiplicity}" {_safe(first.name)}{label}')
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# state machine diagrams
+# ---------------------------------------------------------------------------
+
+def render_state_machine(machine: st.StateMachine) -> str:
+    """A state machine as PlantUML."""
+    lines = ["@startuml", f"title {machine.name}"]
+
+    def emit_region(region: st.Region, indent: str) -> None:
+        for vertex in region.vertices:
+            if isinstance(vertex, st.FinalState):
+                continue
+            if isinstance(vertex, st.Pseudostate):
+                if vertex.kind in (st.PseudostateKind.CHOICE,
+                                   st.PseudostateKind.JUNCTION):
+                    lines.append(f"{indent}state {_safe(vertex.name)} "
+                                 f"<<choice>>")
+                elif vertex.kind in (st.PseudostateKind.FORK,
+                                     st.PseudostateKind.JOIN):
+                    lines.append(f"{indent}state {_safe(vertex.name)} "
+                                 f"<<{vertex.kind.value}>>")
+                continue
+            if isinstance(vertex, st.State) and vertex.is_composite:
+                lines.append(f"{indent}state {_safe(vertex.name)} {{")
+                for index, nested in enumerate(vertex.regions):
+                    if index:
+                        lines.append(f"{indent}  --")
+                    emit_region(nested, indent + "  ")
+                lines.append(f"{indent}}}")
+            elif isinstance(vertex, st.State):
+                lines.append(f"{indent}state {_safe(vertex.name)}")
+                if vertex.entry and isinstance(vertex.entry, str):
+                    lines.append(f"{indent}{_safe(vertex.name)} : "
+                                 f"entry / {vertex.entry}")
+                if vertex.exit and isinstance(vertex.exit, str):
+                    lines.append(f"{indent}{_safe(vertex.name)} : "
+                                 f"exit / {vertex.exit}")
+        for transition in region.transitions:
+            source, target = transition.source, transition.target
+            source_name = "[*]" if isinstance(source, st.Pseudostate) \
+                and source.kind is st.PseudostateKind.INITIAL \
+                else _safe(source.name)
+            target_name = "[*]" if isinstance(target, st.FinalState) \
+                else _safe(target.name)
+            label_parts = []
+            if transition.triggers:
+                label_parts.append(
+                    ",".join(t.name for t in transition.triggers))
+            if isinstance(transition.guard, str):
+                label_parts.append(f"[{transition.guard}]")
+            if isinstance(transition.effect, str):
+                label_parts.append(f"/ {transition.effect}")
+            label = f" : {' '.join(label_parts)}" if label_parts else ""
+            lines.append(f"{indent}{source_name} --> {target_name}{label}")
+
+    for region in machine.regions:
+        emit_region(region, "")
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# activity diagrams
+# ---------------------------------------------------------------------------
+
+def render_activity(activity: ac.Activity) -> str:
+    """An activity as PlantUML (graph form with explicit nodes)."""
+    lines = ["@startuml", f"title {activity.name}"]
+    names = {}
+    for node in activity.nodes:
+        safe = _safe(node.name)
+        names[id(node)] = safe
+        if isinstance(node, ac.InitialNode):
+            names[id(node)] = "(*)"
+        elif isinstance(node, (ac.ActivityFinalNode, ac.FlowFinalNode)):
+            names[id(node)] = "(*)"
+        elif isinstance(node, (ac.ForkNode, ac.JoinNode)):
+            lines.append(f"state {safe} <<fork>>" if isinstance(
+                node, ac.ForkNode) else f"state {safe} <<join>>")
+        elif isinstance(node, (ac.DecisionNode, ac.MergeNode)):
+            lines.append(f"state {safe} <<choice>>")
+        else:
+            lines.append(f"state {safe}")
+    for edge in activity.edges:
+        guard = ""
+        if isinstance(edge.guard, str):
+            guard = f" : [{edge.guard}]"
+        source = names.get(id(edge.source), _safe(edge.source.name))
+        target = names.get(id(edge.target), _safe(edge.target.name))
+        lines.append(f"{source} --> {target}{guard}")
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# sequence diagrams
+# ---------------------------------------------------------------------------
+
+def render_interaction(interaction: ixn.Interaction) -> str:
+    """An interaction as a PlantUML sequence diagram."""
+    lines = ["@startuml", f"title {interaction.name}"]
+    for lifeline in interaction.lifelines:
+        represents = (f" : {lifeline.represents.name}"
+                      if lifeline.represents else "")
+        lines.append(f"participant {_safe(lifeline.name)}{represents}")
+
+    def emit_fragment(fragment, indent: str) -> None:
+        if isinstance(fragment, ixn.Message):
+            arrow = "->" if fragment.sort in (ixn.MessageSort.SYNC_CALL,
+                                              ixn.MessageSort.REPLY) \
+                else "->>"
+            if fragment.sort is ixn.MessageSort.REPLY:
+                arrow = "-->"
+            lines.append(f"{indent}{_safe(fragment.sender.name)} {arrow} "
+                         f"{_safe(fragment.receiver.name)}: {fragment.name}")
+            return
+        operator = fragment.operator
+        keyword = operator.value
+        if operator is ixn.InteractionOperator.LOOP:
+            keyword = f"loop {fragment.loop_min}..{fragment.loop_max}"
+            lines.append(f"{indent}{keyword}")
+        else:
+            first_guard = fragment.operands[0].guard or ""
+            lines.append(f"{indent}{keyword} {first_guard}".rstrip())
+        for index, operand in enumerate(fragment.operands):
+            if index:
+                guard = operand.guard or ""
+                lines.append(f"{indent}else {guard}".rstrip())
+            for nested in operand.fragments:
+                emit_fragment(nested, indent + "  ")
+        lines.append(f"{indent}end")
+
+    for fragment in interaction.fragments:
+        emit_fragment(fragment, "")
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# deployment diagrams
+# ---------------------------------------------------------------------------
+
+def render_deployment(diagram: Diagram) -> str:
+    """A deployment diagram as PlantUML: nodes, artifacts, paths."""
+    lines = ["@startuml", f"title {diagram.name}"]
+    shown_artifacts = set()
+
+    def emit_node(node: mm.Node, indent: str) -> None:
+        lines.append(f"{indent}node {_safe(node.name)} {{")
+        for artifact in node.deployed_artifacts:
+            shown_artifacts.add(id(artifact))
+            lines.append(f"{indent}  artifact {_safe(artifact.name)}")
+        for nested in node.nested_nodes:
+            emit_node(nested, indent + "  ")
+        lines.append(f"{indent}}}")
+
+    top_nodes = [e for e in diagram.elements if isinstance(e, mm.Node)
+                 and not isinstance(e.owner, mm.Node)]
+    for node in top_nodes:
+        emit_node(node, "")
+    for element in diagram.elements:
+        if isinstance(element, mm.Artifact) \
+                and id(element) not in shown_artifacts:
+            lines.append(f"artifact {_safe(element.name)}")
+    for element in diagram.elements:
+        if isinstance(element, mm.CommunicationPath):
+            first, second = element.ends
+            label = f" : {element.name}" if element.name else ""
+            lines.append(f"{_safe(first.name)} -- "
+                         f"{_safe(second.name)}{label}")
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+def render(diagram: Diagram) -> str:
+    """Render any diagram view to PlantUML text."""
+    kind = diagram.kind
+    if kind is DiagramKind.DEPLOYMENT:
+        return render_deployment(diagram)
+    if kind in (DiagramKind.CLASS, DiagramKind.OBJECT, DiagramKind.PACKAGE,
+                DiagramKind.COMPONENT, DiagramKind.COMPOSITE_STRUCTURE,
+                DiagramKind.USE_CASE):
+        return render_class_diagram(diagram)
+    if kind in (DiagramKind.STATE_MACHINE, DiagramKind.TIMING):
+        machine = next(e for e in diagram.elements
+                       if isinstance(e, st.StateMachine))
+        return render_state_machine(machine)
+    if kind in (DiagramKind.ACTIVITY, DiagramKind.INTERACTION_OVERVIEW):
+        activity = next(e for e in diagram.elements
+                        if isinstance(e, ac.Activity))
+        return render_activity(activity)
+    if kind in (DiagramKind.SEQUENCE, DiagramKind.COMMUNICATION):
+        interaction = next(e for e in diagram.elements
+                           if isinstance(e, ixn.Interaction))
+        return render_interaction(interaction)
+    raise ValueError(f"no renderer for {kind}")

@@ -1,0 +1,193 @@
+"""The 13 UML 2.0 diagram types as views over the model.
+
+"UML 2.0 ... covers 13 diagram types to describe various structural,
+behavioral and physical aspects of a system" (the paper).  A
+:class:`Diagram` is a *view*: a named selection of model elements under
+one of the 13 kinds.  Factories extract the conventional content for
+each kind from a scope (e.g. a class diagram of a package collects its
+classifiers and associations).  Rendering to PlantUML text lives in
+:mod:`repro.diagrams.plantuml`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from .. import activities as ac
+from .. import interactions as ixn
+from .. import metamodel as mm
+from .. import statemachines as st
+
+
+class DiagramKind(enum.Enum):
+    """The 13 diagram types of UML 2.0."""
+
+    CLASS = "class"
+    OBJECT = "object"
+    PACKAGE = "package"
+    COMPOSITE_STRUCTURE = "composite structure"
+    COMPONENT = "component"
+    DEPLOYMENT = "deployment"
+    USE_CASE = "use case"
+    ACTIVITY = "activity"
+    STATE_MACHINE = "state machine"
+    SEQUENCE = "sequence"
+    COMMUNICATION = "communication"
+    INTERACTION_OVERVIEW = "interaction overview"
+    TIMING = "timing"
+
+
+#: The structural / behavioral / physical grouping from the paper.
+STRUCTURAL_KINDS = (
+    DiagramKind.CLASS, DiagramKind.OBJECT, DiagramKind.PACKAGE,
+    DiagramKind.COMPOSITE_STRUCTURE, DiagramKind.COMPONENT,
+)
+BEHAVIORAL_KINDS = (
+    DiagramKind.USE_CASE, DiagramKind.ACTIVITY, DiagramKind.STATE_MACHINE,
+    DiagramKind.SEQUENCE, DiagramKind.COMMUNICATION,
+    DiagramKind.INTERACTION_OVERVIEW, DiagramKind.TIMING,
+)
+PHYSICAL_KINDS = (DiagramKind.DEPLOYMENT,)
+
+
+class Diagram:
+    """A named view: a diagram kind plus the elements it shows."""
+
+    def __init__(self, kind: DiagramKind, name: str,
+                 elements: Tuple[mm.Element, ...] = ()):
+        self.kind = kind
+        self.name = name
+        self.elements: List[mm.Element] = list(elements)
+
+    def add(self, element: mm.Element) -> "Diagram":
+        """Include an element in the view (chainable)."""
+        if element not in self.elements:
+            self.elements.append(element)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return (f"<Diagram [{self.kind.value}] {self.name!r} "
+                f"({len(self.elements)} elements)>")
+
+
+# -- extraction factories -----------------------------------------------------
+
+def class_diagram(package: mm.Package, name: str = "") -> Diagram:
+    """Classes, interfaces, data types and associations of a package."""
+    diagram = Diagram(DiagramKind.CLASS, name or f"{package.name} classes")
+    for element in package.packaged_elements:
+        if isinstance(element, (mm.Classifier, mm.Association,
+                                mm.Enumeration, mm.DataType)):
+            diagram.add(element)
+    return diagram
+
+
+def object_diagram(package: mm.Package, name: str = "") -> Diagram:
+    """Instance specifications and links of a package."""
+    diagram = Diagram(DiagramKind.OBJECT, name or f"{package.name} objects")
+    for element in package.packaged_elements:
+        if isinstance(element, (mm.InstanceSpecification, mm.Link)):
+            diagram.add(element)
+    return diagram
+
+
+def package_diagram(root: mm.Package, name: str = "") -> Diagram:
+    """The package nesting and import structure under a root."""
+    diagram = Diagram(DiagramKind.PACKAGE, name or f"{root.name} packages")
+    for package in root.all_packages():
+        diagram.add(package)
+    return diagram
+
+
+def component_diagram(package: mm.Package, name: str = "") -> Diagram:
+    """Components and their interface wiring."""
+    diagram = Diagram(DiagramKind.COMPONENT,
+                      name or f"{package.name} components")
+    for element in package.packaged_elements:
+        if isinstance(element, (mm.Component, mm.Interface)):
+            diagram.add(element)
+    return diagram
+
+
+def composite_structure_diagram(component: mm.Component,
+                                name: str = "") -> Diagram:
+    """The internal parts, ports and connectors of one component."""
+    diagram = Diagram(DiagramKind.COMPOSITE_STRUCTURE,
+                      name or f"{component.name} structure")
+    diagram.add(component)
+    for part in component.parts:
+        diagram.add(part)
+    for connector in component.connectors:
+        diagram.add(connector)
+    return diagram
+
+
+def deployment_diagram(package: mm.Package, name: str = "") -> Diagram:
+    """Nodes, artifacts and communication paths."""
+    diagram = Diagram(DiagramKind.DEPLOYMENT,
+                      name or f"{package.name} deployment")
+    for element in package.packaged_elements:
+        if isinstance(element, (mm.Node, mm.Artifact, mm.CommunicationPath)):
+            diagram.add(element)
+    return diagram
+
+
+def use_case_diagram(package: mm.Package, name: str = "") -> Diagram:
+    """Actors and use cases."""
+    diagram = Diagram(DiagramKind.USE_CASE,
+                      name or f"{package.name} use cases")
+    for element in package.packaged_elements:
+        if isinstance(element, (mm.Actor, mm.UseCase)):
+            diagram.add(element)
+    return diagram
+
+
+def state_machine_diagram(machine: st.StateMachine,
+                          name: str = "") -> Diagram:
+    """One state machine as a diagram."""
+    diagram = Diagram(DiagramKind.STATE_MACHINE, name or machine.name)
+    diagram.add(machine)
+    return diagram
+
+
+def activity_diagram(activity: ac.Activity, name: str = "") -> Diagram:
+    """One activity as a diagram."""
+    diagram = Diagram(DiagramKind.ACTIVITY, name or activity.name)
+    diagram.add(activity)
+    return diagram
+
+
+def sequence_diagram(interaction: ixn.Interaction,
+                     name: str = "") -> Diagram:
+    """One interaction as a sequence diagram."""
+    diagram = Diagram(DiagramKind.SEQUENCE, name or interaction.name)
+    diagram.add(interaction)
+    return diagram
+
+
+def communication_diagram(interaction: ixn.Interaction,
+                          name: str = "") -> Diagram:
+    """The same interaction, viewed by links (communication flavor)."""
+    diagram = Diagram(DiagramKind.COMMUNICATION, name or interaction.name)
+    diagram.add(interaction)
+    return diagram
+
+
+def timing_diagram(machine: st.StateMachine, name: str = "") -> Diagram:
+    """A state machine's state-over-time view (timing flavor)."""
+    diagram = Diagram(DiagramKind.TIMING, name or machine.name)
+    diagram.add(machine)
+    return diagram
+
+
+def interaction_overview_diagram(activity: ac.Activity,
+                                 name: str = "") -> Diagram:
+    """An activity whose actions reference interactions."""
+    diagram = Diagram(DiagramKind.INTERACTION_OVERVIEW,
+                      name or activity.name)
+    diagram.add(activity)
+    return diagram

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro (uml2soc) library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base type.  Subsystems raise the most specific
+subclass that applies; messages always name the offending element where
+one exists.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A structural operation on the metamodel is invalid.
+
+    Examples: adding an element to two owners, removing a member that is
+    not present, or creating an association with fewer than two ends.
+    """
+
+
+class LookupFailed(ModelError, KeyError):
+    """A named member was not found in a namespace.
+
+    Inherits from :class:`KeyError` so ``namespace.member(...)`` failures
+    behave like mapping lookups for callers that expect that.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return Exception.__str__(self)
+
+
+class ValidationError(ReproError):
+    """A well-formedness rule was violated (raised by strict checks)."""
+
+
+class ProfileError(ReproError):
+    """A stereotype application or profile definition is invalid."""
+
+
+class StateMachineError(ReproError):
+    """A state machine is structurally invalid or cannot be executed."""
+
+
+class ActivityError(ReproError):
+    """An activity graph is structurally invalid or cannot be executed."""
+
+
+class InteractionError(ReproError):
+    """An interaction (sequence diagram) is invalid."""
+
+
+class AslSyntaxError(ReproError):
+    """The ASL source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class AslRuntimeError(ReproError):
+    """An ASL program failed during interpretation."""
+
+
+class XmiError(ReproError):
+    """XMI serialization or deserialization failed."""
+
+
+class TransformError(ReproError):
+    """An MDA transformation rule or engine failure."""
+
+
+class CodegenError(ReproError):
+    """A code generator received a model it cannot translate."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an invalid state."""

@@ -1,0 +1,25 @@
+"""Hardware substrate (subsystem S11): IP library and bus fabric.
+
+Synthetic but structurally faithful IP cores as executable UML models,
+plus an address-decoding bus and a SoC assembly helper.
+"""
+
+from .ip import (
+    ip_library,
+    make_arbiter,
+    make_dma,
+    make_fifo,
+    make_memory,
+    make_timer,
+    make_traffic_generator,
+    make_uart_tx,
+)
+from .bus import AddressMap, Region, make_bus, make_soc
+from .irq import make_interrupt_controller
+
+__all__ = [
+    "ip_library", "make_arbiter", "make_dma", "make_fifo", "make_memory",
+    "make_timer", "make_traffic_generator", "make_uart_tx",
+    "make_interrupt_controller",
+    "AddressMap", "Region", "make_bus", "make_soc",
+]

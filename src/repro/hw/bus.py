@@ -1,0 +1,170 @@
+"""Bus fabric and SoC assembly.
+
+A simple memory-mapped bus as a UML component: the bus decodes
+``Read``/``Write`` addresses against an :class:`AddressMap` and forwards
+the request to the owning slave port, routing responses back to the
+requesting master.  :func:`make_soc` assembles a full system — traffic
+generators, the bus, and memory-mapped slaves — into one top component
+ready for :class:`~repro.simulation.cosim.SystemSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import repro.metamodel as mm
+from ..errors import ModelError
+from ..metamodel.components import Component, PortDirection
+from ..profiles.core import Profile, apply_stereotype
+from ..statemachines.kernel import StateMachine, TransitionKind
+
+
+@dataclass(frozen=True)
+class Region:
+    """One address window of the bus decode map."""
+
+    base: int
+    size: int
+    port: str  # the bus's slave-side port serving this window
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """True when the address falls inside this window."""
+        return self.base <= address < self.end
+
+
+class AddressMap:
+    """An ordered, overlap-checked collection of address regions."""
+
+    def __init__(self, regions: Sequence[Region] = ()):
+        self.regions: List[Region] = []
+        for region in regions:
+            self.add(region)
+
+    def add(self, region: Region) -> "AddressMap":
+        """Add a region, rejecting overlaps (chainable)."""
+        if region.size <= 0:
+            raise ModelError(f"region at {region.base:#x} has size <= 0")
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ModelError(
+                    f"region [{region.base:#x}, {region.end:#x}) overlaps "
+                    f"[{existing.base:#x}, {existing.end:#x})")
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+        return self
+
+    def decode(self, address: int) -> Optional[Region]:
+        """The region containing ``address``, or None."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+def make_bus(name: str, address_map: AddressMap, width: int = 32,
+             profile: Optional[Profile] = None) -> Component:
+    """A decoding bus component.
+
+    Ports: ``m`` (master side, INOUT) and one INOUT port per region
+    (named per the map).  Requests carry ``addr``; the bus rewrites the
+    address to slave-local offsets and forwards.  Responses return to
+    the master side.
+    """
+    bus = Component(name)
+    bus.add_port("m", direction=PortDirection.INOUT)
+    for region in address_map.regions:
+        bus.add_port(region.port, direction=PortDirection.INOUT)
+
+    # decode chain in ASL: if/elif over the sorted regions
+    def forward(event_kind: str, payload: str) -> str:
+        branches = []
+        for region in address_map.regions:
+            guard = (f"event.addr >= {region.base} and "
+                     f"event.addr < {region.end}")
+            body = (f'send {event_kind}(addr=event.addr - {region.base}'
+                    f'{payload}) to "{region.port}";')
+            branches.append((guard, body))
+        code = ""
+        for index, (guard, body) in enumerate(branches):
+            keyword = "if" if index == 0 else "elif"
+            code += f"{keyword} ({guard}) {{ {body} }} "
+        code += 'else { send BusError(addr=event.addr) to "m"; }'
+        return code
+
+    machine = StateMachine(f"{name}Behavior")
+    region_ = machine.region
+    init = region_.add_initial()
+    active = region_.add_state("Active")
+    region_.add_transition(init, active)
+    region_.add_transition(active, active, trigger="Read",
+                           effect=forward("Read", ""),
+                           kind=TransitionKind.INTERNAL)
+    region_.add_transition(active, active, trigger="Write",
+                           effect=forward("Write", ", value=event.value"),
+                           kind=TransitionKind.INTERNAL)
+    # responses from slaves route back to the master side verbatim
+    region_.add_transition(
+        active, active, trigger="ReadResp",
+        effect='send ReadResp(addr=event.addr, value=event.value) to "m";',
+        kind=TransitionKind.INTERNAL)
+    region_.add_transition(
+        active, active, trigger="WriteAck",
+        effect='send WriteAck(addr=event.addr) to "m";',
+        kind=TransitionKind.INTERNAL)
+    region_.add_transition(
+        active, active, trigger="BusError",
+        effect='send BusError(addr=event.addr) to "m";',
+        kind=TransitionKind.INTERNAL)
+    bus.add_behavior(machine, as_classifier_behavior=True)
+
+    if profile is not None:
+        apply_stereotype(bus, profile.stereotype("HwBus"), width=width)
+    return bus
+
+
+def make_soc(name: str,
+             masters: Sequence[Component],
+             slaves: Sequence[Tuple[Component, str, int, int]],
+             bus_width: int = 32,
+             profile: Optional[Profile] = None,
+             package: Optional[mm.Package] = None) -> Component:
+    """Assemble a SoC top component.
+
+    ``masters`` are components with an INOUT ``bus`` port.  ``slaves``
+    are ``(component, component_port, base, size)`` tuples.  A decoding
+    bus is generated, all parts instantiated, and every port wired.
+    Component *types* are added to ``package`` when given (so the types
+    are owned and serializable); the returned top is also added.
+    """
+    address_map = AddressMap()
+    for index, (slave, _port, base, size) in enumerate(slaves):
+        address_map.add(Region(base, size, f"s{index}"))
+
+    bus = make_bus(f"{name}Bus", address_map, bus_width, profile)
+
+    top = Component(name)
+    bus_part = top.add_part("bus", bus)
+    for index, master in enumerate(masters):
+        part = top.add_part(f"m{index}_{master.name.lower()}", master)
+        top.connect(master.port("bus"), bus.port("m"), part, bus_part,
+                    check=False)
+    for index, (slave, slave_port, _base, _size) in enumerate(slaves):
+        part = top.add_part(f"s{index}_{slave.name.lower()}", slave)
+        top.connect(bus.port(f"s{index}"), slave.port(slave_port),
+                    bus_part, part, check=False)
+
+    if package is not None:
+        for component in [bus, top] + list(masters) \
+                + [slave for slave, *_ in slaves]:
+            if component.owner is None:
+                package.add(component)
+    return top

@@ -1,0 +1,317 @@
+"""The synthetic IP-core library.
+
+The paper's SoC perspective hinges on "seamless integration of existing
+IP".  Since real vendor IP is proprietary, this module provides the
+substitute: a library of parameterizable IP cores *as UML models* —
+components with ports, registers (via the SoC profile) and executable
+state machine behaviors written entirely in ASL, so every core can be
+simulated (:mod:`repro.simulation.cosim`), interchanged (XMI) and
+compiled to HDL (:mod:`repro.codegen`).
+
+Cores: FIFO, single-port memory, round-robin arbiter, UART transmitter,
+programmable timer, DMA engine, and a traffic generator used as a
+synthetic CPU in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import repro.metamodel as mm
+from ..metamodel.components import Component, PortDirection
+from ..profiles.core import Profile, apply_stereotype
+from ..statemachines.kernel import StateMachine, TransitionKind
+
+
+def _attach_machine(component: Component, machine: StateMachine) -> None:
+    component.add_behavior(machine, as_classifier_behavior=True)
+
+
+def make_fifo(name: str = "Fifo", depth: int = 8,
+              profile: Optional[Profile] = None) -> Component:
+    """A FIFO: ``Push(value)`` on ``in``; emits ``Pop(value)`` on ``out``
+    when ``Next()`` is requested; ``Full``/``Empty`` notifications."""
+    fifo = Component(name)
+    fifo.add_attribute("depth", mm.INTEGER, default=depth)
+    fifo.add_attribute("q", mm.STRING, default=None)  # list at runtime
+    fifo.add_port("in", direction=PortDirection.IN)
+    fifo.add_port("out", direction=PortDirection.OUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    ready = region.add_state("Ready", entry="q = [];")
+    region.add_transition(init, ready)
+    region.add_transition(
+        ready, ready, trigger="Push",
+        guard=f"len(q) < {depth}",
+        effect="append(q, event.value);",
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Push",
+        guard=f"len(q) >= {depth}",
+        effect='send Full() to "in";',
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Next",
+        guard="len(q) > 0",
+        effect='v = pop(q); send Pop(value=v) to "out";',
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Next",
+        guard="len(q) == 0",
+        effect='send Empty() to "out";',
+        kind=TransitionKind.INTERNAL)
+    _attach_machine(fifo, machine)
+
+    if profile is not None:
+        apply_stereotype(fifo, profile.stereotype("IpCore"),
+                         vendor="repro", version="1.0")
+    return fifo
+
+
+def make_memory(name: str = "Sram", size_bytes: int = 4096,
+                latency_cycles: int = 1,
+                profile: Optional[Profile] = None) -> Component:
+    """A single-port memory: ``Read(addr)``/``Write(addr, value)`` on
+    ``bus``; replies ``ReadResp(addr, value)`` / ``WriteAck(addr)``."""
+    memory = Component(name)
+    memory.add_attribute("size_bytes", mm.INTEGER, default=size_bytes)
+    memory.add_attribute("store", mm.STRING, default=None)  # dict at runtime
+    memory.add_port("bus", direction=PortDirection.INOUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    ready = region.add_state("Ready", entry="store = {};")
+    region.add_transition(init, ready)
+    region.add_transition(
+        ready, ready, trigger="Read",
+        guard=f"event.addr >= 0 and event.addr < {size_bytes}",
+        effect=('if (contains(store, event.addr)) '
+                '{ v = store[event.addr]; } else { v = 0; } '
+                'send ReadResp(addr=event.addr, value=v) to "bus";'),
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Write",
+        guard=f"event.addr >= 0 and event.addr < {size_bytes}",
+        effect=('store[event.addr] = event.value; '
+                'send WriteAck(addr=event.addr) to "bus";'),
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Read",
+        guard=f"event.addr < 0 or event.addr >= {size_bytes}",
+        effect='send BusError(addr=event.addr) to "bus";',
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        ready, ready, trigger="Write",
+        guard=f"event.addr < 0 or event.addr >= {size_bytes}",
+        effect='send BusError(addr=event.addr) to "bus";',
+        kind=TransitionKind.INTERNAL)
+    _attach_machine(memory, machine)
+
+    if profile is not None:
+        apply_stereotype(memory, profile.stereotype("Memory"),
+                         size_bytes=size_bytes,
+                         latency_cycles=latency_cycles)
+    return memory
+
+
+def make_arbiter(name: str = "Arbiter", masters: int = 2,
+                 profile: Optional[Profile] = None) -> Component:
+    """A round-robin arbiter: ``Request(master)`` -> ``Grant(master)``
+    on ``grant``; ``Release()`` frees the resource."""
+    arbiter = Component(name)
+    arbiter.add_attribute("masters", mm.INTEGER, default=masters)
+    arbiter.add_attribute("waiting", mm.STRING, default=None)
+    arbiter.add_port("req", direction=PortDirection.IN)
+    arbiter.add_port("grant", direction=PortDirection.OUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    idle = region.add_state("Idle", entry="waiting = [];")
+    busy = region.add_state("Busy")
+    region.add_transition(init, idle)
+    region.add_transition(
+        idle, busy, trigger="Request",
+        effect='owner = event.master; '
+               'send Grant(master=event.master) to "grant";')
+    region.add_transition(
+        busy, busy, trigger="Request",
+        effect="append(waiting, event.master);",
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        busy, busy, trigger="Release",
+        guard="len(waiting) > 0",
+        effect='owner = pop(waiting); '
+               'send Grant(master=owner) to "grant";',
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        busy, idle, trigger="Release",
+        guard="len(waiting) == 0")
+    _attach_machine(arbiter, machine)
+
+    if profile is not None:
+        apply_stereotype(arbiter, profile.stereotype("IpCore"),
+                         vendor="repro")
+    return arbiter
+
+
+def make_uart_tx(name: str = "UartTx", bit_time: float = 8.0,
+                 profile: Optional[Profile] = None) -> Component:
+    """A UART transmitter: ``Send(byte)`` serializes after a frame time
+    (start + 8 data + stop modelled as one timed state), emitting
+    ``TxDone(byte)`` on ``tx``."""
+    uart = Component(name)
+    uart.add_attribute("current", mm.INTEGER, default=0)
+    uart.add_port("data", direction=PortDirection.IN)
+    uart.add_port("tx", direction=PortDirection.OUT)
+
+    frame_time = bit_time * 10  # start + 8 data + stop
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    idle = region.add_state("Idle")
+    shifting = region.add_state("Shifting")
+    idle.defer("Send")  # a byte arriving mid-frame waits (single buffer)
+    region.add_transition(init, idle)
+    region.add_transition(idle, shifting, trigger="Send",
+                          effect="current = event.byte;")
+    shifting.defer("Send")
+    region.add_transition(
+        shifting, idle, after=frame_time,
+        effect='send TxDone(byte=current) to "tx";')
+    _attach_machine(uart, machine)
+
+    if profile is not None:
+        apply_stereotype(uart, profile.stereotype("IpCore"),
+                         vendor="repro")
+    return uart
+
+
+def make_timer(name: str = "Timer", period: float = 100.0,
+               profile: Optional[Profile] = None) -> Component:
+    """A free-running timer raising ``Tick(count)`` on ``irq`` every
+    ``period``; ``Stop()``/``Start()`` control it."""
+    timer = Component(name)
+    timer.add_attribute("count", mm.INTEGER, default=0)
+    timer.add_port("ctrl", direction=PortDirection.IN)
+    timer.add_port("irq", direction=PortDirection.OUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    running = region.add_state("Running")
+    stopped = region.add_state("Stopped")
+    region.add_transition(init, running)
+    region.add_transition(
+        running, running, after=period,
+        effect='count = count + 1; send Tick(count=count) to "irq";')
+    region.add_transition(running, stopped, trigger="Stop")
+    region.add_transition(stopped, running, trigger="Start")
+    _attach_machine(timer, machine)
+
+    if profile is not None:
+        apply_stereotype(timer, profile.stereotype("IpCore"),
+                         vendor="repro")
+    return timer
+
+
+def make_dma(name: str = "Dma", burst: int = 4,
+             profile: Optional[Profile] = None) -> Component:
+    """A DMA engine: ``Start(src, dst, length)`` issues ``Read``s on
+    ``mem``; each ``ReadResp`` produces a ``Write``; ``Done(copied)``
+    raised on ``irq`` when finished."""
+    dma = Component(name)
+    dma.add_attribute("burst", mm.INTEGER, default=burst)
+    dma.add_port("ctrl", direction=PortDirection.IN)
+    dma.add_port("mem", direction=PortDirection.INOUT)
+    dma.add_port("irq", direction=PortDirection.OUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    idle = region.add_state("Idle")
+    copying = region.add_state("Copying")
+    region.add_transition(init, idle)
+    region.add_transition(
+        idle, copying, trigger="Start",
+        effect='src = event.src; dst = event.dst; remaining = event.length; '
+               'copied = 0; send Read(addr=src) to "mem";')
+    region.add_transition(
+        copying, copying, trigger="ReadResp",
+        guard="remaining > 1",
+        effect='send Write(addr=dst + copied, value=event.value) to "mem"; '
+               'copied = copied + 1; remaining = remaining - 1; '
+               'send Read(addr=src + copied) to "mem";',
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        copying, idle, trigger="ReadResp",
+        guard="remaining <= 1",
+        effect='send Write(addr=dst + copied, value=event.value) to "mem"; '
+               'copied = copied + 1; '
+               'send Done(copied=copied) to "irq";')
+    _attach_machine(dma, machine)
+
+    if profile is not None:
+        apply_stereotype(dma, profile.stereotype("IpCore"), vendor="repro")
+    return dma
+
+
+def make_traffic_generator(name: str = "TrafficGen", period: float = 10.0,
+                           address_range: int = 256,
+                           profile: Optional[Profile] = None) -> Component:
+    """A synthetic CPU: alternating ``Write``/``Read`` traffic on
+    ``bus`` every ``period`` (LCG-scrambled addresses, so runs are
+    deterministic); counts responses."""
+    generator = Component(name)
+    generator.add_attribute("issued", mm.INTEGER, default=0)
+    generator.add_attribute("responses", mm.INTEGER, default=0)
+    generator.add_attribute("seed", mm.INTEGER, default=1)
+    generator.add_port("bus", direction=PortDirection.INOUT)
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    active = region.add_state("Active")
+    region.add_transition(init, active)
+    region.add_transition(
+        active, active, after=period,
+        effect=(
+            f'seed = (seed * 1103515245 + 12345) % 2147483648; '
+            f'addr = seed % {address_range}; '
+            'if (issued % 2 == 0) '
+            '{ send Write(addr=addr, value=issued) to "bus"; } '
+            'else { send Read(addr=addr) to "bus"; } '
+            'issued = issued + 1;'))
+    for response in ("ReadResp", "WriteAck"):
+        region.add_transition(
+            active, active, trigger=response,
+            effect="responses = responses + 1;",
+            kind=TransitionKind.INTERNAL)
+    region.add_transition(active, active, trigger="BusError",
+                          kind=TransitionKind.INTERNAL)
+    _attach_machine(generator, machine)
+
+    if profile is not None:
+        apply_stereotype(generator, profile.stereotype("Processor"),
+                         isa="traffic")
+    return generator
+
+
+def ip_library(profile: Optional[Profile] = None) -> mm.Package:
+    """The standard library package with one instance of every core."""
+    from .irq import make_interrupt_controller
+
+    library = mm.Package("ip_lib")
+    library.add(make_fifo(profile=profile))
+    library.add(make_memory(profile=profile))
+    library.add(make_arbiter(profile=profile))
+    library.add(make_uart_tx(profile=profile))
+    library.add(make_timer(profile=profile))
+    library.add(make_dma(profile=profile))
+    library.add(make_traffic_generator(profile=profile))
+    library.add(make_interrupt_controller(profile=profile))
+    return library

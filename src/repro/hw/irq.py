@@ -1,0 +1,98 @@
+"""Interrupt controller IP core.
+
+A level-aggregating interrupt controller as an executable UML model:
+N request lines raise ``Irq(line=k)``; a mask register gates them; the
+highest-priority pending unmasked line is forwarded to the CPU port as
+``Interrupt(line=k)`` and must be acknowledged (``Ack(line=k)``) before
+the next one is dispatched — the classic PIC handshake, modelled
+entirely in ASL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import repro.metamodel as mm
+from ..metamodel.components import Component, PortDirection
+from ..profiles.core import Profile, apply_stereotype
+from ..statemachines.kernel import StateMachine, TransitionKind
+
+
+def make_interrupt_controller(name: str = "Pic", lines: int = 8,
+                              profile: Optional[Profile] = None
+                              ) -> Component:
+    """Build the interrupt controller component.
+
+    Ports: ``irq_in`` (device side, IN), ``cpu`` (INOUT: dispatches
+    ``Interrupt``, receives ``Ack``), ``ctrl`` (IN: ``Mask``/``Unmask``
+    with a ``line`` argument).
+
+    Context variables: ``pending`` (list of line numbers, sorted =
+    priority order, lowest line wins), ``mask`` (list of masked lines),
+    ``inflight`` (line awaiting ack, or -1).
+    """
+    controller = Component(name)
+    controller.add_attribute("lines", mm.INTEGER, default=lines)
+    controller.add_attribute("dispatched", mm.INTEGER, default=0)
+    controller.add_port("irq_in", direction=PortDirection.IN)
+    controller.add_port("cpu", direction=PortDirection.INOUT)
+    controller.add_port("ctrl", direction=PortDirection.IN)
+
+    dispatch_next = (
+        'if (inflight == -1 and len(pending) > 0) {'
+        '  candidates = [];'
+        '  for line in sorted(pending) {'
+        '    if (not contains(mask, line) and not contains(candidates, line)) {'
+        '      candidates = candidates + [line];'
+        '    }'
+        '  }'
+        '  if (len(candidates) > 0) {'
+        '    inflight = candidates[0];'
+        '    remaining = [];'
+        '    for line in pending {'
+        '      if (line != inflight) { remaining = remaining + [line]; }'
+        '    }'
+        '    pending = remaining;'
+        '    dispatched = dispatched + 1;'
+        '    send Interrupt(line=inflight) to "cpu";'
+        '  }'
+        '}'
+    )
+
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    active = region.add_state(
+        "Active", entry="pending = []; mask = []; inflight = -1;")
+    region.add_transition(init, active)
+    region.add_transition(
+        active, active, trigger="Irq",
+        guard=f"event.line >= 0 and event.line < {lines}",
+        effect=('if (not contains(pending, event.line) '
+                'and inflight != event.line) '
+                '{ pending = pending + [event.line]; } '
+                + dispatch_next),
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        active, active, trigger="Ack",
+        guard="event.line == inflight",
+        effect="inflight = -1; " + dispatch_next,
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        active, active, trigger="Mask",
+        effect=('if (not contains(mask, event.line)) '
+                '{ mask = mask + [event.line]; }'),
+        kind=TransitionKind.INTERNAL)
+    region.add_transition(
+        active, active, trigger="Unmask",
+        effect=('remaining = []; '
+                'for line in mask { if (line != event.line) '
+                '{ remaining = remaining + [line]; } } '
+                'mask = remaining; ' + dispatch_next),
+        kind=TransitionKind.INTERNAL)
+    controller.add_behavior(machine, as_classifier_behavior=True)
+
+    if profile is not None:
+        apply_stereotype(controller, profile.stereotype("IpCore"),
+                         vendor="repro")
+    return controller

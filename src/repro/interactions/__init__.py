@@ -1,0 +1,30 @@
+"""UML 2.0 interactions / sequence diagrams (subsystem S4).
+
+Lifelines, messages and combined fragments, with MSC-style trace
+semantics: enumeration, counting (closed form for flat ``par``), and a
+memoized conformance matcher.
+"""
+
+from .model import (
+    CombinedFragment,
+    Interaction,
+    InteractionOperand,
+    InteractionOperator,
+    Lifeline,
+    Message,
+    MessageSort,
+)
+from .traces import conforms, interleaving_count, trace_count, traces
+from .observe import (
+    interaction_from_messages,
+    interaction_from_simulation,
+    observed_trace,
+)
+
+__all__ = [
+    "CombinedFragment", "Interaction", "InteractionOperand",
+    "InteractionOperator", "Lifeline", "Message", "MessageSort",
+    "conforms", "interleaving_count", "trace_count", "traces",
+    "interaction_from_messages", "interaction_from_simulation",
+    "observed_trace",
+]

@@ -1,0 +1,75 @@
+"""Synthesize sequence diagrams from observed executions.
+
+Closes the loop between simulation and specification: a cosimulation
+run (or any message log) becomes an :class:`Interaction`, which can be
+rendered as a sequence diagram or checked for conformance against a
+specification interaction — "does the system do what the MSC says?"
+answered mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .model import Interaction, Lifeline, Message, MessageSort
+
+#: One observed message: (sender, receiver, signal name).
+ObservedMessage = Tuple[str, str, str]
+
+
+def interaction_from_messages(name: str,
+                              messages: Sequence[ObservedMessage],
+                              ) -> Interaction:
+    """Build a linear interaction from an ordered message list.
+
+    Lifelines are created on demand (in order of first appearance);
+    the result denotes exactly one trace — the observed one.
+    """
+    interaction = Interaction(name)
+    lifelines = {}
+
+    def lifeline(participant: str) -> Lifeline:
+        if participant not in lifelines:
+            lifelines[participant] = interaction.add_lifeline(participant)
+        return lifelines[participant]
+
+    for sender, receiver, signal in messages:
+        interaction.message(signal, lifeline(sender), lifeline(receiver),
+                            sort=MessageSort.ASYNC_SIGNAL)
+    return interaction
+
+
+def interaction_from_simulation(name: str, simulation,
+                                include_env: bool = False,
+                                limit: Optional[int] = None) -> Interaction:
+    """Build the observed interaction of a cosimulation run.
+
+    ``simulation`` is a :class:`~repro.simulation.cosim.SystemSimulation`
+    whose ``message_log`` is consumed in delivery order.  Environment
+    stimuli (sender ``"env"``) are skipped unless ``include_env``.
+    """
+    observed: List[ObservedMessage] = []
+    for _time, sender, receiver, signal in simulation.message_log:
+        if sender == "env" and not include_env:
+            continue
+        observed.append((sender, receiver, signal))
+        if limit is not None and len(observed) >= limit:
+            break
+    return interaction_from_messages(name, observed)
+
+
+def observed_trace(simulation, include_env: bool = False,
+                   limit: Optional[int] = None) -> Tuple[str, ...]:
+    """The run's trace in the canonical ``sender->receiver:signal`` form.
+
+    Directly comparable with :func:`repro.interactions.traces` output
+    and checkable with :func:`repro.interactions.conforms`.
+    """
+    labels: List[str] = []
+    for _time, sender, receiver, signal in simulation.message_log:
+        if sender == "env" and not include_env:
+            continue
+        labels.append(f"{sender}->{receiver}:{signal}")
+        if limit is not None and len(labels) >= limit:
+            break
+    return tuple(labels)

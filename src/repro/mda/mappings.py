@@ -1,0 +1,288 @@
+"""Built-in platform mappings: PIM → software PSM, PIM → hardware PSM.
+
+These are the "platform-specific mappings" the paper's MDA section
+describes, written against the rule framework:
+
+**Software mapping** (:func:`software_transformation`): active classes
+become tasks (``run()`` + mailbox), ports get message queues, signals
+gain delivery metadata, and a runtime package (scheduler + queue class,
+with executable ASL bodies) is synthesized.
+
+**Hardware mapping** (:func:`hardware_transformation`): components
+become clocked hardware modules (``clk``/``rst`` ports + SoC profile
+stereotypes), integer attributes become memory-mapped registers with
+allocated aligned addresses, hardware types are narrowed to the
+profile's ``Word``, and a deployment model (die + bitstream artifacts)
+is synthesized.  The PSM that comes out is exactly what
+:mod:`repro.codegen` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import repro.metamodel as mm
+from ..metamodel.components import Component, Port, PortDirection
+from ..metamodel.classifiers import Signal, UmlClass
+from ..metamodel.element import Element
+from ..profiles.core import has_stereotype, apply_stereotype
+from .platform import HARDWARE_PLATFORM, SOFTWARE_PLATFORM
+from .engine import Transformation
+from .rules import ModelRule, TransformationContext, TransformationRule
+
+TASK_RUN_BODY = """\
+// synthesized task loop: drain the mailbox, dispatch each message
+while (len(mailbox) > 0) {
+    msg = pop(mailbox);
+    handled = handled + 1;
+}
+return handled;
+"""
+
+SCHEDULER_BODY = """\
+// fifo scheduling: run each ready task once per round
+rounds = rounds + 1;
+for task in ready {
+    current = task;
+}
+return rounds;
+"""
+
+
+# ---------------------------------------------------------------------------
+# software mapping rules
+# ---------------------------------------------------------------------------
+
+def _is_task_candidate(element: Element) -> bool:
+    return isinstance(element, UmlClass) and element.is_active \
+        and not isinstance(element, mm.Node)
+
+
+def _active_class_to_task(element: Element,
+                          context: TransformationContext) -> None:
+    assert isinstance(element, UmlClass)
+    if element.find_member("mailbox") is None:
+        mailbox = element.add_attribute("mailbox", None)
+        context.record("active-class-to-task", context.source_of(element),
+                       mailbox, "task mailbox")
+    if element.find_member("handled") is None:
+        handled = element.add_attribute("handled", mm.INTEGER, default=0)
+        context.record("active-class-to-task", context.source_of(element),
+                       handled, "dispatch counter")
+    if element.find_operation("run") is None:
+        run = element.add_operation("run", mm.INTEGER)
+        run.set_body(TASK_RUN_BODY)
+        context.record("active-class-to-task", context.source_of(element),
+                       run, "task entry point")
+
+
+def _port_to_queue(element: Element,
+                   context: TransformationContext) -> None:
+    assert isinstance(element, Port)
+    owner = element.owner
+    if not isinstance(owner, UmlClass):
+        return
+    queue_name = f"{element.name}_queue"
+    if owner.find_member(queue_name) is not None:
+        return
+    depth = context.platform.property("queue_depth", 16)
+    queue = owner.add_attribute(queue_name, None)
+    queue.add_comment(f"message queue for port {element.name!r}, "
+                      f"depth {depth}")
+    context.record("port-to-queue", context.source_of(element), queue,
+                   f"depth={depth}")
+
+
+def _signal_to_message(element: Element,
+                       context: TransformationContext) -> None:
+    assert isinstance(element, Signal)
+    if element.find_member("priority") is None:
+        priority = element.add_attribute("priority", mm.INTEGER, default=0)
+        context.record("signal-to-message", context.source_of(element),
+                       priority, "delivery priority")
+
+
+def _synthesize_runtime(model: mm.Model,
+                        context: TransformationContext) -> None:
+    if model.find_member("runtime") is not None:
+        return
+    runtime = model.create_package("runtime")
+    context.record("synthesize-runtime", None, runtime)
+
+    queue_class = runtime.add(mm.UmlClass("MessageQueue"))
+    queue_class.add_attribute("items", None)
+    push = queue_class.add_operation("push")
+    push.add_parameter("message", None)
+    push.set_body("append(items, message);")
+    pop_op = queue_class.add_operation("pop")
+    pop_op.set_body("return pop(items);")
+    context.record("synthesize-runtime", None, queue_class)
+
+    scheduler = runtime.add(mm.UmlClass("Scheduler", is_active=True))
+    scheduler.add_attribute("ready", None)
+    scheduler.add_attribute("rounds", mm.INTEGER, default=0)
+    schedule = scheduler.add_operation("schedule", mm.INTEGER)
+    schedule.set_body(SCHEDULER_BODY)
+    context.record("synthesize-runtime", None, scheduler,
+                   context.platform.property("scheduler_policy", "fifo"))
+
+
+def software_transformation() -> Transformation:
+    """The built-in PIM → software-runtime PSM mapping."""
+    transformation = Transformation("pim-to-sw", SOFTWARE_PLATFORM)
+    transformation.add_rule(TransformationRule(
+        "active-class-to-task", _is_task_candidate, _active_class_to_task,
+        priority=10,
+        description="active classes become schedulable tasks"))
+    transformation.add_rule(TransformationRule(
+        "port-to-queue", lambda e: isinstance(e, Port), _port_to_queue,
+        priority=20, description="ports become message queues"))
+    transformation.add_rule(TransformationRule(
+        "signal-to-message", lambda e: isinstance(e, Signal),
+        _signal_to_message, priority=30,
+        description="signals become runtime messages"))
+    transformation.add_rule(ModelRule(
+        "synthesize-runtime", _synthesize_runtime, priority=90,
+        description="synthesize scheduler and queue classes"))
+    return transformation
+
+
+# ---------------------------------------------------------------------------
+# hardware mapping rules
+# ---------------------------------------------------------------------------
+
+def _is_hw_candidate(element: Element) -> bool:
+    return isinstance(element, Component)
+
+
+def _component_to_hw_module(element: Element,
+                            context: TransformationContext) -> None:
+    assert isinstance(element, Component)
+    profile = context.profile
+    clock_name = context.platform.property("clock_name", "clk")
+    reset_name = context.platform.property("reset_name", "rst_n")
+    if element.find_member(clock_name) is None:
+        clock_port = element.add_port(clock_name,
+                                      direction=PortDirection.IN)
+        if profile is not None:
+            apply_stereotype(
+                clock_port, profile.stereotype("ClockInput"),
+                frequency_mhz=context.platform.property("frequency_mhz"))
+        context.record("component-to-hw-module",
+                       context.source_of(element), clock_port,
+                       "clock input")
+    if element.find_member(reset_name) is None:
+        reset_port = element.add_port(reset_name,
+                                      direction=PortDirection.IN)
+        if profile is not None:
+            apply_stereotype(reset_port, profile.stereotype("ResetInput"))
+        context.record("component-to-hw-module",
+                       context.source_of(element), reset_port,
+                       "reset input")
+    if profile is not None and not has_stereotype(element, "HwModule"):
+        apply_stereotype(element, profile.stereotype("HwModule"))
+        context.record("component-to-hw-module",
+                       context.source_of(element), element,
+                       "stereotyped <<HwModule>>")
+
+
+def _attributes_to_registers(element: Element,
+                             context: TransformationContext) -> None:
+    assert isinstance(element, Component)
+    profile = context.profile
+    if profile is None:
+        return
+    width = context.platform.property("register_width", 32)
+    stride = width // 8
+    offset = 0
+    for attribute in element.attributes:
+        if isinstance(attribute, Port):
+            continue
+        if has_stereotype(attribute, "Register"):
+            offset += stride
+            continue
+        if attribute.type is not mm.INTEGER and \
+                (attribute.type is None
+                 or attribute.type.name != "Integer"):
+            continue
+        reset_value = attribute.default_value \
+            if isinstance(attribute.default_value, int) else 0
+        apply_stereotype(attribute, profile.stereotype("Register"),
+                         address=offset, width=width,
+                         reset_value=reset_value)
+        context.record("attributes-to-registers",
+                       context.source_of(attribute), attribute,
+                       f"address={offset:#x}")
+        offset += stride
+
+
+def _allocate_base_addresses(model: mm.Model,
+                             context: TransformationContext) -> None:
+    base = context.platform.property("base_address", 0x4000_0000)
+    stride = context.platform.property("address_stride", 0x1000)
+    for index, component in enumerate(
+            sorted(model.elements_of_type(Component),
+                   key=lambda c: c.qualified_name)):
+        address = base + index * stride
+        comment = component.add_comment(f"base_address={address:#010x}")
+        context.record("allocate-base-addresses",
+                       context.source_of(component), comment,
+                       f"{address:#010x}")
+
+
+def _synthesize_deployment(model: mm.Model,
+                           context: TransformationContext) -> None:
+    if model.find_member("deployment") is not None:
+        return
+    deployment = model.create_package("deployment")
+    context.record("synthesize-deployment", None, deployment)
+    die = deployment.add(mm.Device("die0"))
+    context.record("synthesize-deployment", None, die)
+    for component in sorted(model.elements_of_type(Component),
+                            key=lambda c: c.qualified_name):
+        artifact = deployment.add(
+            mm.Artifact(f"{component.name}_bit",
+                        file_name=f"{component.name.lower()}.bit"))
+        artifact.manifest(component)
+        die.deploy(artifact)
+        context.record("synthesize-deployment",
+                       context.source_of(component), artifact,
+                       "bitstream artifact")
+
+
+def _map_types_to_hw(element: Element,
+                     context: TransformationContext) -> None:
+    assert isinstance(element, mm.Property)
+    profile = context.profile
+    if profile is None or isinstance(element, Port):
+        return
+    if element.type is not None and element.type.name == "Integer":
+        word = profile.find_member("Word", mm.PrimitiveType)
+        if word is not None:
+            element.type = word
+            context.record("map-types-to-hw", context.source_of(element),
+                           element, "Integer -> Word")
+
+
+def hardware_transformation() -> Transformation:
+    """The built-in PIM → synchronous-RTL PSM mapping."""
+    transformation = Transformation("pim-to-hw", HARDWARE_PLATFORM)
+    transformation.add_rule(TransformationRule(
+        "component-to-hw-module", _is_hw_candidate,
+        _component_to_hw_module, priority=10,
+        description="components become clocked hardware modules"))
+    transformation.add_rule(TransformationRule(
+        "attributes-to-registers", _is_hw_candidate,
+        _attributes_to_registers, priority=20,
+        description="integer attributes become memory-mapped registers"))
+    transformation.add_rule(TransformationRule(
+        "map-types-to-hw", lambda e: isinstance(e, mm.Property),
+        _map_types_to_hw, priority=30,
+        description="narrow platform-independent types to hardware types"))
+    transformation.add_rule(ModelRule(
+        "allocate-base-addresses", _allocate_base_addresses, priority=80,
+        description="allocate module base addresses"))
+    transformation.add_rule(ModelRule(
+        "synthesize-deployment", _synthesize_deployment, priority=90,
+        description="synthesize die/bitstream deployment model"))
+    return transformation

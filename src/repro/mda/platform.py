@@ -1,0 +1,69 @@
+"""Platform descriptions for MDA mappings.
+
+MDA transforms a Platform Independent Model into a Platform Specific
+Model "using a platform-specific mapping" (the paper, Section 3).  A
+:class:`Platform` names the target and carries the knobs its mapping
+rules consult (type mapping, clocking, scheduling policy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class PlatformKind(enum.Enum):
+    """Broad family of a platform."""
+
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An MDA target platform."""
+
+    name: str
+    kind: PlatformKind
+    description: str = ""
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def property(self, key: str, default: Any = None) -> Any:
+        """A platform property with a default."""
+        return self.properties.get(key, default)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.kind.value})"
+
+
+#: Multitasking software runtime: active classes become tasks with
+#: message queues, signals become messages, a scheduler is synthesized.
+SOFTWARE_PLATFORM = Platform(
+    name="sw-runtime",
+    kind=PlatformKind.SOFTWARE,
+    description="event-driven software runtime (tasks + queues + scheduler)",
+    properties={
+        "queue_depth": 16,
+        "scheduler_policy": "fifo",
+        "language": "python",
+    },
+)
+
+#: Synchronous RTL hardware: components become clocked hardware modules
+#: with reset, attributes become registers with an allocated address
+#: map, and a deployment model (die/clock domains) is synthesized.
+HARDWARE_PLATFORM = Platform(
+    name="rtl-synchronous",
+    kind=PlatformKind.HARDWARE,
+    description="synchronous RTL: clocked modules, register map, one die",
+    properties={
+        "clock_name": "clk",
+        "reset_name": "rst_n",
+        "reset_active_low": True,
+        "register_width": 32,
+        "base_address": 0x4000_0000,
+        "address_stride": 0x1000,
+        "frequency_mhz": 200.0,
+    },
+)

@@ -1,0 +1,126 @@
+"""UML 2.0 structural metamodel (subsystem S1).
+
+This package implements the structural half of UML 2.0 as surveyed by
+the paper: elements and ownership, named elements and packages, types,
+classifiers with features and generalization, associations, components
+with ports and connectors, instance specifications (object diagrams),
+use cases and deployments.
+
+Behavioral metamodels live in sibling packages:
+:mod:`repro.statemachines`, :mod:`repro.activities`,
+:mod:`repro.interactions`.
+"""
+
+from .element import (
+    AggregationKind,
+    Comment,
+    Element,
+    MANY,
+    Multiplicity,
+    ONE,
+    ONE_OR_MORE,
+    OPTIONAL,
+    ParameterDirection,
+    UNLIMITED,
+    VisibilityKind,
+)
+from .namespaces import (
+    NamedElement,
+    Namespace,
+    Package,
+    PackageImport,
+    PackageableElement,
+    QUALIFIED_NAME_SEPARATOR,
+)
+from .values import (
+    InstanceValue,
+    LiteralBoolean,
+    LiteralInteger,
+    LiteralNull,
+    LiteralReal,
+    LiteralString,
+    LiteralUnlimitedNatural,
+    OpaqueExpression,
+    ValueSpecification,
+    literal,
+)
+from .types import (
+    BOOLEAN,
+    DataType,
+    Enumeration,
+    EnumerationLiteral,
+    INTEGER,
+    PRIMITIVES,
+    PrimitiveType,
+    REAL,
+    STRING,
+    TypeElement,
+    UNLIMITED_NATURAL,
+    standard_primitives,
+)
+from .features import (
+    Feature,
+    Operation,
+    Parameter,
+    Property,
+    Reception,
+    TypedElement,
+)
+from .classifiers import (
+    Classifier,
+    Dependency,
+    Generalization,
+    Interface,
+    InterfaceRealization,
+    Signal,
+    UmlClass,
+    classifiers_in,
+)
+from .associations import Association, associate
+from .components import (
+    Component,
+    Connector,
+    ConnectorEnd,
+    ConnectorKind,
+    Port,
+    PortDirection,
+    can_connect,
+)
+from .instances import InstanceSpecification, Link, Slot
+from .usecases import Actor, Extend, Include, UseCase
+from .deployments import (
+    Artifact,
+    CommunicationPath,
+    Deployment,
+    Device,
+    ExecutionEnvironment,
+    Manifestation,
+    Node,
+)
+from .model import Model
+
+__all__ = [
+    "AggregationKind", "Comment", "Element", "MANY", "Multiplicity", "ONE",
+    "ONE_OR_MORE", "OPTIONAL", "ParameterDirection", "UNLIMITED",
+    "VisibilityKind",
+    "NamedElement", "Namespace", "Package", "PackageImport",
+    "PackageableElement", "QUALIFIED_NAME_SEPARATOR",
+    "InstanceValue", "LiteralBoolean", "LiteralInteger", "LiteralNull",
+    "LiteralReal", "LiteralString", "LiteralUnlimitedNatural",
+    "OpaqueExpression", "ValueSpecification", "literal",
+    "BOOLEAN", "DataType", "Enumeration", "EnumerationLiteral", "INTEGER",
+    "PRIMITIVES", "PrimitiveType", "REAL", "STRING", "TypeElement",
+    "UNLIMITED_NATURAL", "standard_primitives",
+    "Feature", "Operation", "Parameter", "Property", "Reception",
+    "TypedElement",
+    "Classifier", "Dependency", "Generalization", "Interface",
+    "InterfaceRealization", "Signal", "UmlClass", "classifiers_in",
+    "Association", "associate",
+    "Component", "Connector", "ConnectorEnd", "ConnectorKind", "Port",
+    "PortDirection", "can_connect",
+    "InstanceSpecification", "Link", "Slot",
+    "Actor", "Extend", "Include", "UseCase",
+    "Artifact", "CommunicationPath", "Deployment", "Device",
+    "ExecutionEnvironment", "Manifestation", "Node",
+    "Model",
+]

@@ -1,0 +1,135 @@
+"""Associations between classifiers.
+
+UML represents relationships in class diagrams as associations whose
+ends are :class:`~repro.metamodel.features.Property` instances.  The
+factory :func:`associate` covers the overwhelmingly common binary case
+with sensible defaults; n-ary associations are supported directly by
+:class:`Association`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from .classifiers import Classifier
+from .element import AggregationKind, Multiplicity, ONE
+from .features import Property
+from .namespaces import PackageableElement
+
+
+class Association(PackageableElement):
+    """A semantic relationship between two or more classifiers.
+
+    Ends that are *owned by the association* live in ``self`` and are
+    non-navigable by default; ends owned by a participating classifier
+    (i.e. appearing as its attribute) are navigable.  ``member_ends``
+    always lists all ends in order.
+    """
+
+    _id_tag = "Association"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._member_ends: list = []
+
+    @property
+    def member_ends(self) -> Tuple[Property, ...]:
+        """All ends of the association, in declaration order."""
+        return tuple(self._member_ends)
+
+    @property
+    def owned_ends(self) -> Tuple[Property, ...]:
+        """The ends owned by the association itself."""
+        return tuple(end for end in self._member_ends if end.owner is self)
+
+    @property
+    def end_types(self) -> Tuple[Classifier, ...]:
+        """Classifiers at the ends, in order."""
+        return tuple(end.type for end in self._member_ends)  # type: ignore[misc]
+
+    @property
+    def is_binary(self) -> bool:
+        """True for the common two-ended association."""
+        return len(self._member_ends) == 2
+
+    def add_end(self, end: Property, owned_here: bool = True) -> Property:
+        """Register ``end`` as a member end.
+
+        ``owned_here=False`` means the caller already attached the end
+        to a classifier as an attribute (a navigable end).
+        """
+        if end.type is None or not isinstance(end.type, Classifier):
+            raise ModelError("association ends must be typed by a classifier")
+        if end.association is not None:
+            raise ModelError(f"{end!r} already belongs to an association")
+        if owned_here:
+            self._own(end)
+            end.is_navigable = False
+        end.association = self
+        self._member_ends.append(end)
+        return end
+
+    def validate_arity(self) -> None:
+        """Raise unless the association has at least two ends."""
+        if len(self._member_ends) < 2:
+            raise ModelError(
+                f"association {self.name!r} needs >= 2 ends, "
+                f"has {len(self._member_ends)}"
+            )
+
+    def __repr__(self) -> str:
+        ends = " - ".join(e.type_name for e in self._member_ends)
+        return f"<Association {self.name or self.xmi_id} ({ends})>"
+
+
+def associate(source: Classifier, target: Classifier,
+              source_end: str = "", target_end: str = "",
+              source_multiplicity: Multiplicity = ONE,
+              target_multiplicity: Multiplicity = ONE,
+              aggregation: AggregationKind = AggregationKind.NONE,
+              name: str = "",
+              navigable_both: bool = False) -> Association:
+    """Create a binary association between two classifiers.
+
+    The *target* end becomes an attribute of ``source`` (navigable
+    source→target) named ``target_end`` (default: decapitalized target
+    class name).  The *source* end is owned by the association unless
+    ``navigable_both`` is set, in which case it becomes an attribute of
+    ``target`` as well.  ``aggregation`` applies to the source side
+    (e.g. COMPOSITE means *source compositely owns target instances* —
+    the black diamond sits at the source).
+
+    Returns the association; it is left ownerless so the caller can
+    ``package.add(...)`` it.
+    """
+    association = Association(name)
+
+    target_prop = Property(
+        target_end or _default_end_name(target),
+        target,
+        target_multiplicity,
+        aggregation,
+    )
+    source._own(target_prop)
+    association.add_end(target_prop, owned_here=False)
+
+    source_prop = Property(
+        source_end or _default_end_name(source),
+        source,
+        source_multiplicity,
+    )
+    if navigable_both:
+        target._own(source_prop)
+        association.add_end(source_prop, owned_here=False)
+    else:
+        association.add_end(source_prop, owned_here=True)
+
+    association.validate_arity()
+    return association
+
+
+def _default_end_name(classifier: Classifier) -> str:
+    """Decapitalize a classifier name for use as an end name."""
+    name = classifier.name or "end"
+    return name[0].lower() + name[1:]

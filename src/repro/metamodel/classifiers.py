@@ -1,0 +1,332 @@
+"""Classifiers: classes, interfaces, signals and generalization.
+
+The paper stresses that "the notion of class, object and component have
+to be aligned" with real circuits; this module provides the class side
+of that alignment.  A :class:`Classifier` owns attributes and
+operations, participates in generalization hierarchies and realizes
+interfaces.  Conformance (:meth:`Classifier.conforms_to`) follows UML
+substitutability: a classifier conforms to itself, to its generals
+(transitively) and — for behaviored classifiers — to realized
+interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from ..errors import ModelError
+from .element import (
+    AggregationKind,
+    Element,
+    Multiplicity,
+    ONE,
+)
+from .features import Operation, Property, Reception
+from .namespaces import Namespace
+from .types import TypeElement
+
+
+class Generalization(Element):
+    """Taxonomic relationship: the *specific* classifier inherits the
+    features of the *general* one.  Owned by the specific classifier."""
+
+    _id_tag = "Generalization"
+
+    def __init__(self, general: "Classifier"):
+        super().__init__()
+        self.general = general
+
+    @property
+    def specific(self) -> Optional["Classifier"]:
+        """The inheriting classifier (the owner)."""
+        owner = self.owner
+        return owner if isinstance(owner, Classifier) else None
+
+    def __repr__(self) -> str:
+        return f"<Generalization -> {self.general.name!r}>"
+
+
+class InterfaceRealization(Element):
+    """The owning classifier promises to implement the contract of
+    ``contract`` (an :class:`Interface`)."""
+
+    _id_tag = "InterfaceRealization"
+
+    def __init__(self, contract: "Interface"):
+        super().__init__()
+        self.contract = contract
+
+    def __repr__(self) -> str:
+        return f"<InterfaceRealization of {self.contract.name!r}>"
+
+
+class Dependency(Element):
+    """A supplier/client dependency between named elements.
+
+    Owned by the client; ``supplier`` is referenced.
+    """
+
+    _id_tag = "Dependency"
+
+    def __init__(self, supplier: Element, kind: str = "use"):
+        super().__init__()
+        self.supplier = supplier
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"<Dependency ({self.kind}) -> {self.supplier!r}>"
+
+
+class Classifier(TypeElement, Namespace):
+    """Abstract classifier: a namespace of features that is also a type."""
+
+    _id_tag = "Classifier"
+
+    def __init__(self, name: str = "", is_abstract: bool = False):
+        super().__init__(name)
+        self.is_abstract = is_abstract
+
+    # -- features -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[Property, ...]:
+        """Directly owned attributes (excluding association-owned ends)."""
+        return self.owned_of_type(Property)
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """Directly owned operations."""
+        return self.owned_of_type(Operation)
+
+    def add_attribute(self, name: str, type: Optional[TypeElement] = None,
+                      multiplicity: Multiplicity = ONE,
+                      default: Any = None,
+                      aggregation: AggregationKind = AggregationKind.NONE,
+                      is_read_only: bool = False,
+                      is_static: bool = False) -> Property:
+        """Create and own an attribute."""
+        if self.has_member(name):
+            raise ModelError(
+                f"classifier {self.name!r} already has a member {name!r}"
+            )
+        prop = Property(name, type, multiplicity, aggregation,
+                        default=default, is_read_only=is_read_only,
+                        is_static=is_static)
+        self._own(prop)
+        return prop
+
+    def add_operation(self, name: str, return_type: Optional[TypeElement] = None,
+                      is_abstract: bool = False,
+                      is_query: bool = False) -> Operation:
+        """Create and own an operation (overloading is not modelled)."""
+        if self.has_member(name):
+            raise ModelError(
+                f"classifier {self.name!r} already has a member {name!r}"
+            )
+        op = Operation(name, return_type, is_abstract=is_abstract,
+                       is_query=is_query)
+        self._own(op)
+        return op
+
+    # -- generalization -------------------------------------------------------
+
+    @property
+    def generalizations(self) -> Tuple[Generalization, ...]:
+        """Owned generalization relationships."""
+        return self.owned_of_type(Generalization)
+
+    @property
+    def generals(self) -> Tuple["Classifier", ...]:
+        """Direct superclassifiers."""
+        return tuple(g.general for g in self.generalizations)
+
+    def add_generalization(self, general: "Classifier") -> Generalization:
+        """Declare that this classifier specializes ``general``.
+
+        Rejects self-inheritance and cycles.
+        """
+        if general is self:
+            raise ModelError(f"{self.name!r} cannot specialize itself")
+        if self in general.all_generals() or general in self.generals:
+            raise ModelError(
+                f"generalization {self.name!r} -> {general.name!r} would "
+                "create a cycle or duplicate"
+            )
+        gen = Generalization(general)
+        self._own(gen)
+        return gen
+
+    def all_generals(self) -> Tuple["Classifier", ...]:
+        """All transitive superclassifiers, nearest first, duplicates removed."""
+        seen: list = []
+        frontier = list(self.generals)
+        while frontier:
+            general = frontier.pop(0)
+            if general not in seen:
+                seen.append(general)
+                frontier.extend(general.generals)
+        return tuple(seen)
+
+    def all_attributes(self) -> Tuple[Property, ...]:
+        """Own attributes plus inherited ones (own first, no name shadow dedup)."""
+        collected = list(self.attributes)
+        names = {p.name for p in collected}
+        for general in self.all_generals():
+            for prop in general.attributes:
+                if prop.name not in names:
+                    collected.append(prop)
+                    names.add(prop.name)
+        return tuple(collected)
+
+    def all_operations(self) -> Tuple[Operation, ...]:
+        """Own operations plus inherited ones (overrides shadow by name)."""
+        collected = list(self.operations)
+        names = {op.name for op in collected}
+        for general in self.all_generals():
+            for op in general.operations:
+                if op.name not in names:
+                    collected.append(op)
+                    names.add(op.name)
+        return tuple(collected)
+
+    def find_operation(self, name: str) -> Optional[Operation]:
+        """Lookup an operation by name, searching the inheritance chain."""
+        for op in self.all_operations():
+            if op.name == name:
+                return op
+        return None
+
+    # -- interface realization ---------------------------------------------
+
+    @property
+    def interface_realizations(self) -> Tuple[InterfaceRealization, ...]:
+        """Owned interface realizations."""
+        return self.owned_of_type(InterfaceRealization)
+
+    @property
+    def realized_interfaces(self) -> Tuple["Interface", ...]:
+        """Interfaces directly realized by this classifier."""
+        return tuple(r.contract for r in self.interface_realizations)
+
+    def realize(self, contract: "Interface") -> InterfaceRealization:
+        """Declare that this classifier implements ``contract``."""
+        if contract in self.realized_interfaces:
+            raise ModelError(
+                f"{self.name!r} already realizes {contract.name!r}"
+            )
+        realization = InterfaceRealization(contract)
+        self._own(realization)
+        return realization
+
+    def all_realized_interfaces(self) -> Tuple["Interface", ...]:
+        """Realized interfaces of self and all generals, plus their supers."""
+        collected: list = []
+        for classifier in (self,) + self.all_generals():
+            for contract in classifier.realized_interfaces:
+                for iface in (contract,) + contract.all_generals():
+                    if isinstance(iface, Interface) and iface not in collected:
+                        collected.append(iface)
+        return tuple(collected)
+
+    # -- conformance -----------------------------------------------------------
+
+    def conforms_to(self, other: TypeElement) -> bool:
+        """UML substitutability test."""
+        if other is self:
+            return True
+        if isinstance(other, Classifier) and other in self.all_generals():
+            return True
+        return other in self.all_realized_interfaces()
+
+    # -- dependencies -----------------------------------------------------------
+
+    def add_dependency(self, supplier: Element, kind: str = "use") -> Dependency:
+        """Record a dependency on ``supplier``."""
+        dep = Dependency(supplier, kind)
+        self._own(dep)
+        return dep
+
+    @property
+    def dependencies(self) -> Tuple[Dependency, ...]:
+        """Owned dependencies."""
+        return self.owned_of_type(Dependency)
+
+
+class Interface(Classifier):
+    """A contract: operations and attributes without implementation."""
+
+    _id_tag = "Interface"
+
+    def implementers(self, scope: Element) -> Tuple[Classifier, ...]:
+        """All classifiers under ``scope`` that realize this interface."""
+        return tuple(
+            c for c in scope.descendants_of_type(Classifier)
+            if self in c.all_realized_interfaces()
+        )
+
+
+class UmlClass(Classifier):
+    """A UML class (named ``UmlClass`` to avoid the Python keyword).
+
+    Active classes (``is_active``) own their thread of control — the
+    natural mapping for hardware modules, which the SoC profile builds
+    on.  A class may own *behaviors* (state machines, activities) added
+    by the behavior packages via :meth:`add_behavior`.
+    """
+
+    _id_tag = "Class"
+
+    def __init__(self, name: str = "", is_abstract: bool = False,
+                 is_active: bool = False):
+        super().__init__(name, is_abstract)
+        self.is_active = is_active
+        self._classifier_behavior: Optional[Element] = None
+
+    # -- owned behaviors -------------------------------------------------------
+
+    def add_behavior(self, behavior: Element, as_classifier_behavior: bool = False) -> Element:
+        """Own a behavior (state machine or activity).
+
+        When ``as_classifier_behavior`` is set, the behavior becomes the
+        class's *classifier behavior*: the one started when an instance
+        is created.
+        """
+        self._own(behavior)
+        if as_classifier_behavior:
+            self._classifier_behavior = behavior
+        return behavior
+
+    @property
+    def classifier_behavior(self) -> Optional[Element]:
+        """The behavior executed by instances of this class, if set."""
+        return self._classifier_behavior
+
+    # -- receptions -------------------------------------------------------------
+
+    @property
+    def receptions(self) -> Tuple[Reception, ...]:
+        """Declared signal receptions."""
+        return self.owned_of_type(Reception)
+
+    def add_reception(self, signal: "Signal") -> Reception:
+        """Declare that instances react to receipt of ``signal``."""
+        if any(r.signal is signal for r in self.receptions):
+            raise ModelError(
+                f"class {self.name!r} already receives {signal.name!r}"
+            )
+        reception = Reception(signal)
+        self._own(reception)
+        return reception
+
+
+class Signal(Classifier):
+    """An asynchronous stimulus; its attributes are the payload."""
+
+    _id_tag = "Signal"
+
+
+def classifiers_in(scope: Element) -> Iterator[Classifier]:
+    """Yield every classifier transitively owned by ``scope``."""
+    for element in scope.all_owned():
+        if isinstance(element, Classifier):
+            yield element

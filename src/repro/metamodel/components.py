@@ -1,0 +1,255 @@
+"""Components, ports and connectors (UML 2.0 composite structures).
+
+The paper's central structural claim is that "software components and
+IP cores" already look alike; this module provides the component side.
+A :class:`Component` exposes typed :class:`Port` instances; assembly
+:class:`Connector` links wire required ports to provided ports, and
+delegation connectors forward a component's own port to an internal
+part.  :func:`can_connect` implements the interface-compatibility test
+that makes hardware/software interchangeability checkable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from .classifiers import Interface, UmlClass
+from .element import Element, Multiplicity, ONE
+from .features import Property
+from .types import TypeElement
+
+
+class PortDirection(enum.Enum):
+    """Dataflow direction of a port, used heavily by the SoC profile."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class Port(Property):
+    """An interaction point of a component or class.
+
+    ``provided``/``required`` hold the interfaces offered and expected
+    through this port.  ``direction`` is a pragmatic extension (UML
+    leaves dataflow direction to profiles; the SoC profile relies on it).
+    """
+
+    _id_tag = "Port"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 direction: PortDirection = PortDirection.INOUT,
+                 is_behavior: bool = False, is_service: bool = True,
+                 multiplicity: Multiplicity = ONE):
+        super().__init__(name, type, multiplicity)
+        self.direction = direction
+        self.is_behavior = is_behavior
+        self.is_service = is_service
+        self._provided: list = []
+        self._required: list = []
+
+    @property
+    def provided(self) -> Tuple[Interface, ...]:
+        """Interfaces offered to the environment through this port."""
+        return tuple(self._provided)
+
+    @property
+    def required(self) -> Tuple[Interface, ...]:
+        """Interfaces this port expects the environment to offer."""
+        return tuple(self._required)
+
+    def provide(self, interface: Interface) -> "Port":
+        """Add a provided interface (chainable)."""
+        if interface in self._provided:
+            raise ModelError(f"port {self.name!r} already provides {interface.name!r}")
+        self._provided.append(interface)
+        return self
+
+    def require(self, interface: Interface) -> "Port":
+        """Add a required interface (chainable)."""
+        if interface in self._required:
+            raise ModelError(f"port {self.name!r} already requires {interface.name!r}")
+        self._required.append(interface)
+        return self
+
+    @property
+    def component(self) -> Optional["Component"]:
+        """The owning component, if the owner is one."""
+        owner = self.owner
+        return owner if isinstance(owner, Component) else None
+
+    def __repr__(self) -> str:
+        return f"<Port {self.name} ({self.direction.value})>"
+
+
+class ConnectorKind(enum.Enum):
+    """UML connector kinds."""
+
+    ASSEMBLY = "assembly"
+    DELEGATION = "delegation"
+
+
+class ConnectorEnd(Element):
+    """One end of a connector: a port, optionally on a specific part."""
+
+    _id_tag = "ConnectorEnd"
+
+    def __init__(self, port: Port, part: Optional[Property] = None):
+        super().__init__()
+        self.port = port
+        self.part = part
+
+    def __repr__(self) -> str:
+        part_name = f"{self.part.name}." if self.part is not None else ""
+        return f"<ConnectorEnd {part_name}{self.port.name}>"
+
+
+class Connector(Element):
+    """Wires two ports together inside a structured classifier."""
+
+    _id_tag = "Connector"
+
+    def __init__(self, end1: ConnectorEnd, end2: ConnectorEnd,
+                 kind: ConnectorKind = ConnectorKind.ASSEMBLY,
+                 name: str = ""):
+        super().__init__()
+        self.name = name
+        self.kind = kind
+        self._own(end1)
+        self._own(end2)
+        self.ends: Tuple[ConnectorEnd, ConnectorEnd] = (end1, end2)
+
+    def __repr__(self) -> str:
+        return f"<Connector {self.kind.value} {self.ends[0]!r} <-> {self.ends[1]!r}>"
+
+
+def can_connect(required_port: Port, provided_port: Port) -> bool:
+    """Interface-compatibility test for an assembly connector.
+
+    Every interface required on one side must be provided (or conformed
+    to) on the other.  Direction compatibility: OUT may feed IN or
+    INOUT; INOUT pairs with anything; two OUTs or two INs never match
+    unless neither declares interfaces (pure direction check).
+    """
+    for needed in required_port.required:
+        if not any(offered.conforms_to(needed) or offered is needed
+                   for offered in provided_port.provided):
+            return False
+    directions = {required_port.direction, provided_port.direction}
+    if directions == {PortDirection.OUT} or directions == {PortDirection.IN}:
+        return False
+    return True
+
+
+class Component(UmlClass):
+    """A modular unit with well-defined provided/required interfaces.
+
+    Components own *parts* (properties typed by other components —
+    composite structure), ports, and connectors.  This is the element
+    the SoC profile stereotypes as ``HwModule``/``IpCore``.
+    """
+
+    _id_tag = "Component"
+
+    def __init__(self, name: str = "", is_abstract: bool = False):
+        super().__init__(name, is_abstract, is_active=True)
+
+    # -- ports ---------------------------------------------------------------
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        """Directly owned ports."""
+        return self.owned_of_type(Port)
+
+    def add_port(self, name: str, type: Optional[TypeElement] = None,
+                 direction: PortDirection = PortDirection.INOUT,
+                 is_behavior: bool = False) -> Port:
+        """Create and own a port."""
+        if self.has_member(name):
+            raise ModelError(f"component {self.name!r} already has member {name!r}")
+        port = Port(name, type, direction, is_behavior=is_behavior)
+        self._own(port)
+        return port
+
+    def port(self, name: str) -> Port:
+        """Lookup an owned port by name."""
+        return self.member(name, Port)
+
+    @property
+    def provided_interfaces(self) -> Tuple[Interface, ...]:
+        """Union of realized interfaces and all port-provided interfaces."""
+        collected = list(self.realized_interfaces)
+        for port in self.ports:
+            for iface in port.provided:
+                if iface not in collected:
+                    collected.append(iface)
+        return tuple(collected)
+
+    @property
+    def required_interfaces(self) -> Tuple[Interface, ...]:
+        """Union of all port-required interfaces."""
+        collected: list = []
+        for port in self.ports:
+            for iface in port.required:
+                if iface not in collected:
+                    collected.append(iface)
+        return tuple(collected)
+
+    # -- composite structure ---------------------------------------------------
+
+    @property
+    def parts(self) -> Tuple[Property, ...]:
+        """Internal parts: composite attributes typed by a class/component."""
+        return tuple(p for p in self.attributes
+                     if not isinstance(p, Port) and p.is_composite
+                     and isinstance(p.type, UmlClass))
+
+    def add_part(self, name: str, type: UmlClass,
+                 multiplicity: Multiplicity = ONE) -> Property:
+        """Add an internal part of the given component/class type."""
+        from .element import AggregationKind  # avoid top-level re-export churn
+
+        return self.add_attribute(name, type, multiplicity,
+                                  aggregation=AggregationKind.COMPOSITE)
+
+    @property
+    def connectors(self) -> Tuple[Connector, ...]:
+        """Connectors owned by this component's internal structure."""
+        return self.owned_of_type(Connector)
+
+    def connect(self, end1: Port, end2: Port,
+                part1: Optional[Property] = None,
+                part2: Optional[Property] = None,
+                kind: ConnectorKind = ConnectorKind.ASSEMBLY,
+                name: str = "",
+                check: bool = True) -> Connector:
+        """Create a connector between two ports.
+
+        For assembly connectors with ``check=True`` the interface
+        compatibility of the two ports is verified in both directions.
+        """
+        if check and kind is ConnectorKind.ASSEMBLY:
+            if not (can_connect(end1, end2) and can_connect(end2, end1)):
+                raise ModelError(
+                    f"incompatible ports: {end1.name!r} on "
+                    f"{part1.name if part1 else self.name!r} and {end2.name!r} on "
+                    f"{part2.name if part2 else self.name!r}"
+                )
+        connector = Connector(ConnectorEnd(end1, part1),
+                              ConnectorEnd(end2, part2), kind, name)
+        self._own(connector)
+        return connector
+
+    def delegate(self, outer: Port, inner: Port, part: Property,
+                 name: str = "") -> Connector:
+        """Create a delegation connector from an own port to a part's port."""
+        if outer.owner is not self:
+            raise ModelError(
+                f"delegation must start at a port of {self.name!r}, "
+                f"got {outer.name!r}"
+            )
+        return self.connect(outer, inner, None, part,
+                            kind=ConnectorKind.DELEGATION, name=name,
+                            check=False)

@@ -1,0 +1,138 @@
+"""Deployment diagrams: nodes, artifacts and deployments.
+
+The physical layer of a UML model — "the composition and physical
+deployment of a system".  For SoC design, nodes model silicon resources
+(processors, memories, fabric) and artifacts model the binaries or
+bitstreams deployed onto them; the MDA hardware platform mapping emits
+a deployment model alongside the PSM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from .classifiers import Classifier
+from .element import Element, Multiplicity, ONE
+from .namespaces import PackageableElement
+
+
+class Artifact(Classifier):
+    """A physical piece of information: binary, bitstream, config file."""
+
+    _id_tag = "Artifact"
+
+    def __init__(self, name: str = "", file_name: str = ""):
+        super().__init__(name)
+        self.file_name = file_name or name
+
+    @property
+    def manifestations(self) -> Tuple["Manifestation", ...]:
+        """What model elements this artifact embodies."""
+        return self.owned_of_type(Manifestation)
+
+    def manifest(self, element: PackageableElement) -> "Manifestation":
+        """Record that this artifact is the physical rendering of ``element``."""
+        if any(m.utilized is element for m in self.manifestations):
+            raise ModelError(
+                f"artifact {self.name!r} already manifests {element.name!r}"
+            )
+        manifestation = Manifestation(element)
+        self._own(manifestation)
+        return manifestation
+
+
+class Manifestation(Element):
+    """Artifact-to-model-element realization relationship."""
+
+    _id_tag = "Manifestation"
+
+    def __init__(self, utilized: PackageableElement):
+        super().__init__()
+        self.utilized = utilized
+
+    def __repr__(self) -> str:
+        return f"<Manifestation of {self.utilized.name!r}>"
+
+
+class Deployment(Element):
+    """Assignment of an artifact to a deployment target (owned by the node)."""
+
+    _id_tag = "Deployment"
+
+    def __init__(self, artifact: Artifact):
+        super().__init__()
+        self.artifact = artifact
+
+    def __repr__(self) -> str:
+        return f"<Deployment of {self.artifact.name!r}>"
+
+
+class Node(Classifier):
+    """A computational resource onto which artifacts are deployed.
+
+    Nodes may nest (a board contains chips; a chip contains cores).
+    """
+
+    _id_tag = "Node"
+
+    @property
+    def deployments(self) -> Tuple[Deployment, ...]:
+        """Artifact deployments hosted on this node."""
+        return self.owned_of_type(Deployment)
+
+    @property
+    def deployed_artifacts(self) -> Tuple[Artifact, ...]:
+        """The artifacts deployed here."""
+        return tuple(d.artifact for d in self.deployments)
+
+    def deploy(self, artifact: Artifact) -> Deployment:
+        """Deploy an artifact onto this node."""
+        if artifact in self.deployed_artifacts:
+            raise ModelError(
+                f"node {self.name!r} already hosts {artifact.name!r}"
+            )
+        deployment = Deployment(artifact)
+        self._own(deployment)
+        return deployment
+
+    @property
+    def nested_nodes(self) -> Tuple["Node", ...]:
+        """Directly contained nodes."""
+        return self.owned_of_type(Node)
+
+    def add_node(self, node: "Node") -> "Node":
+        """Nest another node inside this one."""
+        self._own(node)
+        return node
+
+
+class Device(Node):
+    """A physical computational device (processor core, DMA engine...)."""
+
+    _id_tag = "Device"
+
+
+class ExecutionEnvironment(Node):
+    """A software execution context (RTOS, VM, firmware runtime)."""
+
+    _id_tag = "ExecutionEnvironment"
+
+
+class CommunicationPath(PackageableElement):
+    """A physical connection between two nodes (bus, link, network)."""
+
+    _id_tag = "CommunicationPath"
+
+    def __init__(self, end1: Node, end2: Node, name: str = ""):
+        super().__init__(name)
+        if end1 is end2:
+            raise ModelError("a communication path needs two distinct nodes")
+        self.ends: Tuple[Node, Node] = (end1, end2)
+
+    def connects(self, node: Node) -> bool:
+        """True if ``node`` is one of the two ends."""
+        return node in self.ends
+
+    def __repr__(self) -> str:
+        return f"<CommunicationPath {self.ends[0].name} <-> {self.ends[1].name}>"

@@ -1,0 +1,283 @@
+"""Structural and behavioral features: properties, operations, parameters.
+
+These are the members of classifiers.  A :class:`Property` doubles as an
+association end (UML unifies the two); an :class:`Operation` owns its
+:class:`Parameter` list and may carry an ASL body (making the model
+executable, per the paper's xUML discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import ModelError
+from .element import (
+    AggregationKind,
+    Multiplicity,
+    ONE,
+    ParameterDirection,
+)
+from .namespaces import NamedElement, Namespace
+from .types import TypeElement
+from .values import OpaqueExpression, ValueSpecification, literal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .associations import Association
+    from .classifiers import Classifier
+
+
+class TypedElement(NamedElement):
+    """A named element with a (possibly absent) type."""
+
+    _id_tag = "TypedElement"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None):
+        super().__init__(name)
+        self.type = type
+
+    @property
+    def type_name(self) -> str:
+        """Name of the element's type, or ``""`` when untyped."""
+        return self.type.name if self.type is not None else ""
+
+
+class Feature(TypedElement):
+    """A classifier member; may be per-instance or static."""
+
+    _id_tag = "Feature"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 is_static: bool = False):
+        super().__init__(name, type)
+        self.is_static = is_static
+
+    @property
+    def featuring_classifier(self) -> Optional["Classifier"]:
+        """The classifier that owns this feature, if any."""
+        from .classifiers import Classifier  # local import breaks the cycle
+
+        owner = self.owner
+        return owner if isinstance(owner, Classifier) else None
+
+
+class Property(Feature):
+    """An attribute of a classifier or an end of an association.
+
+    A property holds its multiplicity, aggregation kind, optional default
+    value and the usual UML boolean modifiers.  When it takes part in an
+    association, :attr:`association` points back at it.
+    """
+
+    _id_tag = "Property"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 multiplicity: Multiplicity = ONE,
+                 aggregation: AggregationKind = AggregationKind.NONE,
+                 default: Any = None,
+                 is_read_only: bool = False,
+                 is_derived: bool = False,
+                 is_static: bool = False,
+                 is_ordered: bool = False,
+                 is_unique: bool = True):
+        super().__init__(name, type, is_static)
+        self.multiplicity = multiplicity
+        self.aggregation = aggregation
+        self.is_read_only = is_read_only
+        self.is_derived = is_derived
+        self.is_ordered = is_ordered
+        self.is_unique = is_unique
+        self.association: Optional["Association"] = None
+        self.is_navigable = True
+        self._default: Optional[ValueSpecification] = None
+        if default is not None:
+            self.set_default(default)
+
+    @property
+    def default(self) -> Optional[ValueSpecification]:
+        """The default value specification, if one was set."""
+        return self._default
+
+    def set_default(self, raw: Any) -> ValueSpecification:
+        """Set the default from a plain Python value or a specification."""
+        if self._default is not None:
+            self._disown(self._default)
+        spec = literal(raw)
+        self._own(spec)
+        self._default = spec
+        return spec
+
+    @property
+    def default_value(self) -> Any:
+        """The concrete default value, or None when unset."""
+        return self._default.value() if self._default is not None else None
+
+    @property
+    def is_composite(self) -> bool:
+        """True when this end aggregates its target compositely."""
+        return self.aggregation is AggregationKind.COMPOSITE
+
+    @property
+    def opposite(self) -> Optional["Property"]:
+        """For a binary association end, the other end; else None."""
+        if self.association is None:
+            return None
+        ends = self.association.member_ends
+        if len(ends) != 2:
+            return None
+        return ends[1] if ends[0] is self else ends[0]
+
+    def __repr__(self) -> str:
+        type_part = f": {self.type_name}" if self.type is not None else ""
+        return f"<Property {self.name}{type_part} [{self.multiplicity}]>"
+
+
+class Parameter(TypedElement):
+    """A parameter of an operation (or other behavioral feature)."""
+
+    _id_tag = "Parameter"
+
+    def __init__(self, name: str = "", type: Optional[TypeElement] = None,
+                 direction: ParameterDirection = ParameterDirection.IN,
+                 multiplicity: Multiplicity = ONE,
+                 default: Any = None):
+        super().__init__(name, type)
+        self.direction = direction
+        self.multiplicity = multiplicity
+        self._default: Optional[ValueSpecification] = None
+        if default is not None:
+            spec = literal(default)
+            self._own(spec)
+            self._default = spec
+
+    @property
+    def default_value(self) -> Any:
+        """The concrete default value, or None when unset."""
+        return self._default.value() if self._default is not None else None
+
+    def __repr__(self) -> str:
+        return f"<Parameter {self.direction.value} {self.name}: {self.type_name}>"
+
+
+class Operation(Feature, Namespace):
+    """A behavioral feature of a classifier.
+
+    Parameters are owned; at most one may have ``RETURN`` direction.  An
+    operation can carry a *method body* as ASL source text, which the
+    xUML interpreter (:mod:`repro.asl`) executes and the code generators
+    translate.
+    """
+
+    _id_tag = "Operation"
+
+    def __init__(self, name: str = "", return_type: Optional[TypeElement] = None,
+                 is_abstract: bool = False, is_query: bool = False,
+                 is_static: bool = False):
+        super().__init__(name, None, is_static)
+        self.is_abstract = is_abstract
+        self.is_query = is_query
+        self._body: Optional[OpaqueExpression] = None
+        if return_type is not None:
+            self.set_return_type(return_type)
+
+    # -- parameters -------------------------------------------------------
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """All owned parameters, including the return parameter."""
+        return self.owned_of_type(Parameter)
+
+    @property
+    def in_parameters(self) -> Tuple[Parameter, ...]:
+        """Parameters with IN or INOUT direction, in declaration order."""
+        return tuple(p for p in self.parameters
+                     if p.direction in (ParameterDirection.IN,
+                                        ParameterDirection.INOUT))
+
+    @property
+    def out_parameters(self) -> Tuple[Parameter, ...]:
+        """Parameters with OUT or INOUT direction."""
+        return tuple(p for p in self.parameters
+                     if p.direction in (ParameterDirection.OUT,
+                                        ParameterDirection.INOUT))
+
+    @property
+    def return_parameter(self) -> Optional[Parameter]:
+        """The unique RETURN-direction parameter, if declared."""
+        for param in self.parameters:
+            if param.direction is ParameterDirection.RETURN:
+                return param
+        return None
+
+    @property
+    def return_type(self) -> Optional[TypeElement]:
+        """Type of the return parameter, or None for void operations."""
+        ret = self.return_parameter
+        return ret.type if ret is not None else None
+
+    def add_parameter(self, name: str, type: Optional[TypeElement] = None,
+                      direction: ParameterDirection = ParameterDirection.IN,
+                      default: Any = None) -> Parameter:
+        """Create and own a parameter."""
+        if direction is ParameterDirection.RETURN and self.return_parameter:
+            raise ModelError(
+                f"operation {self.name!r} already has a return parameter"
+            )
+        if name and self.has_member(name):
+            raise ModelError(
+                f"operation {self.name!r} already has a parameter {name!r}"
+            )
+        param = Parameter(name, type, direction, default=default)
+        self._own(param)
+        return param
+
+    def set_return_type(self, type: TypeElement) -> Parameter:
+        """Declare (or replace) the return parameter's type."""
+        existing = self.return_parameter
+        if existing is not None:
+            existing.type = type
+            return existing
+        param = Parameter("return", type, ParameterDirection.RETURN)
+        self._own(param)
+        return param
+
+    # -- method body (xUML) ------------------------------------------------
+
+    @property
+    def body(self) -> Optional[str]:
+        """The ASL method body source text, if any."""
+        return self._body.body if self._body is not None else None
+
+    def set_body(self, source: str, language: str = "asl") -> OpaqueExpression:
+        """Attach (or replace) the textual method body."""
+        if self._body is not None:
+            self._disown(self._body)
+        expr = OpaqueExpression(source, language)
+        self._own(expr)
+        self._body = expr
+        return expr
+
+    @property
+    def signature(self) -> str:
+        """Human-readable signature, e.g. ``read(addr: Integer): Integer``."""
+        params = ", ".join(
+            f"{p.name}: {p.type_name or 'void'}" for p in self.in_parameters
+        )
+        ret = self.return_type
+        suffix = f": {ret.name}" if ret is not None else ""
+        return f"{self.name}({params}){suffix}"
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.signature}>"
+
+
+class Reception(Feature):
+    """Declares that a classifier reacts to receipt of a signal."""
+
+    _id_tag = "Reception"
+
+    def __init__(self, signal: "Classifier"):
+        super().__init__(signal.name)
+        self.signal = signal
+
+    def __repr__(self) -> str:
+        return f"<Reception of {self.signal.name!r}>"

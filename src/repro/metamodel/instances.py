@@ -1,0 +1,163 @@
+"""Instance specifications: object diagrams.
+
+An :class:`InstanceSpecification` is a modelled instance of a
+classifier; its :class:`Slot` values assign attribute values.  Links
+(instances of associations) connect instance specifications.  Together
+these realize the paper's "Object Diagram ... describes how individual
+class instances (objects) are related".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ModelError
+from .associations import Association
+from .classifiers import Classifier
+from .features import Property
+from .namespaces import PackageableElement
+from .element import Element
+from .values import ValueSpecification, literal
+
+
+class Slot(Element):
+    """Assigns values to one structural feature of an instance."""
+
+    _id_tag = "Slot"
+
+    def __init__(self, feature: Property):
+        super().__init__()
+        self.feature = feature
+
+    @property
+    def values(self) -> Tuple[ValueSpecification, ...]:
+        """The value specifications held by this slot."""
+        return self.owned_of_type(ValueSpecification)
+
+    def add_value(self, raw: Any) -> ValueSpecification:
+        """Append a value (wraps plain Python values as literals)."""
+        spec = literal(raw)
+        self._own(spec)
+        return spec
+
+    def plain_values(self) -> Tuple[Any, ...]:
+        """The concrete Python values of this slot."""
+        return tuple(v.value() for v in self.values)
+
+    def __repr__(self) -> str:
+        return f"<Slot {self.feature.name} = {list(self.plain_values())!r}>"
+
+
+class InstanceSpecification(PackageableElement):
+    """A modelled instance of one (or more) classifiers."""
+
+    _id_tag = "InstanceSpecification"
+
+    def __init__(self, name: str = "", classifier: Optional[Classifier] = None):
+        super().__init__(name)
+        self.classifiers: list = [classifier] if classifier is not None else []
+
+    @property
+    def classifier(self) -> Optional[Classifier]:
+        """The first classified type (the common single-classifier case)."""
+        return self.classifiers[0] if self.classifiers else None
+
+    @property
+    def slots(self) -> Tuple[Slot, ...]:
+        """Owned slots."""
+        return self.owned_of_type(Slot)
+
+    def set_slot(self, feature_name: str, *raw_values: Any) -> Slot:
+        """Assign values to the named attribute of the classifier.
+
+        The feature is resolved through the classifier's full attribute
+        set (including inherited attributes); existing slot values for
+        the feature are replaced.
+        """
+        classifier = self.classifier
+        if classifier is None:
+            raise ModelError(f"instance {self.name!r} has no classifier")
+        feature = next(
+            (p for p in classifier.all_attributes() if p.name == feature_name),
+            None,
+        )
+        if feature is None:
+            raise ModelError(
+                f"{classifier.name!r} has no attribute {feature_name!r}"
+            )
+        existing = self.find_slot(feature_name)
+        if existing is not None:
+            self._disown(existing)
+        slot = Slot(feature)
+        self._own(slot)
+        for raw in raw_values:
+            slot.add_value(raw)
+        if not feature.multiplicity.accepts(len(raw_values)):
+            raise ModelError(
+                f"slot {feature_name!r}: {len(raw_values)} value(s) violate "
+                f"multiplicity {feature.multiplicity}"
+            )
+        return slot
+
+    def find_slot(self, feature_name: str) -> Optional[Slot]:
+        """The slot for the named feature, or None."""
+        for slot in self.slots:
+            if slot.feature.name == feature_name:
+                return slot
+        return None
+
+    def slot_value(self, feature_name: str, default: Any = None) -> Any:
+        """Convenience: the single value of the named slot (or default)."""
+        slot = self.find_slot(feature_name)
+        if slot is None:
+            feature = None
+            if self.classifier is not None:
+                feature = next(
+                    (p for p in self.classifier.all_attributes()
+                     if p.name == feature_name), None)
+            if feature is not None and feature.default_value is not None:
+                return feature.default_value
+            return default
+        values = slot.plain_values()
+        return values[0] if len(values) == 1 else values
+
+    def as_dict(self) -> Dict[str, Any]:
+        """All slot values as a plain dict (single values unwrapped)."""
+        return {slot.feature.name: self.slot_value(slot.feature.name)
+                for slot in self.slots}
+
+    def __repr__(self) -> str:
+        ctype = self.classifier.name if self.classifier else "?"
+        return f"<InstanceSpecification {self.name}: {ctype}>"
+
+
+class Link(PackageableElement):
+    """An instance of an association, tying instance specifications."""
+
+    _id_tag = "Link"
+
+    def __init__(self, association: Association,
+                 *participants: InstanceSpecification, name: str = ""):
+        super().__init__(name)
+        self.association = association
+        expected = len(association.member_ends)
+        if len(participants) != expected:
+            raise ModelError(
+                f"link over {association.name!r} needs {expected} "
+                f"participants, got {len(participants)}"
+            )
+        for end, instance in zip(association.member_ends, participants):
+            end_type = end.type
+            inst_type = instance.classifier
+            if (isinstance(end_type, Classifier) and inst_type is not None
+                    and not inst_type.conforms_to(end_type)):
+                raise ModelError(
+                    f"link participant {instance.name!r} "
+                    f"({inst_type.name}) does not conform to end type "
+                    f"{end_type.name!r}"
+                )
+        self.participants: Tuple[InstanceSpecification, ...] = tuple(participants)
+
+    def __repr__(self) -> str:
+        names = " - ".join(p.name for p in self.participants)
+        return f"<Link {self.association.name or ''} ({names})>"

@@ -1,0 +1,75 @@
+"""The model root and whole-model queries.
+
+A :class:`Model` is the top-level package of a UML model.  It provides
+indexed lookup by ``xmi_id``, typed iteration, and summary statistics
+used by the metrics package and the benchmark workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Type, TypeVar
+
+from ..errors import LookupFailed
+from .element import Element
+from .namespaces import Package
+
+E = TypeVar("E", bound=Element)
+
+
+class Model(Package):
+    """Root package of a UML model."""
+
+    _id_tag = "Model"
+
+    def __init__(self, name: str = "model"):
+        super().__init__(name)
+
+    # -- lookup -----------------------------------------------------------
+
+    def find_by_id(self, xmi_id: str) -> Optional[Element]:
+        """Locate any owned element by its ``xmi_id`` (linear scan)."""
+        if self.xmi_id == xmi_id:
+            return self
+        for element in self.all_owned():
+            if element.xmi_id == xmi_id:
+                return element
+        return None
+
+    def element_by_id(self, xmi_id: str) -> Element:
+        """Like :meth:`find_by_id` but raising when absent."""
+        found = self.find_by_id(xmi_id)
+        if found is None:
+            raise LookupFailed(f"model {self.name!r} has no element {xmi_id!r}")
+        return found
+
+    def build_id_index(self) -> Dict[str, Element]:
+        """A dict from ``xmi_id`` to element, for repeated lookups."""
+        index: Dict[str, Element] = {self.xmi_id: self}
+        for element in self.all_owned():
+            index[element.xmi_id] = element
+        return index
+
+    # -- iteration ----------------------------------------------------------
+
+    def elements_of_type(self, kind: Type[E]) -> Iterator[E]:
+        """Yield every transitively owned element of the given kind."""
+        for element in self.all_owned():
+            if isinstance(element, kind):
+                yield element
+
+    def element_count(self) -> int:
+        """Total number of owned elements (excluding the root itself)."""
+        return sum(1 for _ in self.all_owned())
+
+    # -- statistics -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Count of owned elements per concrete metaclass name."""
+        counts: Dict[str, int] = {}
+        for element in self.all_owned():
+            key = type(element).__name__
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __repr__(self) -> str:
+        return f"<Model {self.name!r} ({self.element_count()} elements)>"

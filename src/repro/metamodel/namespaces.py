@@ -1,0 +1,211 @@
+"""Named elements, namespaces and packages.
+
+A :class:`NamedElement` carries a name and visibility; a
+:class:`Namespace` additionally resolves names among its owned members.
+:class:`Package` is the general-purpose container for packageable
+elements — the paper notes packages "provide just a little more than a
+namespace for classes", and that is exactly what this class implements,
+plus package import and merge-free nesting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Type, TypeVar
+
+from ..errors import LookupFailed, ModelError
+from .element import Element, VisibilityKind
+
+N = TypeVar("N", bound="NamedElement")
+
+#: Separator used in UML qualified names.
+QUALIFIED_NAME_SEPARATOR = "::"
+
+
+class NamedElement(Element):
+    """An element with an (optional) name and a visibility."""
+
+    _id_tag = "NamedElement"
+
+    def __init__(self, name: str = "",
+                 visibility: VisibilityKind = VisibilityKind.PUBLIC):
+        super().__init__()
+        self.name = name
+        self.visibility = visibility
+
+    @property
+    def namespace(self) -> Optional["Namespace"]:
+        """The nearest owning :class:`Namespace`, if any."""
+        for ancestor in self.owner_chain():
+            if isinstance(ancestor, Namespace):
+                return ancestor
+        return None
+
+    @property
+    def qualified_name(self) -> str:
+        """The ``::``-separated path from the root namespace to this element.
+
+        Elements without a name, or with an unnamed ancestor namespace,
+        still produce a usable path (empty segments are skipped).
+        """
+        parts = [self.name] if self.name else []
+        for ancestor in self.owner_chain():
+            if isinstance(ancestor, NamedElement) and ancestor.name:
+                parts.append(ancestor.name)
+        return QUALIFIED_NAME_SEPARATOR.join(reversed(parts))
+
+    def __repr__(self) -> str:
+        label = self.name or self.xmi_id
+        return f"<{type(self).__name__} {label!r}>"
+
+
+class PackageableElement(NamedElement):
+    """A named element that may be owned directly by a package."""
+
+    _id_tag = "PackageableElement"
+
+
+class Namespace(NamedElement):
+    """A named element that contains and resolves named members."""
+
+    _id_tag = "Namespace"
+
+    @property
+    def members(self) -> Tuple[NamedElement, ...]:
+        """Owned members that are named elements."""
+        return self.owned_of_type(NamedElement)
+
+    def member(self, name: str, kind: Type[N] = NamedElement) -> N:  # type: ignore[assignment]
+        """Return the owned member with the given name (and kind).
+
+        Raises :class:`~repro.errors.LookupFailed` when absent; use
+        :meth:`find_member` for an optional lookup.
+        """
+        found = self.find_member(name, kind)
+        if found is None:
+            raise LookupFailed(
+                f"{self.qualified_name or self.xmi_id} has no member "
+                f"{name!r} of kind {kind.__name__}"
+            )
+        return found
+
+    def find_member(self, name: str, kind: Type[N] = NamedElement) -> Optional[N]:  # type: ignore[assignment]
+        """Like :meth:`member` but returns None when not found."""
+        for candidate in self._owned:
+            if isinstance(candidate, kind) and candidate.name == name:
+                return candidate
+        return None
+
+    def has_member(self, name: str) -> bool:
+        """True if a named member with this name is owned here."""
+        return self.find_member(name) is not None
+
+    def resolve(self, qualified: str, kind: Type[N] = NamedElement) -> N:  # type: ignore[assignment]
+        """Resolve a ``::``-separated path relative to this namespace.
+
+        ``resolve("sub::Thing")`` descends through nested namespaces.
+        Raises :class:`~repro.errors.LookupFailed` on any missing step.
+        """
+        node: NamedElement = self
+        parts = qualified.split(QUALIFIED_NAME_SEPARATOR)
+        for index, part in enumerate(parts):
+            if not isinstance(node, Namespace):
+                raise LookupFailed(
+                    f"{node.qualified_name!r} is not a namespace; cannot "
+                    f"resolve remainder {QUALIFIED_NAME_SEPARATOR.join(parts[index:])!r}"
+                )
+            is_last = index == len(parts) - 1
+            node = node.member(part, kind if is_last else NamedElement)
+        return node  # type: ignore[return-value]
+
+
+class Package(Namespace, PackageableElement):
+    """A UML package: a namespace for packageable elements.
+
+    Packages may nest, own classifiers and import other packages.
+    """
+
+    _id_tag = "Package"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._imports: list = []  # PackageImport elements (owned)
+
+    # -- construction helpers -------------------------------------------
+
+    def add(self, element: PackageableElement) -> PackageableElement:
+        """Own a packageable element, rejecting duplicate member names."""
+        if not isinstance(element, PackageableElement):
+            raise ModelError(
+                f"packages own PackageableElements, not {type(element).__name__}"
+            )
+        if element.name and self.has_member(element.name):
+            raise ModelError(
+                f"package {self.qualified_name!r} already has a member "
+                f"named {element.name!r}"
+            )
+        self._own(element)
+        return element
+
+    def create_package(self, name: str) -> "Package":
+        """Create and own a nested package."""
+        nested = Package(name)
+        self.add(nested)
+        return nested
+
+    # -- derived content ------------------------------------------------
+
+    @property
+    def packaged_elements(self) -> Tuple[PackageableElement, ...]:
+        """All directly owned packageable elements."""
+        return self.owned_of_type(PackageableElement)
+
+    @property
+    def nested_packages(self) -> Tuple["Package", ...]:
+        """Directly owned sub-packages."""
+        return self.owned_of_type(Package)
+
+    def all_packages(self) -> Iterator["Package"]:
+        """Yield this package and all transitively nested packages."""
+        yield self
+        for sub in self.nested_packages:
+            yield from sub.all_packages()
+
+    # -- imports ----------------------------------------------------------
+
+    def import_package(self, other: "Package") -> "PackageImport":
+        """Record a package import (makes members visible, not owned)."""
+        imp = PackageImport(other)
+        self._own(imp)
+        self._imports.append(imp)
+        return imp
+
+    @property
+    def imported_packages(self) -> Tuple["Package", ...]:
+        """Packages imported by this one."""
+        return tuple(imp.imported for imp in self._imports)
+
+    def visible_member(self, name: str, kind: Type[N] = NamedElement) -> N:  # type: ignore[assignment]
+        """Lookup including imported packages' public members."""
+        local = self.find_member(name, kind)
+        if local is not None:
+            return local
+        for imported in self.imported_packages:
+            candidate = imported.find_member(name, kind)
+            if candidate is not None and candidate.visibility is VisibilityKind.PUBLIC:
+                return candidate
+        raise LookupFailed(
+            f"{self.qualified_name!r} has no visible member {name!r}"
+        )
+
+
+class PackageImport(Element):
+    """Directed import relationship between two packages."""
+
+    _id_tag = "PackageImport"
+
+    def __init__(self, imported: Package):
+        super().__init__()
+        self.imported = imported
+
+    def __repr__(self) -> str:
+        return f"<PackageImport of {self.imported.name!r}>"

@@ -1,0 +1,105 @@
+"""Types: data types, primitive types and enumerations.
+
+:class:`TypeElement` is the abstract supertype for everything usable as
+the type of a property or parameter (classifiers subclass it too).  The
+module also exposes the standard UML primitive types as a shared,
+read-only library (:data:`PRIMITIVES`) so models agree on identity of
+``Integer``, ``Boolean`` and friends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import ModelError
+from .namespaces import Namespace, PackageableElement
+
+
+class TypeElement(PackageableElement):
+    """Abstract supertype of all things usable as the type of a value.
+
+    (Named ``TypeElement`` rather than UML's ``Type`` to avoid clashing
+    with :class:`typing.Type` in user code.)
+    """
+
+    _id_tag = "Type"
+
+    def conforms_to(self, other: "TypeElement") -> bool:
+        """Default type conformance: identity (classifiers override)."""
+        return self is other
+
+
+class DataType(TypeElement, Namespace):
+    """A type whose instances are identified only by their value."""
+
+    _id_tag = "DataType"
+
+
+class PrimitiveType(DataType):
+    """A predefined atomic data type (Integer, Boolean, ...)."""
+
+    _id_tag = "PrimitiveType"
+
+
+class EnumerationLiteral(PackageableElement):
+    """One value of an enumeration."""
+
+    _id_tag = "EnumerationLiteral"
+
+    @property
+    def enumeration(self) -> Optional["Enumeration"]:
+        """The owning enumeration."""
+        owner = self.owner
+        return owner if isinstance(owner, Enumeration) else None
+
+
+class Enumeration(DataType):
+    """A data type with a finite set of named literals."""
+
+    _id_tag = "Enumeration"
+
+    def __init__(self, name: str = "", literals: Tuple[str, ...] = ()):
+        super().__init__(name)
+        for literal_name in literals:
+            self.add_literal(literal_name)
+
+    def add_literal(self, name: str) -> EnumerationLiteral:
+        """Append a literal with the given name (names must be unique)."""
+        if self.has_member(name):
+            raise ModelError(f"enumeration {self.name!r} already has literal {name!r}")
+        lit = EnumerationLiteral(name)
+        self._own(lit)
+        return lit
+
+    @property
+    def literals(self) -> Tuple[EnumerationLiteral, ...]:
+        """The owned literals, in declaration order."""
+        return self.owned_of_type(EnumerationLiteral)
+
+    def literal(self, name: str) -> EnumerationLiteral:
+        """Lookup a literal by name."""
+        return self.member(name, EnumerationLiteral)
+
+
+def standard_primitives() -> Dict[str, PrimitiveType]:
+    """Create a fresh set of the five UML standard primitive types.
+
+    Returns a dict keyed by type name.  Models that should share
+    primitive-type identity should use the module-level
+    :data:`PRIMITIVES` instead.
+    """
+    return {
+        name: PrimitiveType(name)
+        for name in ("Integer", "Boolean", "String", "Real", "UnlimitedNatural")
+    }
+
+
+#: Library-wide shared primitive type instances.  They are deliberately
+#: ownerless so any number of models can reference them.
+PRIMITIVES: Dict[str, PrimitiveType] = standard_primitives()
+
+INTEGER = PRIMITIVES["Integer"]
+BOOLEAN = PRIMITIVES["Boolean"]
+STRING = PRIMITIVES["String"]
+REAL = PRIMITIVES["Real"]
+UNLIMITED_NATURAL = PRIMITIVES["UnlimitedNatural"]

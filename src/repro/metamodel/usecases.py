@@ -1,0 +1,149 @@
+"""Use cases and actors.
+
+"Behavioral specification in the UML at the highest level often starts
+by the identification of the use cases for a system described in terms
+of involved actors" — this module implements exactly that layer:
+actors, use cases, include/extend relationships and subject binding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from .classifiers import Classifier
+from .element import Element
+
+
+class Actor(Classifier):
+    """An external entity interacting with the system."""
+
+    _id_tag = "Actor"
+
+
+class Include(Element):
+    """The owning use case unconditionally includes ``addition``."""
+
+    _id_tag = "Include"
+
+    def __init__(self, addition: "UseCase"):
+        super().__init__()
+        self.addition = addition
+
+    def __repr__(self) -> str:
+        return f"<Include {self.addition.name!r}>"
+
+
+class Extend(Element):
+    """The owning use case may extend ``extended`` at an extension point."""
+
+    _id_tag = "Extend"
+
+    def __init__(self, extended: "UseCase", extension_point: str = "",
+                 condition: str = ""):
+        super().__init__()
+        self.extended = extended
+        self.extension_point = extension_point
+        self.condition = condition
+
+    def __repr__(self) -> str:
+        return f"<Extend {self.extended.name!r} at {self.extension_point!r}>"
+
+
+class UseCase(Classifier):
+    """A coherent unit of externally visible functionality."""
+
+    _id_tag = "UseCase"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._subjects: list = []
+        self._actors: list = []
+        self.extension_points: list = []
+
+    # -- relationships ----------------------------------------------------
+
+    @property
+    def includes(self) -> Tuple[Include, ...]:
+        """Owned include relationships."""
+        return self.owned_of_type(Include)
+
+    @property
+    def extends(self) -> Tuple[Extend, ...]:
+        """Owned extend relationships."""
+        return self.owned_of_type(Extend)
+
+    def include(self, other: "UseCase") -> Include:
+        """Declare that this use case always runs ``other`` as a part."""
+        if other is self:
+            raise ModelError(f"use case {self.name!r} cannot include itself")
+        if any(i.addition is other for i in self.includes):
+            raise ModelError(
+                f"use case {self.name!r} already includes {other.name!r}"
+            )
+        inc = Include(other)
+        self._own(inc)
+        return inc
+
+    def extend(self, other: "UseCase", extension_point: str = "",
+               condition: str = "") -> Extend:
+        """Declare that this use case conditionally extends ``other``."""
+        if other is self:
+            raise ModelError(f"use case {self.name!r} cannot extend itself")
+        if extension_point and extension_point not in other.extension_points:
+            raise ModelError(
+                f"{other.name!r} has no extension point {extension_point!r}"
+            )
+        ext = Extend(other, extension_point, condition)
+        self._own(ext)
+        return ext
+
+    def add_extension_point(self, name: str) -> str:
+        """Declare a named location where extensions may hook in."""
+        if name in self.extension_points:
+            raise ModelError(
+                f"use case {self.name!r} already has extension point {name!r}"
+            )
+        self.extension_points.append(name)
+        return name
+
+    # -- participation ------------------------------------------------------
+
+    @property
+    def subjects(self) -> Tuple[Classifier, ...]:
+        """The systems (classifiers) this use case applies to."""
+        return tuple(self._subjects)
+
+    @property
+    def actors(self) -> Tuple[Actor, ...]:
+        """Actors associated with this use case."""
+        return tuple(self._actors)
+
+    def add_subject(self, subject: Classifier) -> Classifier:
+        """Bind the use case to the subject system it describes."""
+        if subject in self._subjects:
+            raise ModelError(
+                f"{subject.name!r} is already a subject of {self.name!r}"
+            )
+        self._subjects.append(subject)
+        return subject
+
+    def add_actor(self, actor: Actor) -> Actor:
+        """Associate an actor with this use case."""
+        if actor in self._actors:
+            raise ModelError(
+                f"{actor.name!r} is already an actor of {self.name!r}"
+            )
+        self._actors.append(actor)
+        return actor
+
+    def all_included(self) -> Tuple["UseCase", ...]:
+        """Transitively included use cases (cycle-safe, nearest first)."""
+        seen: list = []
+        frontier = [i.addition for i in self.includes]
+        while frontier:
+            case = frontier.pop(0)
+            if case not in seen and case is not self:
+                seen.append(case)
+                frontier.extend(i.addition for i in case.includes)
+        return tuple(seen)

@@ -1,0 +1,168 @@
+"""Value specifications: literal values used for defaults and slots.
+
+UML models carry values in attribute defaults, slot values of instance
+specifications, and tagged values of stereotype applications.  This
+module implements the UML 2.0 ``ValueSpecification`` hierarchy plus
+:class:`OpaqueExpression`, which wraps an ASL (or any textual)
+expression for later evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ModelError
+from .element import Element
+
+
+class ValueSpecification(Element):
+    """Abstract specification of a value."""
+
+    _id_tag = "ValueSpecification"
+
+    def value(self) -> Any:
+        """The concrete Python value this specification denotes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.value()!r}>"
+
+
+class LiteralInteger(ValueSpecification):
+    """An integer literal."""
+
+    _id_tag = "LiteralInteger"
+
+    def __init__(self, literal: int = 0):
+        super().__init__()
+        self.literal = int(literal)
+
+    def value(self) -> int:
+        return self.literal
+
+
+class LiteralReal(ValueSpecification):
+    """A real (floating-point) literal."""
+
+    _id_tag = "LiteralReal"
+
+    def __init__(self, literal: float = 0.0):
+        super().__init__()
+        self.literal = float(literal)
+
+    def value(self) -> float:
+        return self.literal
+
+
+class LiteralBoolean(ValueSpecification):
+    """A boolean literal."""
+
+    _id_tag = "LiteralBoolean"
+
+    def __init__(self, literal: bool = False):
+        super().__init__()
+        self.literal = bool(literal)
+
+    def value(self) -> bool:
+        return self.literal
+
+
+class LiteralString(ValueSpecification):
+    """A string literal."""
+
+    _id_tag = "LiteralString"
+
+    def __init__(self, literal: str = ""):
+        super().__init__()
+        self.literal = str(literal)
+
+    def value(self) -> str:
+        return self.literal
+
+
+class LiteralNull(ValueSpecification):
+    """The absence of a value."""
+
+    _id_tag = "LiteralNull"
+
+    def value(self) -> None:
+        return None
+
+
+class LiteralUnlimitedNatural(ValueSpecification):
+    """An unlimited natural: a non-negative integer or ``*`` (None)."""
+
+    _id_tag = "LiteralUnlimitedNatural"
+
+    def __init__(self, literal: Optional[int] = None):
+        super().__init__()
+        if literal is not None and literal < 0:
+            raise ModelError("unlimited natural literals must be >= 0 or None (*)")
+        self.literal = literal
+
+    def value(self) -> Optional[int]:
+        return self.literal
+
+    def __repr__(self) -> str:
+        return f"<LiteralUnlimitedNatural {'*' if self.literal is None else self.literal}>"
+
+
+class InstanceValue(ValueSpecification):
+    """A value that refers to an instance specification (or enum literal)."""
+
+    _id_tag = "InstanceValue"
+
+    def __init__(self, instance: Element):
+        super().__init__()
+        self.instance = instance
+
+    def value(self) -> Element:
+        return self.instance
+
+
+class OpaqueExpression(ValueSpecification):
+    """A textual expression in a named language (by default ``"asl"``).
+
+    The library evaluates ASL opaque expressions with
+    :mod:`repro.asl`; other languages are carried verbatim.
+    """
+
+    _id_tag = "OpaqueExpression"
+
+    def __init__(self, body: str, language: str = "asl",
+                 name: str = ""):
+        super().__init__()
+        self.body = body
+        self.language = language
+        self.name = name  # optional label (e.g. invariant names)
+
+    def value(self) -> str:
+        return self.body
+
+    def __repr__(self) -> str:
+        return f"<OpaqueExpression [{self.language}] {self.body!r}>"
+
+
+def literal(raw: Any) -> ValueSpecification:
+    """Wrap a plain Python value in the appropriate literal specification.
+
+    >>> literal(3)
+    <LiteralInteger 3>
+    >>> literal(None)
+    <LiteralNull None>
+    """
+    if raw is None:
+        return LiteralNull()
+    if isinstance(raw, bool):  # before int: bool is a subclass of int
+        return LiteralBoolean(raw)
+    if isinstance(raw, int):
+        return LiteralInteger(raw)
+    if isinstance(raw, float):
+        return LiteralReal(raw)
+    if isinstance(raw, str):
+        return LiteralString(raw)
+    if isinstance(raw, ValueSpecification):
+        return raw
+    if isinstance(raw, Element):
+        return InstanceValue(raw)
+    raise ModelError(f"cannot build a literal from {type(raw).__name__}")

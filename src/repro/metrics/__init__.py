@@ -1,0 +1,30 @@
+"""Design metrics (subsystem S13): size, complexity, productivity, reuse."""
+
+from .size import (
+    DEFAULT_LOC_WEIGHT,
+    LOC_WEIGHTS,
+    activity_branching,
+    coupling,
+    element_counts,
+    inheritance_depth,
+    model_loc_equivalent,
+    model_size,
+    state_machine_cyclomatic,
+    summary,
+)
+from .productivity import (
+    AbstractionReport,
+    ReuseReport,
+    abstraction_report,
+    generated_loc,
+    productivity_index,
+    reuse_report,
+)
+
+__all__ = [
+    "DEFAULT_LOC_WEIGHT", "LOC_WEIGHTS", "activity_branching", "coupling",
+    "element_counts", "inheritance_depth", "model_loc_equivalent",
+    "model_size", "state_machine_cyclomatic", "summary",
+    "AbstractionReport", "ReuseReport", "abstraction_report",
+    "generated_loc", "productivity_index", "reuse_report",
+]

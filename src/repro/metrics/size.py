@@ -1,0 +1,150 @@
+"""Model size and complexity metrics.
+
+These metrics quantify the designs the benchmarks generate and feed
+the productivity-gap analysis (experiment D1): how much specification
+does a UML model carry, and how complex is its behavior?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .. import activities as ac
+from .. import metamodel as mm
+from .. import statemachines as st
+
+#: Weights approximating "lines a designer would write" per element
+#: kind — the basis of the model-LoC-equivalent measure.  Calibrated
+#: against hand-written declarations (a class header ~2 lines, an
+#: attribute ~1, a transition ~1, ...).
+LOC_WEIGHTS: Dict[str, float] = {
+    "Model": 1, "Package": 1, "UmlClass": 2, "Component": 2,
+    "Interface": 2, "Signal": 1, "Enumeration": 1, "EnumerationLiteral": 1,
+    "DataType": 1, "PrimitiveType": 1,
+    "Property": 1, "Port": 1, "Operation": 2, "Parameter": 0.5,
+    "Reception": 1, "Generalization": 1, "InterfaceRealization": 1,
+    "Dependency": 0.5, "Association": 1, "Connector": 1,
+    "ConnectorEnd": 0, "InstanceSpecification": 1, "Slot": 1, "Link": 1,
+    "Actor": 1, "UseCase": 1, "Include": 0.5, "Extend": 0.5,
+    "Artifact": 1, "Node": 1, "Device": 1, "ExecutionEnvironment": 1,
+    "Deployment": 1, "Manifestation": 0.5, "CommunicationPath": 1,
+    "StateMachine": 2, "Region": 1, "State": 1, "FinalState": 1,
+    "Pseudostate": 1, "Transition": 1,
+    "Activity": 2, "Action": 1, "SendSignalAction": 1,
+    "AcceptEventAction": 1, "InitialNode": 0.5, "ActivityFinalNode": 0.5,
+    "FlowFinalNode": 0.5, "ForkNode": 0.5, "JoinNode": 0.5,
+    "DecisionNode": 0.5, "MergeNode": 0.5, "ControlFlow": 0.5,
+    "ObjectFlow": 0.5, "InputPin": 0.5, "OutputPin": 0.5,
+    "CentralBufferNode": 1, "ActivityParameterNode": 1, "ObjectNode": 1,
+    "Interaction": 2, "Lifeline": 1, "Message": 1,
+    "CombinedFragment": 1, "InteractionOperand": 1,
+}
+
+#: Default weight for element kinds not in the table.
+DEFAULT_LOC_WEIGHT = 0.5
+
+
+def element_counts(scope: mm.Element) -> Dict[str, int]:
+    """Number of elements per concrete metaclass under ``scope``."""
+    counts: Dict[str, int] = {}
+    for element in scope.all_owned():
+        key = type(element).__name__
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def model_size(scope: mm.Element) -> int:
+    """Total owned element count."""
+    return sum(1 for _ in scope.all_owned())
+
+
+def model_loc_equivalent(scope: mm.Element) -> float:
+    """The model's size in designer-line equivalents (see LOC_WEIGHTS).
+
+    ASL bodies/effects count their actual line counts on top of the
+    structural weights.
+    """
+    total = 0.0
+    for element in scope.all_owned():
+        total += LOC_WEIGHTS.get(type(element).__name__, DEFAULT_LOC_WEIGHT)
+        for attr in ("entry", "exit", "do_activity", "effect", "guard",
+                     "behavior"):
+            value = getattr(element, attr, None)
+            if isinstance(value, str):
+                total += len([line for line in value.splitlines()
+                              if line.strip()])
+        if isinstance(element, mm.OpaqueExpression):
+            total += len([line for line in element.body.splitlines()
+                          if line.strip()])
+    return total
+
+
+def state_machine_cyclomatic(machine: st.StateMachine) -> int:
+    """McCabe-style complexity: E - N + 2 per top region (floored at 1)."""
+    transitions = len(machine.all_transitions())
+    vertices = len(machine.all_vertices())
+    regions = max(len(machine.regions), 1)
+    return max(transitions - vertices + 2 * regions, 1)
+
+
+def activity_branching(activity: ac.Activity) -> float:
+    """Mean out-degree of decision/fork nodes (0 for linear activities)."""
+    branch_nodes = [n for n in activity.nodes
+                    if isinstance(n, (ac.DecisionNode, ac.ForkNode))]
+    if not branch_nodes:
+        return 0.0
+    return sum(len(n.outgoing) for n in branch_nodes) / len(branch_nodes)
+
+
+def inheritance_depth(classifier: mm.Classifier) -> int:
+    """Depth of the inheritance tree above this classifier."""
+    generals = classifier.generals
+    if not generals:
+        return 0
+    return 1 + max(inheritance_depth(g) for g in generals)
+
+
+def coupling(classifier: mm.Classifier) -> int:
+    """Efferent coupling: distinct classifiers this one refers to."""
+    referenced = set()
+    for prop in classifier.attributes:
+        if isinstance(prop.type, mm.Classifier):
+            referenced.add(id(prop.type))
+    for operation in classifier.operations:
+        for parameter in operation.parameters:
+            if isinstance(parameter.type, mm.Classifier):
+                referenced.add(id(parameter.type))
+    for general in classifier.generals:
+        referenced.add(id(general))
+    for realization in classifier.interface_realizations:
+        referenced.add(id(realization.contract))
+    for dependency in classifier.dependencies:
+        if isinstance(dependency.supplier, mm.Classifier):
+            referenced.add(id(dependency.supplier))
+    referenced.discard(id(classifier))
+    return len(referenced)
+
+
+def summary(scope: mm.Element) -> Dict[str, float]:
+    """A metric bundle for reports: sizes, LoC-equivalent, complexity."""
+    machines = list(scope.descendants_of_type(st.StateMachine))
+    activities = list(scope.descendants_of_type(ac.Activity))
+    classifiers = list(scope.descendants_of_type(mm.Classifier))
+    return {
+        "elements": float(model_size(scope)),
+        "model_loc": model_loc_equivalent(scope),
+        "classifiers": float(len(classifiers)),
+        "state_machines": float(len(machines)),
+        "activities": float(len(activities)),
+        "mean_cyclomatic": (
+            sum(state_machine_cyclomatic(m) for m in machines)
+            / len(machines) if machines else 0.0),
+        "mean_branching": (
+            sum(activity_branching(a) for a in activities)
+            / len(activities) if activities else 0.0),
+        "max_inheritance_depth": float(
+            max((inheritance_depth(c) for c in classifiers), default=0)),
+        "mean_coupling": (
+            sum(coupling(c) for c in classifiers) / len(classifiers)
+            if classifiers else 0.0),
+    }

@@ -1,0 +1,39 @@
+"""UML profiles (subsystem S5): the mechanism plus two domain profiles.
+
+:mod:`repro.profiles.core` implements stereotypes/tagged values/
+constraints; :mod:`repro.profiles.soc` is the SoC profile the paper
+calls for; :mod:`repro.profiles.rt` is the UML-RT example it cites.
+"""
+
+from .core import (
+    Constraint,
+    Profile,
+    Stereotype,
+    StereotypeApplication,
+    TagDefinition,
+    application_of,
+    applications_of,
+    apply_stereotype,
+    has_stereotype,
+    stereotypes_of,
+    tagged_value,
+    unapply_stereotype,
+    validate_applications,
+)
+from .soc import (
+    ACCESS_MODES,
+    HARDWARE_STEREOTYPES,
+    REGISTER_WIDTHS,
+    create_soc_profile,
+)
+from .rt import create_rt_profile, rt_ports_compatible
+
+__all__ = [
+    "Constraint", "Profile", "Stereotype", "StereotypeApplication",
+    "TagDefinition", "application_of", "applications_of",
+    "apply_stereotype", "has_stereotype", "stereotypes_of", "tagged_value",
+    "unapply_stereotype", "validate_applications",
+    "ACCESS_MODES", "HARDWARE_STEREOTYPES", "REGISTER_WIDTHS",
+    "create_soc_profile",
+    "create_rt_profile", "rt_ports_compatible",
+]

@@ -1,0 +1,74 @@
+"""A UML-RT-style profile (capsules, protocols, RT ports).
+
+The paper names UML-RT — the real-time profile that grew out of ROOM —
+as the canonical example of tailoring UML to a domain.  This compact
+rendition provides the three ROOM concepts that influenced UML 2.0's
+composite structures:
+
+* ``Capsule`` — an active class communicating only through ports;
+* ``Protocol`` — a named set of incoming/outgoing signal names typed
+  onto ports;
+* ``RTPort`` — a port playing one end of a protocol, possibly
+  *conjugated* (in/out sets swapped).
+
+Constraint: conjugated and unconjugated RT ports of the same protocol
+are compatible; same-orientation ports are not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..metamodel.components import Port
+from ..metamodel.element import Element
+from .core import (
+    Profile,
+    StereotypeApplication,
+    application_of,
+    has_stereotype,
+)
+
+
+def _constraint_protocol_signals(element: Element,
+                                 application: StereotypeApplication
+                                 ) -> Optional[str]:
+    incoming = application.value("incoming")
+    outgoing = application.value("outgoing")
+    if not incoming and not outgoing:
+        return "protocol declares no signals"
+    overlap = set(incoming) & set(outgoing)
+    if overlap:
+        return f"signals {sorted(overlap)} are both incoming and outgoing"
+    return None
+
+
+def create_rt_profile() -> Profile:
+    """Build a fresh UML-RT-style profile instance."""
+    profile = Profile("UML-RT")
+
+    capsule = profile.define("Capsule", extends=("Class", "Component"))
+    capsule.add_tag("priority", int, default=0)
+
+    protocol = profile.define("Protocol", extends=("Interface", "Class"))
+    protocol.add_tag("incoming", list, default=None, required=True)
+    protocol.add_tag("outgoing", list, default=None, required=True)
+    protocol.add_constraint(_constraint_protocol_signals)
+
+    rt_port = profile.define("RTPort", extends=("Port",))
+    rt_port.add_tag("protocol", str, required=True)
+    rt_port.add_tag("conjugated", bool, default=False)
+    rt_port.add_tag("wired", bool, default=True)
+
+    return profile
+
+
+def rt_ports_compatible(port_a: Port, port_b: Port) -> bool:
+    """True when two RT ports can be wired: same protocol, opposite ends."""
+    if not (has_stereotype(port_a, "RTPort")
+            and has_stereotype(port_b, "RTPort")):
+        return False
+    app_a = application_of(port_a, "RTPort")
+    app_b = application_of(port_b, "RTPort")
+    if app_a.value("protocol") != app_b.value("protocol"):
+        return False
+    return bool(app_a.value("conjugated")) != bool(app_b.value("conjugated"))

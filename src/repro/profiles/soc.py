@@ -1,0 +1,198 @@
+"""The SoC profile: the domain-specific UML subset the paper calls for.
+
+Section 4 of the paper: "the real world things that need to be
+represented have to be identified and consistently put into the right
+context as UML model elements".  This profile does that identification
+for SoC design:
+
+* structural stereotypes — ``HwModule``, ``IpCore``, ``Processor``,
+  ``Memory``, ``HwBus``, ``Accelerator`` on components/classes;
+* interface stereotypes — ``BusMaster``, ``BusSlave``, ``ClockInput``,
+  ``ResetInput`` on ports;
+* data stereotypes — ``Register`` on properties, with address map
+  constraints;
+* annotation stereotypes — ``ClockDomain`` on packages/classes,
+  ``Timing`` on operations.
+
+Plus the hardware primitive types (``Bit``, ``BitVector``, ``Word``)
+and executable constraints (register widths, unique addresses, bus
+width a power of two, hardware modules must be active classes) checked
+by :func:`repro.profiles.core.validate_applications`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..metamodel.classifiers import UmlClass
+from ..metamodel.element import Element
+from ..metamodel.types import PrimitiveType
+from .core import Profile, Stereotype, StereotypeApplication
+
+#: Register access modes.
+ACCESS_MODES = ("RO", "RW", "WO", "W1C")
+
+#: Legal register widths in bits.
+REGISTER_WIDTHS = (8, 16, 32, 64)
+
+
+def _constraint_register(element: Element,
+                         application: StereotypeApplication) -> Optional[str]:
+    width = application.value("width")
+    if width not in REGISTER_WIDTHS:
+        return f"register width {width} not in {REGISTER_WIDTHS}"
+    address = application.value("address")
+    if address is None or address < 0:
+        return "register needs a non-negative address"
+    if address % (width // 8) != 0:
+        return (f"address {address:#x} is not aligned to the register "
+                f"width {width}")
+    access = application.value("access")
+    if access not in ACCESS_MODES:
+        return f"access mode {access!r} not in {ACCESS_MODES}"
+    return None
+
+
+def _constraint_unique_register_addresses(
+        element: Element,
+        application: StereotypeApplication) -> Optional[str]:
+    """Register addresses must be unique within the owning classifier."""
+    from .core import applications_of, has_stereotype
+
+    owner = element.owner
+    if owner is None:
+        return None
+    mine = application.value("address")
+    for sibling in owner.owned_elements:
+        if sibling is element or not has_stereotype(sibling, "Register"):
+            continue
+        for other in applications_of(sibling):
+            if other.stereotype.name == "Register" \
+                    and other.value("address") == mine:
+                return (f"address {mine:#x} collides with register "
+                        f"{getattr(sibling, 'name', '?')!r}")
+    return None
+
+
+def _constraint_hw_module_active(element: Element,
+                                 application: StereotypeApplication
+                                 ) -> Optional[str]:
+    if isinstance(element, UmlClass) and not element.is_active:
+        return "hardware modules must be active classes"
+    return None
+
+
+def _constraint_bus_width(element: Element,
+                          application: StereotypeApplication
+                          ) -> Optional[str]:
+    width = application.value("width")
+    if width <= 0 or width & (width - 1):
+        return f"bus width {width} must be a positive power of two"
+    return None
+
+
+def _constraint_memory_size(element: Element,
+                            application: StereotypeApplication
+                            ) -> Optional[str]:
+    size = application.value("size_bytes")
+    if size <= 0:
+        return f"memory size must be positive, got {size}"
+    return None
+
+
+def _constraint_frequency(element: Element,
+                          application: StereotypeApplication
+                          ) -> Optional[str]:
+    frequency = application.value("frequency_mhz")
+    if frequency is not None and frequency <= 0:
+        return f"frequency must be positive, got {frequency}"
+    return None
+
+
+def create_soc_profile() -> Profile:
+    """Build a fresh SoC profile instance.
+
+    Each call returns an independent profile (models serialize their
+    profile alongside the model, so shared global state is avoided).
+    """
+    profile = Profile("SoC")
+
+    # hardware primitive types
+    for name in ("Bit", "BitVector", "Word", "Halfword", "Byte"):
+        profile.add(PrimitiveType(name))
+
+    hw_module = profile.define("HwModule", extends=("Class", "Component"))
+    hw_module.add_tag("clock_domain", str, default="core")
+    hw_module.add_tag("area_um2", float, default=0.0)
+    hw_module.add_tag("power_mw", float, default=0.0)
+    hw_module.add_constraint(_constraint_hw_module_active)
+
+    ip_core = profile.define("IpCore", extends=("Component",))
+    ip_core.specialize(hw_module)
+    ip_core.add_tag("vendor", str, default="")
+    ip_core.add_tag("version", str, default="1.0")
+    ip_core.add_tag("configurable", bool, default=False)
+
+    processor = profile.define("Processor", extends=("Component",))
+    processor.specialize(hw_module)
+    processor.add_tag("isa", str, default="rv32i")
+    processor.add_tag("frequency_mhz", float, default=100.0)
+    processor.add_constraint(_constraint_frequency)
+
+    memory = profile.define("Memory", extends=("Component",))
+    memory.specialize(hw_module)
+    memory.add_tag("size_bytes", int, default=1024, required=True)
+    memory.add_tag("latency_cycles", int, default=1)
+    memory.add_constraint(_constraint_memory_size)
+
+    accelerator = profile.define("Accelerator", extends=("Component",))
+    accelerator.specialize(hw_module)
+    accelerator.add_tag("function", str, default="")
+
+    hw_bus = profile.define("HwBus", extends=("Component", "Association"))
+    hw_bus.add_tag("width", int, default=32, required=True)
+    hw_bus.add_tag("protocol", str, default="simple")
+    hw_bus.add_tag("arbitration", str, default="fixed-priority")
+    hw_bus.add_constraint(_constraint_bus_width)
+
+    bus_master = profile.define("BusMaster", extends=("Port",))
+    bus_master.add_tag("priority", int, default=0)
+
+    profile.define("BusSlave", extends=("Port",))
+
+    clock_input = profile.define("ClockInput", extends=("Port",))
+    clock_input.add_tag("frequency_mhz", float, default=None)
+    clock_input.add_constraint(_constraint_frequency)
+
+    profile.define("ResetInput", extends=("Port",))
+
+    register = profile.define("Register", extends=("Property",))
+    register.add_tag("address", int, required=True)
+    register.add_tag("width", int, default=32)
+    register.add_tag("access", str, default="RW")
+    register.add_tag("reset_value", int, default=0)
+    register.add_constraint(_constraint_register)
+    register.add_constraint(_constraint_unique_register_addresses)
+
+    clock_domain = profile.define("ClockDomain",
+                                  extends=("Package", "Class"))
+    clock_domain.add_tag("frequency_mhz", float, default=100.0,
+                         required=True)
+    clock_domain.add_constraint(_constraint_frequency)
+
+    timing = profile.define("Timing", extends=("Operation",))
+    timing.add_tag("latency_cycles", int, default=1)
+    timing.add_tag("pipelined", bool, default=False)
+
+    software = profile.define("Software", extends=("Class", "Component"))
+    software.add_tag("language", str, default="c")
+    software.add_tag("rtos_task", bool, default=False)
+
+    return profile
+
+
+#: Stereotype names whose targets the MDA hardware mapping treats as
+#: synthesizable hardware.
+HARDWARE_STEREOTYPES = frozenset({
+    "HwModule", "IpCore", "Processor", "Memory", "Accelerator", "HwBus",
+})

@@ -1,0 +1,18 @@
+"""Discrete-event simulation of UML models (subsystem S10).
+
+A compact event-wheel kernel with coroutine processes, RTL-style
+signals/clocks/waveforms, and the cosimulation harness that executes a
+component assembly's state machines over one scheduler.
+"""
+
+from .kernel import ProcessHandle, SimEvent, Simulator, Timeout
+from .signals import Clock, SimSignal, Waveform
+from .cosim import PartInstance, SystemSimulation
+from .vcd import dump_vcd, write_vcd
+
+__all__ = [
+    "ProcessHandle", "SimEvent", "Simulator", "Timeout",
+    "Clock", "SimSignal", "Waveform",
+    "PartInstance", "SystemSimulation",
+    "dump_vcd", "write_vcd",
+]

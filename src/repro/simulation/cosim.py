@@ -1,0 +1,269 @@
+"""Cosimulation: executing UML component models on the event kernel.
+
+This is the paper's "early prototyping and inherent software
+simulation" made concrete: a :class:`SystemSimulation` takes a top
+component (whose parts are classes/components with state machine
+classifier behaviors), wires the parts' ports along the model's
+connectors, and executes everything over one
+:class:`~repro.simulation.kernel.Simulator`.
+
+Communication model: a state machine effect executes the ASL statement
+``send Sig(arg=..) to "port";`` — the harness routes the signal through
+the connector attached to that part's port, delivering it to the peer
+part's state machine after the connector latency.  A ``send`` without a
+target is a self-send (internal event).  Hardware and software parts
+are treated identically — which is precisely the interchangeability
+argument of Section 4.
+
+Time: state machine *time events* (``after(n)``) advance on a fixed
+quantum: a kernel process wakes every ``quantum`` and advances each
+runtime's local clock.  Deliveries also advance the target runtime to
+the current simulation time first, so local clocks never run ahead of
+the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..asl import SentSignal
+from ..errors import SimulationError
+from ..metamodel.components import Component, Connector, ConnectorKind
+from ..metamodel.classifiers import UmlClass
+from ..statemachines.events import EventOccurrence
+from ..statemachines.kernel import StateMachine
+from ..statemachines.runtime import StateMachineRuntime
+from .kernel import Simulator
+
+
+class PartInstance:
+    """One running part: its model property plus a live runtime."""
+
+    def __init__(self, name: str, part_type: UmlClass,
+                 runtime: Optional[StateMachineRuntime]):
+        self.name = name
+        self.part_type = part_type
+        self.runtime = runtime
+        self.received = 0
+        self.sent = 0
+
+    def state(self) -> Tuple[str, ...]:
+        """The active leaf state names (empty for behavior-less parts)."""
+        if self.runtime is None:
+            return ()
+        return self.runtime.active_leaf_names()
+
+    def __repr__(self) -> str:
+        return f"<PartInstance {self.name}: {self.part_type.name}>"
+
+
+Route = Tuple[str, str, float]  # (peer part, peer port, latency)
+
+
+class SystemSimulation:
+    """Executes a component assembly as a discrete-event cosimulation."""
+
+    def __init__(self, top: Component,
+                 quantum: float = 1.0,
+                 default_latency: float = 1.0,
+                 latency_fn: Optional[Callable[[Connector], float]] = None,
+                 context: Optional[Dict[str, Dict[str, Any]]] = None,
+                 trace: bool = False,
+                 strict_routing: bool = False):
+        self.top = top
+        self.simulator = Simulator()
+        self.quantum = quantum
+        self.default_latency = default_latency
+        self.latency_fn = latency_fn
+        self.trace_enabled = trace
+        self.strict_routing = strict_routing
+        self.trace: List[Tuple[float, str]] = []
+        #: (time, sender, receiver, signal) for every delivered message
+        self.message_log: List[Tuple[float, str, str, str]] = []
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.parts: Dict[str, PartInstance] = {}
+        self._routes: Dict[Tuple[str, str], List[Route]] = {}
+        self._inward: Dict[str, List[Route]] = {}  # top port -> parts
+        self._build_parts(context or {})
+        self._build_routes()
+        self._quantum_running = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_parts(self, contexts: Dict[str, Dict[str, Any]]) -> None:
+        for part in self.top.parts:
+            part_type = part.type
+            if not isinstance(part_type, UmlClass):
+                continue
+            behavior = part_type.classifier_behavior
+            runtime: Optional[StateMachineRuntime] = None
+            if isinstance(behavior, StateMachine):
+                initial_context = dict(contexts.get(part.name, {}))
+                for attribute in part_type.all_attributes():
+                    if attribute.name not in initial_context \
+                            and attribute.default_value is not None:
+                        initial_context[attribute.name] = \
+                            attribute.default_value
+                runtime = StateMachineRuntime(
+                    behavior, context=initial_context,
+                    signal_sink=self._make_sink(part.name))
+            self.parts[part.name] = PartInstance(part.name, part_type,
+                                                 runtime)
+        if not self.parts:
+            raise SimulationError(
+                f"component {self.top.name!r} has no executable parts")
+        for instance in self.parts.values():
+            if instance.runtime is not None:
+                instance.runtime.start()
+
+    def _connector_latency(self, connector: Connector) -> float:
+        if self.latency_fn is not None:
+            return self.latency_fn(connector)
+        return self.default_latency
+
+    def _build_routes(self) -> None:
+        part_of_port: Dict[int, str] = {}
+        for part in self.top.parts:
+            part_type = part.type
+            if isinstance(part_type, Component):
+                for port in part_type.ports:
+                    part_of_port[id(port)] = part.name
+
+        for connector in self.top.connectors:
+            latency = self._connector_latency(connector)
+            end_a, end_b = connector.ends
+            name_a = end_a.part.name if end_a.part is not None else None
+            name_b = end_b.part.name if end_b.part is not None else None
+            if connector.kind is ConnectorKind.DELEGATION:
+                # outer port (no part) -> inner part port
+                outer = end_a if name_a is None else end_b
+                inner = end_b if name_a is None else end_a
+                if inner.part is None:
+                    raise SimulationError(
+                        f"delegation connector {connector!r} has no part end")
+                self._inward.setdefault(outer.port.name, []).append(
+                    (inner.part.name, inner.port.name, latency))
+                continue
+            if name_a is None or name_b is None:
+                raise SimulationError(
+                    f"assembly connector {connector!r} must reference parts")
+            self._routes.setdefault((name_a, end_a.port.name), []).append(
+                (name_b, end_b.port.name, latency))
+            self._routes.setdefault((name_b, end_b.port.name), []).append(
+                (name_a, end_a.port.name, latency))
+
+    # ------------------------------------------------------------------
+    # signal routing
+    # ------------------------------------------------------------------
+
+    def _make_sink(self, part_name: str) -> Callable[[SentSignal], None]:
+        def sink(sent: SentSignal) -> None:
+            self.parts[part_name].sent += 1
+            if sent.target is None:
+                # self-send: schedule as an internal event, zero latency
+                self._schedule_delivery(part_name, sent.signal,
+                                        sent.arguments, 0.0,
+                                        sender=part_name)
+                return
+            port_name = str(sent.target)
+            routes = self._routes.get((part_name, port_name))
+            if not routes:
+                if self.strict_routing:
+                    raise SimulationError(
+                        f"part {part_name!r} sent {sent.signal!r} to port "
+                        f"{port_name!r}, but no connector is attached")
+                # dangling output: drop (counted), like an unconnected pin
+                self.messages_dropped += 1
+                if self.trace_enabled:
+                    self.trace.append(
+                        (self.simulator.now,
+                         f"{sent.signal} dropped at {part_name}.{port_name}"))
+                return
+            for peer_part, _peer_port, latency in routes:
+                self._schedule_delivery(peer_part, sent.signal,
+                                        sent.arguments, latency,
+                                        sender=part_name)
+        return sink
+
+    def _schedule_delivery(self, part_name: str, signal: str,
+                           arguments: Dict[str, Any],
+                           latency: float,
+                           sender: str = "env") -> None:
+        def deliver() -> None:
+            instance = self.parts[part_name]
+            if instance.runtime is None:
+                return
+            self._sync_runtime(instance)
+            instance.received += 1
+            self.messages_delivered += 1
+            self.message_log.append(
+                (self.simulator.now, sender, part_name, signal))
+            if self.trace_enabled:
+                self.trace.append(
+                    (self.simulator.now, f"{signal} -> {part_name}"))
+            instance.runtime.dispatch(
+                EventOccurrence.signal(signal, **arguments))
+        self.simulator.schedule(latency, deliver)
+
+    def _sync_runtime(self, instance: PartInstance) -> None:
+        runtime = instance.runtime
+        if runtime is not None and runtime.time < self.simulator.now:
+            runtime.advance_time(self.simulator.now - runtime.time)
+
+    # ------------------------------------------------------------------
+    # external stimulus + execution
+    # ------------------------------------------------------------------
+
+    def send(self, part_name: str, signal: str, delay: float = 0.0,
+             **arguments: Any) -> None:
+        """Inject an external signal into a named part."""
+        if part_name not in self.parts:
+            raise SimulationError(f"unknown part {part_name!r}")
+        self._schedule_delivery(part_name, signal, arguments, delay)
+
+    def send_to_port(self, port_name: str, signal: str, delay: float = 0.0,
+                     **arguments: Any) -> None:
+        """Inject a signal through one of the top component's own ports."""
+        routes = self._inward.get(port_name)
+        if not routes:
+            raise SimulationError(
+                f"top component has no delegated port {port_name!r}")
+        for part_name, _inner_port, latency in routes:
+            self._schedule_delivery(part_name, signal, arguments,
+                                    delay + latency)
+
+    def _quantum_process(self, until: float):
+        while self.simulator.now < until:
+            yield self.quantum
+            for instance in self.parts.values():
+                self._sync_runtime(instance)
+
+    def run(self, until: float) -> "SystemSimulation":
+        """Run the cosimulation up to simulated time ``until`` (chainable)."""
+        self.simulator.process(self._quantum_process(until), "quantum")
+        self.simulator.run(until=until)
+        for instance in self.parts.values():
+            if instance.runtime is not None \
+                    and instance.runtime.time < until:
+                instance.runtime.advance_time(
+                    until - instance.runtime.time)
+        return self
+
+    def state_snapshot(self) -> Dict[str, Tuple[str, ...]]:
+        """Active leaf states of every part."""
+        return {name: instance.state()
+                for name, instance in sorted(self.parts.items())}
+
+    def context_of(self, part_name: str) -> Dict[str, Any]:
+        """The variable context of a part's state machine."""
+        runtime = self.parts[part_name].runtime
+        if runtime is None:
+            raise SimulationError(f"part {part_name!r} has no behavior")
+        return runtime.context
+
+    def __repr__(self) -> str:
+        return (f"<SystemSimulation {self.top.name!r} parts="
+                f"{len(self.parts)} t={self.simulator.now}>")

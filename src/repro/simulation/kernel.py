@@ -1,0 +1,191 @@
+"""Discrete-event simulation kernel.
+
+The paper's Section 4 argues that "early prototyping and inherent
+software simulation capabilities ... promise cost and time savings".
+This kernel is the substrate that makes UML models executable as
+simulations: a classic event-wheel scheduler plus generator-based
+processes (a compact simpy-style coroutine model).
+
+A process is a Python generator that yields:
+
+* a ``float``/``int`` or :class:`Timeout` — resume after that much
+  simulated time;
+* a :class:`SimEvent` — resume when the event succeeds (with its value
+  sent into the generator).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class Timeout:
+    """Yieldable: resume the process after ``delay`` simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError("timeouts cannot be negative")
+        self.delay = delay
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``succeed(value)`` schedules all waiters to resume immediately
+    (same simulated time, later delta) with ``value``.
+    """
+
+    __slots__ = ("simulator", "triggered", "value", "_waiters")
+
+    def __init__(self, simulator: "Simulator"):
+        self.simulator = simulator
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["ProcessHandle"] = []
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event, waking every waiter (chainable)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for waiter in self._waiters:
+            self.simulator._schedule_resume(waiter, 0.0, value)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, process: "ProcessHandle") -> None:
+        if self.triggered:
+            self.simulator._schedule_resume(process, 0.0, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class ProcessHandle:
+    """A running simulation process (generator driven by the kernel)."""
+
+    __slots__ = ("generator", "name", "alive", "result", "done_event")
+
+    def __init__(self, generator: Generator, name: str,
+                 simulator: "Simulator"):
+        self.generator = generator
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.done_event = SimEvent(simulator)
+
+    def __repr__(self) -> str:
+        status = "alive" if self.alive else "done"
+        return f"<Process {self.name} ({status})>"
+
+
+class Simulator:
+    """The event-wheel scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed = 0
+        self._queue: List[Tuple[float, int, Callable, Any]] = []
+        self._sequence = itertools.count()
+        self._processes: List[ProcessHandle] = []
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` after ``delay`` simulated time."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._sequence), action, None))
+
+    def event(self) -> SimEvent:
+        """Create a fresh one-shot event bound to this simulator."""
+        return SimEvent(self)
+
+    def process(self, generator: Generator,
+                name: str = "") -> ProcessHandle:
+        """Start a generator as a process (resumed immediately at t=now)."""
+        handle = ProcessHandle(generator, name or f"p{len(self._processes)}",
+                               self)
+        self._processes.append(handle)
+        self._schedule_resume(handle, 0.0, None)
+        return handle
+
+    def _schedule_resume(self, handle: ProcessHandle, delay: float,
+                         value: Any) -> None:
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, next(self._sequence),
+             lambda: self._resume(handle, value), None))
+
+    def _resume(self, handle: ProcessHandle, value: Any) -> None:
+        if not handle.alive:
+            return
+        try:
+            yielded = handle.generator.send(value)
+        except StopIteration as stop:
+            handle.alive = False
+            handle.result = getattr(stop, "value", None)
+            handle.done_event.succeed(handle.result)
+            return
+        if isinstance(yielded, (int, float)):
+            yielded = Timeout(float(yielded))
+        if isinstance(yielded, Timeout):
+            self._schedule_resume(handle, yielded.delay, None)
+        elif isinstance(yielded, SimEvent):
+            yielded._add_waiter(handle)
+        elif isinstance(yielded, ProcessHandle):
+            yielded.done_event._add_waiter(handle)
+        else:
+            raise SimulationError(
+                f"process {handle.name!r} yielded {type(yielded).__name__}; "
+                "yield a delay, SimEvent or ProcessHandle")
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next scheduled action; False when queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, action, _payload = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("scheduler time went backwards")
+        self.now = time
+        self.events_processed += 1
+        action()
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> float:
+        """Run until quiescence or simulated time ``until``.
+
+        Returns the simulation time reached.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events")
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when nothing is scheduled."""
+        return not self._queue
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self.now} queued={len(self._queue)} "
+                f"processed={self.events_processed}>")

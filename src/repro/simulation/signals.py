@@ -1,0 +1,138 @@
+"""Signals, clocks and waveform recording for hardware simulation.
+
+These are the RTL-flavoured primitives on top of the event kernel: a
+:class:`SimSignal` holds a value and wakes subscribers on change, a
+:class:`Clock` ticks periodically, and a :class:`Waveform` records a
+signal's value history (the data a VCD viewer would plot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .kernel import SimEvent, Simulator
+
+
+class SimSignal:
+    """A value with change notification (an RTL wire/reg analogue)."""
+
+    def __init__(self, simulator: Simulator, name: str = "",
+                 initial: Any = 0):
+        self.simulator = simulator
+        self.name = name
+        self._value = initial
+        self._subscribers: List[Callable[[Any, Any], None]] = []
+        self._change_event: Optional[SimEvent] = None
+
+    @property
+    def value(self) -> Any:
+        """The current value."""
+        return self._value
+
+    def write(self, new_value: Any, delay: float = 0.0) -> None:
+        """Drive a new value (optionally after a delta/propagation delay)."""
+        if delay:
+            self.simulator.schedule(delay,
+                                    lambda: self._apply(new_value))
+        else:
+            self._apply(new_value)
+
+    def _apply(self, new_value: Any) -> None:
+        old_value = self._value
+        if new_value == old_value:
+            return
+        self._value = new_value
+        for subscriber in list(self._subscribers):
+            subscriber(old_value, new_value)
+        if self._change_event is not None:
+            event, self._change_event = self._change_event, None
+            event.succeed(new_value)
+
+    def on_change(self, callback: Callable[[Any, Any], None]) -> None:
+        """Subscribe ``callback(old, new)`` to every change."""
+        self._subscribers.append(callback)
+
+    def wait_change(self) -> SimEvent:
+        """A yieldable event that succeeds on the next value change."""
+        if self._change_event is None:
+            self._change_event = self.simulator.event()
+        return self._change_event
+
+    def __repr__(self) -> str:
+        return f"<SimSignal {self.name}={self._value!r}>"
+
+
+class Clock:
+    """A periodic tick source driving synchronous behaviors."""
+
+    def __init__(self, simulator: Simulator, period: float,
+                 name: str = "clk"):
+        if period <= 0:
+            raise SimulationError("clock period must be positive")
+        self.simulator = simulator
+        self.period = period
+        self.name = name
+        self.cycles = 0
+        self._subscribers: List[Callable[[int], None]] = []
+        self._running = False
+
+    def on_tick(self, callback: Callable[[int], None]) -> None:
+        """Subscribe ``callback(cycle_number)`` to every rising edge."""
+        self._subscribers.append(callback)
+
+    def start(self, max_cycles: Optional[int] = None) -> None:
+        """Begin ticking (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick(max_cycles)
+
+    def stop(self) -> None:
+        """Stop after the current tick."""
+        self._running = False
+
+    def _schedule_tick(self, remaining: Optional[int]) -> None:
+        if not self._running or (remaining is not None and remaining <= 0):
+            self._running = False
+            return
+        def tick() -> None:
+            if not self._running:
+                return
+            self.cycles += 1
+            for subscriber in list(self._subscribers):
+                subscriber(self.cycles)
+            self._schedule_tick(None if remaining is None else remaining - 1)
+        self.simulator.schedule(self.period, tick)
+
+    def __repr__(self) -> str:
+        return f"<Clock {self.name} period={self.period} cycles={self.cycles}>"
+
+
+class Waveform:
+    """Records (time, value) samples of a signal for later inspection."""
+
+    def __init__(self, signal: SimSignal):
+        self.signal = signal
+        self.samples: List[Tuple[float, Any]] = [
+            (signal.simulator.now, signal.value)]
+        signal.on_change(self._record)
+
+    def _record(self, old_value: Any, new_value: Any) -> None:
+        self.samples.append((self.signal.simulator.now, new_value))
+
+    def value_at(self, time: float) -> Any:
+        """The signal's value at a given simulated time."""
+        current = self.samples[0][1]
+        for sample_time, value in self.samples:
+            if sample_time > time:
+                break
+            current = value
+        return current
+
+    def changes(self) -> Tuple[Tuple[float, Any], ...]:
+        """All recorded (time, value) samples."""
+        return tuple(self.samples)
+
+    def __repr__(self) -> str:
+        return f"<Waveform {self.signal.name} ({len(self.samples)} samples)>"

@@ -1,0 +1,194 @@
+"""Static analysis of state machines.
+
+Checks a hardware designer would expect from an FSM linter: state
+reachability, dead transitions, potential nondeterminism, and sink
+(deadlock) states.  Built on :mod:`networkx` digraphs over the state
+machine's vertex/transition structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .events import ChangeEvent, TimeEvent
+from .kernel import (
+    FinalState,
+    Pseudostate,
+    PseudostateKind,
+    State,
+    StateMachine,
+    Transition,
+    Vertex,
+)
+
+
+def vertex_graph(machine: StateMachine) -> "nx.DiGraph":
+    """The machine as a digraph: vertices are nodes, transitions edges.
+
+    Containment is modelled with auxiliary edges from each composite
+    state to its regions' initial pseudostates (entering the composite
+    reaches the nested defaults), and from every nested vertex to its
+    composite's outgoing scope (a nested active state can leave via the
+    composite's transitions — reachability-wise the composite's edges
+    apply).
+    """
+    graph = nx.DiGraph()
+    for vertex in machine.all_vertices():
+        graph.add_node(vertex.xmi_id, element=vertex)
+    for transition in machine.all_transitions():
+        graph.add_edge(transition.source.xmi_id, transition.target.xmi_id,
+                       element=transition)
+    for state in machine.all_states():
+        for region in state.regions:
+            initial = region.initial
+            if initial is not None:
+                graph.add_edge(state.xmi_id, initial.xmi_id, element=None)
+            history = region.history(False) or region.history(True)
+            if history is not None:
+                graph.add_edge(state.xmi_id, history.xmi_id, element=None)
+    return graph
+
+
+def _entry_vertices(machine: StateMachine) -> List[Vertex]:
+    return [region.initial for region in machine.regions
+            if region.initial is not None]
+
+
+def reachable_states(machine: StateMachine) -> Tuple[State, ...]:
+    """States reachable from the machine's initial pseudostates."""
+    graph = vertex_graph(machine)
+    reached: Set[str] = set()
+    for entry in _entry_vertices(machine):
+        reached |= {entry.xmi_id} | nx.descendants(graph, entry.xmi_id)
+    return tuple(s for s in machine.all_states() if s.xmi_id in reached)
+
+
+def unreachable_states(machine: StateMachine) -> Tuple[State, ...]:
+    """States no initial pseudostate can ever reach."""
+    reached = {s.xmi_id for s in reachable_states(machine)}
+    return tuple(s for s in machine.all_states() if s.xmi_id not in reached)
+
+
+def dead_transitions(machine: StateMachine) -> Tuple[Transition, ...]:
+    """Transitions whose source is unreachable (can never fire)."""
+    unreachable = {s.xmi_id for s in unreachable_states(machine)}
+    dead = []
+    for transition in machine.all_transitions():
+        if transition.source.xmi_id in unreachable:
+            dead.append(transition)
+    return tuple(dead)
+
+
+def nondeterministic_choices(machine: StateMachine) -> Tuple[Tuple[Transition, Transition], ...]:
+    """Pairs of same-source transitions that can both fire on one event.
+
+    Reported when two transitions share a source and a trigger name and
+    neither carries a guard — the classic unintentional-nondeterminism
+    lint.  Guarded pairs are assumed disjoint (guards are not solved).
+    """
+    by_source: Dict[str, List[Transition]] = {}
+    for transition in machine.all_transitions():
+        by_source.setdefault(transition.source.xmi_id, []).append(transition)
+    conflicts = []
+    for transitions in by_source.values():
+        for i, first in enumerate(transitions):
+            for second in transitions[i + 1:]:
+                if first.guard is not None or second.guard is not None:
+                    continue
+                first_names = {e.name for e in first.triggers}
+                second_names = {e.name for e in second.triggers}
+                if first.is_completion and second.is_completion:
+                    conflicts.append((first, second))
+                elif first_names & second_names:
+                    conflicts.append((first, second))
+    return tuple(conflicts)
+
+
+def sink_states(machine: StateMachine) -> Tuple[State, ...]:
+    """Non-final states with no outgoing transitions (behavioral deadlock).
+
+    A nested state may still leave via an ancestor's transitions, so a
+    state counts as a sink only when neither it nor any enclosing state
+    has an outgoing transition.
+    """
+    sinks = []
+    for state in machine.all_states():
+        if isinstance(state, FinalState) or state.is_composite:
+            continue
+        scope = (state,) + state.ancestor_states()
+        if not any(v.outgoing for v in scope):
+            sinks.append(state)
+    return tuple(sinks)
+
+
+def can_terminate(machine: StateMachine) -> bool:
+    """True when a TERMINATE pseudostate is reachable."""
+    graph = vertex_graph(machine)
+    terminators = [v for v in machine.all_vertices()
+                   if isinstance(v, Pseudostate)
+                   and v.kind is PseudostateKind.TERMINATE]
+    if not terminators:
+        return False
+    reached: Set[str] = set()
+    for entry in _entry_vertices(machine):
+        reached |= {entry.xmi_id} | nx.descendants(graph, entry.xmi_id)
+    return any(t.xmi_id in reached for t in terminators)
+
+
+def uses_time(machine: StateMachine) -> bool:
+    """True when any transition is triggered by a time event."""
+    return any(isinstance(e, TimeEvent)
+               for t in machine.all_transitions() for e in t.triggers)
+
+
+def uses_change_events(machine: StateMachine) -> bool:
+    """True when any transition is triggered by a change event."""
+    return any(isinstance(e, ChangeEvent)
+               for t in machine.all_transitions() for e in t.triggers)
+
+
+def completion_livelocks(machine: StateMachine) -> Tuple[Tuple[State, ...], ...]:
+    """Cycles of guardless completion transitions between simple states.
+
+    Such a cycle is a guaranteed run-to-completion livelock: each state
+    completes immediately on entry and chains to the next forever.  The
+    runtime's ``max_chain`` guard catches it dynamically; this analysis
+    finds it statically.
+    """
+    graph = nx.DiGraph()
+    for transition in machine.all_transitions():
+        source, target = transition.source, transition.target
+        if (isinstance(source, State) and isinstance(target, State)
+                and source.is_simple and target.is_simple
+                and not isinstance(source, FinalState)
+                and not isinstance(target, FinalState)
+                and transition.is_completion
+                and transition.guard is None):
+            graph.add_edge(source.xmi_id, target.xmi_id)
+    by_id = {s.xmi_id: s for s in machine.all_states()}
+    cycles = []
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1 or any(
+                graph.has_edge(node, node) for node in component):
+            cycles.append(tuple(sorted(
+                (by_id[node] for node in component if node in by_id),
+                key=lambda s: s.name)))
+    return tuple(c for c in cycles if c)
+
+
+def lint(machine: StateMachine) -> Dict[str, Tuple]:
+    """Run every analysis; returns a report dict keyed by finding kind."""
+    return {
+        "unreachable_states": unreachable_states(machine),
+        "dead_transitions": dead_transitions(machine),
+        "nondeterministic_choices": nondeterministic_choices(machine),
+        "sink_states": sink_states(machine),
+        "completion_livelocks": completion_livelocks(machine),
+    }
+
+
+def is_clean(machine: StateMachine) -> bool:
+    """True when :func:`lint` reports no findings."""
+    return not any(lint(machine).values())

@@ -1,0 +1,111 @@
+"""Behavior reuse: submachine inlining.
+
+UML 2.0 lets a state reference another state machine (a *submachine
+state*), which is how behavioral IP is reused — the paper's reuse
+argument applied to behavior.  This module implements the standard
+tool strategy: **inlining**.  :func:`inline_submachine` deep-copies a
+reusable machine's region into a host state (via the XMI cloning
+pipeline, so ids are freshened consistently), making the host state a
+composite whose content is an independent copy of the library behavior.
+
+Entry/exit points of the submachine become connectable vertices in the
+host (looked up by name), so different call sites can wire different
+entries — the UML submachine-state connection-point semantics, realized
+statically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import _ids
+from ..errors import StateMachineError
+from ..metamodel.model import Model
+from ..metamodel.classifiers import UmlClass
+from .kernel import Pseudostate, PseudostateKind, Region, State, StateMachine
+
+
+def clone_machine(machine: StateMachine) -> StateMachine:
+    """Deep-copy a state machine with fresh, unique ids.
+
+    Round-trips through XMI (structure-complete by construction), then
+    re-ids every element so multiple clones can live in one model.
+    """
+    from ..xmi.reader import read_model
+    from ..xmi.writer import write_model
+
+    carrier = Model("_clone_carrier")
+    host = UmlClass("_Host")
+    carrier.add(host)
+    if machine.owner is not None:
+        # serialize the machine subtree only: temporary reparent is
+        # invasive, so clone via a fresh carrier that references it
+        text = _serialize_detached(machine)
+    else:
+        host.add_behavior(machine)
+        text = write_model(carrier)
+        host._disown(machine)
+    document = read_model(text)
+    cloned_host = document.model.member("_Host", UmlClass)
+    clones = cloned_host.owned_of_type(StateMachine)
+    if not clones:
+        raise StateMachineError("clone round-trip lost the machine")
+    clone = clones[0]
+    cloned_host._disown(clone)
+    for element in [clone] + list(clone.all_owned()):
+        element.xmi_id = _ids.next_id(type(element)._id_tag)
+    return clone
+
+
+def _serialize_detached(machine: StateMachine) -> str:
+    """Serialize an owned machine by temporarily lifting it out."""
+    from ..xmi.writer import write_model
+
+    owner = machine.owner
+    owner._disown(machine)
+    try:
+        carrier = Model("_clone_carrier")
+        host = UmlClass("_Host")
+        carrier.add(host)
+        host.add_behavior(machine)
+        text = write_model(carrier)
+        host._disown(machine)
+    finally:
+        owner._own(machine)
+    return text
+
+
+def inline_submachine(host_state: State, submachine: StateMachine,
+                      region_name: str = "") -> Region:
+    """Copy ``submachine``'s content into ``host_state`` as a new region.
+
+    The submachine must have exactly one top region (the common case
+    for reusable behaviors).  Returns the new region inside the host
+    state; entry/exit-point pseudostates keep their names and can be
+    wired by the caller via :func:`connection_point`.
+    """
+    if len(submachine.regions) != 1:
+        raise StateMachineError(
+            f"submachine {submachine.name!r} must have exactly one "
+            f"region to inline, has {len(submachine.regions)}")
+    clone = clone_machine(submachine)
+    source_region = clone.regions[0]
+    clone._disown(source_region)
+    source_region.name = region_name or f"{submachine.name}_inlined"
+    host_state._own(source_region)
+    return source_region
+
+
+def connection_point(host_state: State, name: str,
+                     kind: Optional[PseudostateKind] = None) -> Pseudostate:
+    """Find a named entry/exit point inside an inlined submachine."""
+    wanted_kinds = (kind,) if kind is not None else (
+        PseudostateKind.ENTRY_POINT, PseudostateKind.EXIT_POINT)
+    for region in host_state.regions:
+        for vertex in region.vertices:
+            if isinstance(vertex, Pseudostate) \
+                    and vertex.kind in wanted_kinds \
+                    and vertex.name == name:
+                return vertex
+    raise StateMachineError(
+        f"state {host_state.name!r} has no connection point {name!r}")

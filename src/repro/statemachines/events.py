@@ -1,0 +1,143 @@
+"""Events and triggers for state machines.
+
+UML distinguishes the *event type* declared on a transition trigger
+(signal event, call event, time event, change event) from the *event
+occurrence* dispatched at run time.  :class:`EventOccurrence` is the
+runtime object; the ``*Event`` classes are the declared types.
+
+Completion events are synthesized internally by the runtime when a
+state finishes its doActivity / nested regions; they are matched by
+triggerless transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+from ..metamodel.element import Element
+
+
+class EventKind(enum.Enum):
+    """Classification of event occurrences."""
+
+    SIGNAL = "signal"
+    CALL = "call"
+    TIME = "time"
+    CHANGE = "change"
+    COMPLETION = "completion"
+
+
+class Event(Element):
+    """Abstract declared event type."""
+
+    _id_tag = "Event"
+
+    kind = EventKind.SIGNAL
+
+    def __init__(self, name: str = ""):
+        super().__init__()
+        self.name = name
+
+    def matches(self, occurrence: "EventOccurrence") -> bool:
+        """True when the runtime occurrence satisfies this declared event."""
+        return occurrence.kind is self.kind and occurrence.name == self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SignalEvent(Event):
+    """Receipt of an asynchronous signal with the given name."""
+
+    _id_tag = "SignalEvent"
+    kind = EventKind.SIGNAL
+
+
+class CallEvent(Event):
+    """Receipt of a (synchronous) operation call request."""
+
+    _id_tag = "CallEvent"
+    kind = EventKind.CALL
+
+
+class TimeEvent(Event):
+    """Expiry of a (relative) time duration after state entry.
+
+    ``after`` is the duration in the runtime's time unit.  Absolute time
+    events are not modelled; the paper's SoC context only needs relative
+    timeouts (``after (n cycles)``).
+    """
+
+    _id_tag = "TimeEvent"
+    kind = EventKind.TIME
+
+    def __init__(self, after: float):
+        super().__init__(f"after({after})")
+        if after < 0:
+            raise ValueError("time events need a non-negative duration")
+        self.after = after
+
+    def matches(self, occurrence: "EventOccurrence") -> bool:
+        return occurrence.kind is EventKind.TIME and occurrence.source is self
+
+
+class ChangeEvent(Event):
+    """A boolean condition (ASL expression) became true.
+
+    The runtime re-evaluates the condition after every run-to-completion
+    step and synthesizes an occurrence on each false→true edge.
+    """
+
+    _id_tag = "ChangeEvent"
+    kind = EventKind.CHANGE
+
+    def __init__(self, condition: str):
+        super().__init__(f"when({condition})")
+        self.condition = condition
+
+    def matches(self, occurrence: "EventOccurrence") -> bool:
+        return occurrence.kind is EventKind.CHANGE and occurrence.source is self
+
+
+class CompletionEvent(Event):
+    """Synthetic event emitted when a state completes (internal use)."""
+
+    _id_tag = "CompletionEvent"
+    kind = EventKind.COMPLETION
+
+    def __init__(self, state_id: str):
+        super().__init__(f"completion({state_id})")
+        self.state_id = state_id
+
+
+class EventOccurrence:
+    """A concrete event dispatched into a state machine execution.
+
+    ``parameters`` carries the payload (signal attributes / call
+    arguments) and is exposed to guards and effects as the ASL variable
+    ``event``.
+    """
+
+    __slots__ = ("name", "kind", "parameters", "source")
+
+    def __init__(self, name: str, kind: EventKind = EventKind.SIGNAL,
+                 parameters: Optional[Dict[str, Any]] = None,
+                 source: Optional[Event] = None):
+        self.name = name
+        self.kind = kind
+        self.parameters = dict(parameters) if parameters else {}
+        self.source = source
+
+    @classmethod
+    def signal(cls, name: str, **parameters: Any) -> "EventOccurrence":
+        """Convenience constructor for a signal occurrence."""
+        return cls(name, EventKind.SIGNAL, parameters)
+
+    @classmethod
+    def call(cls, name: str, **parameters: Any) -> "EventOccurrence":
+        """Convenience constructor for a call occurrence."""
+        return cls(name, EventKind.CALL, parameters)
+
+    def __repr__(self) -> str:
+        return f"<EventOccurrence {self.kind.value} {self.name!r}>"

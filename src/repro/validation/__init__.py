@@ -1,0 +1,23 @@
+"""Well-formedness validation (subsystem S12).
+
+A rule framework plus the built-in rules for every diagram type, with
+profile constraints folded into one report.
+"""
+
+from .rules import Finding, Report, Rule, RuleSet, Severity
+from .checks import default_rules, validate_model
+from .invariants import (
+    Invariant,
+    add_invariant,
+    all_invariants_for,
+    check_instances,
+    check_object,
+    invariants_of,
+)
+
+__all__ = [
+    "Finding", "Report", "Rule", "RuleSet", "Severity",
+    "default_rules", "validate_model",
+    "Invariant", "add_invariant", "all_invariants_for",
+    "check_instances", "check_object", "invariants_of",
+]

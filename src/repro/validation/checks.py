@@ -1,0 +1,232 @@
+"""The built-in well-formedness rules for every diagram type.
+
+``default_rules()`` assembles the standard rule set; ``validate_model``
+runs it plus profile constraints and the behavioral validators (state
+machine / activity / interaction ``validate()``), producing a single
+:class:`~repro.validation.rules.Report`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .. import activities as ac
+from .. import interactions as ixn
+from .. import metamodel as mm
+from .. import statemachines as st
+from ..errors import ReproError
+from ..profiles.core import validate_applications
+from .rules import Finding, Report, Rule, RuleSet, Severity
+
+
+# -- structural rules ---------------------------------------------------------
+
+def _check_classifier_named(element: mm.Classifier) -> Iterable[str]:
+    if not element.name:
+        yield "classifier has no name"
+
+
+def _check_unique_members(element: mm.Namespace) -> Iterable[str]:
+    seen = {}
+    for member in element.members:
+        if not member.name:
+            continue
+        previous = seen.get(member.name)
+        if previous is not None and type(previous) is type(member):
+            yield (f"duplicate member name {member.name!r} "
+                   f"({type(member).__name__})")
+        seen[member.name] = member
+
+
+def _check_abstract_not_instantiated(
+        element: mm.InstanceSpecification) -> Iterable[str]:
+    classifier = element.classifier
+    if classifier is not None and classifier.is_abstract:
+        yield (f"instance of abstract classifier {classifier.name!r}")
+
+
+def _check_slot_multiplicity(element: mm.InstanceSpecification
+                             ) -> Iterable[str]:
+    for slot in element.slots:
+        count = len(slot.values)
+        if not slot.feature.multiplicity.accepts(count):
+            yield (f"slot {slot.feature.name!r} holds {count} value(s), "
+                   f"violating multiplicity {slot.feature.multiplicity}")
+
+
+def _check_association_arity(element: mm.Association) -> Iterable[str]:
+    if len(element.member_ends) < 2:
+        yield f"association has {len(element.member_ends)} end(s), needs >= 2"
+    for end in element.member_ends:
+        if end.type is None:
+            yield f"association end {end.name!r} is untyped"
+
+
+def _check_attribute_typed(element: mm.Property) -> Iterable[str]:
+    if isinstance(element, mm.Port):
+        return
+    if element.type is None and element.association is None:
+        yield f"attribute {element.name!r} has no type"
+
+
+def _check_operation_parameters(element: mm.Operation) -> Iterable[str]:
+    names = [p.name for p in element.parameters if p.name]
+    if len(names) != len(set(names)):
+        yield f"operation {element.name!r} has duplicate parameter names"
+    returns = [p for p in element.parameters
+               if p.direction is mm.ParameterDirection.RETURN]
+    if len(returns) > 1:
+        yield f"operation {element.name!r} has {len(returns)} return parameters"
+
+
+def _check_interface_operations_abstract(element: mm.Interface
+                                         ) -> Iterable[str]:
+    for operation in element.operations:
+        if operation.body is not None:
+            yield (f"interface operation {operation.name!r} has a method "
+                   "body (interfaces are contracts)")
+
+
+def _check_component_required_connected(element: mm.Component
+                                        ) -> Iterable[str]:
+    owner = element.owner
+    if not isinstance(owner, mm.Package):
+        return
+    required = element.required_interfaces
+    if not required:
+        return
+    # a required interface should be satisfied by a connector somewhere
+    # in a sibling component's internal structure or the same package
+    connected_ports = set()
+    for sibling in owner.descendants_of_type(mm.Connector):
+        for end in sibling.ends:
+            connected_ports.add(id(end.port))
+    for port in element.ports:
+        if port.required and id(port) not in connected_ports:
+            yield (f"port {port.name!r} requires "
+                   f"{[i.name for i in port.required]} but is not wired")
+
+
+def _check_connector_compatibility(element: mm.Connector) -> Iterable[str]:
+    if element.kind is not mm.ConnectorKind.ASSEMBLY:
+        return
+    port_a, port_b = element.ends[0].port, element.ends[1].port
+    if not (mm.can_connect(port_a, port_b)
+            and mm.can_connect(port_b, port_a)):
+        yield (f"assembly connector joins incompatible ports "
+               f"{port_a.name!r} and {port_b.name!r}")
+
+
+def _check_usecase_has_subject_or_actor(element: mm.UseCase
+                                        ) -> Iterable[str]:
+    if not element.subjects and not element.actors:
+        yield "use case has neither subject nor actors"
+
+
+def _check_deployment_manifests(element: mm.Artifact) -> Iterable[str]:
+    if not element.manifestations:
+        yield "artifact manifests no model element"
+
+
+def _check_node_not_empty(element: mm.Node) -> Iterable[str]:
+    if not element.deployments and not element.nested_nodes:
+        yield "node hosts nothing (no deployments, no nested nodes)"
+
+
+# -- behavioral rules wrapping the subsystem validators -----------------------
+
+def _wrap_validator(element) -> Iterable[str]:
+    try:
+        element.validate()
+    except ReproError as error:
+        yield str(error)
+
+
+def _check_state_machine_lint(element: st.StateMachine) -> Iterable[str]:
+    try:
+        element.validate()
+    except ReproError:
+        return  # structural validity reported by the wrapping rule
+    report = st.analysis.lint(element)
+    for state in report["unreachable_states"]:
+        yield f"state {state.name!r} is unreachable"
+    for first, second in report["nondeterministic_choices"]:
+        yield f"nondeterministic pair {first!r} / {second!r}"
+    for cycle in report["completion_livelocks"]:
+        names = ", ".join(s.name for s in cycle)
+        yield f"completion livelock through states: {names}"
+
+
+def default_rules() -> RuleSet:
+    """The built-in rule set covering all diagram types."""
+    rules = RuleSet()
+    rules.add(Rule("classifier-named", "classifiers should be named",
+                   mm.Classifier, _check_classifier_named,
+                   Severity.WARNING))
+    rules.add(Rule("unique-members", "namespace member names are unique",
+                   mm.Namespace, _check_unique_members))
+    rules.add(Rule("no-abstract-instances",
+                   "abstract classifiers cannot be instantiated",
+                   mm.InstanceSpecification,
+                   _check_abstract_not_instantiated))
+    rules.add(Rule("slot-multiplicity",
+                   "slot values respect feature multiplicity",
+                   mm.InstanceSpecification, _check_slot_multiplicity))
+    rules.add(Rule("association-arity", "associations have >= 2 typed ends",
+                   mm.Association, _check_association_arity))
+    rules.add(Rule("attribute-typed", "attributes should be typed",
+                   mm.Property, _check_attribute_typed, Severity.WARNING))
+    rules.add(Rule("operation-parameters",
+                   "operation parameters are unique; one return",
+                   mm.Operation, _check_operation_parameters))
+    rules.add(Rule("interface-contract",
+                   "interface operations carry no implementation",
+                   mm.Interface, _check_interface_operations_abstract))
+    rules.add(Rule("required-wired",
+                   "required ports should be wired by a connector",
+                   mm.Component, _check_component_required_connected,
+                   Severity.WARNING))
+    rules.add(Rule("connector-compatible",
+                   "assembly connectors join compatible ports",
+                   mm.Connector, _check_connector_compatibility))
+    rules.add(Rule("usecase-participants",
+                   "use cases have a subject or actors",
+                   mm.UseCase, _check_usecase_has_subject_or_actor,
+                   Severity.WARNING))
+    rules.add(Rule("artifact-manifests",
+                   "artifacts manifest a model element",
+                   mm.Artifact, _check_deployment_manifests, Severity.INFO))
+    rules.add(Rule("node-populated", "nodes host something",
+                   mm.Node, _check_node_not_empty, Severity.INFO))
+    rules.add(Rule("statemachine-structure",
+                   "state machines are structurally valid",
+                   st.StateMachine, _wrap_validator))
+    rules.add(Rule("statemachine-lint",
+                   "state machines have no unreachable states or "
+                   "nondeterministic pairs",
+                   st.StateMachine, _check_state_machine_lint,
+                   Severity.WARNING))
+    rules.add(Rule("activity-structure", "activities are structurally valid",
+                   ac.Activity, _wrap_validator))
+    rules.add(Rule("interaction-structure",
+                   "interactions are structurally valid",
+                   ixn.Interaction, _wrap_validator))
+    return rules
+
+
+def validate_model(scope: mm.Element,
+                   rules: RuleSet = None,
+                   check_invariants: bool = True) -> Report:
+    """Run the (default) rule set, profile constraints and class
+    invariants over ``scope``."""
+    ruleset = rules if rules is not None else default_rules()
+    report = ruleset.run(scope)
+    for message in validate_applications(scope):
+        report.findings.append(Finding(
+            "profile-constraint", Severity.ERROR, scope.xmi_id,
+            getattr(scope, "name", "") or "", message))
+    if check_invariants:
+        from .invariants import check_instances
+
+        report.findings.extend(check_instances(scope))
+    return report

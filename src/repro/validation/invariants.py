@@ -1,0 +1,136 @@
+"""Class invariants in ASL — the OCL role, played by the action language.
+
+UML classes carry invariants ("constraints" in the paper's OMG
+context).  Rather than implementing a second expression language, an
+invariant here is an ASL boolean expression over the attributes of an
+instance (``count <= limit``), attached to a classifier and evaluated
+against every :class:`~repro.metamodel.InstanceSpecification` of that
+classifier (or any subtype) in a model — and, for live execution,
+against :class:`~repro.xuml.XObject` attribute states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import asl
+from ..errors import ValidationError
+from ..metamodel.classifiers import Classifier
+from ..metamodel.element import Element
+from ..metamodel.instances import InstanceSpecification
+from ..metamodel.values import OpaqueExpression
+from .rules import Finding, Severity
+
+#: Language tag marking an opaque expression as a class invariant.
+INVARIANT_LANGUAGE = "asl-invariant"
+
+
+class Invariant:
+    """A named boolean condition over a classifier's instances."""
+
+    def __init__(self, classifier: Classifier, expression: OpaqueExpression,
+                 name: str):
+        self.classifier = classifier
+        self.expression = expression
+        self.name = name
+
+    @property
+    def condition(self) -> str:
+        """The ASL source of the condition."""
+        return self.expression.body
+
+    def holds_for(self, attributes: Dict[str, Any]) -> bool:
+        """Evaluate against a plain attribute-value dict.
+
+        Missing attributes fall back to the classifier's declared
+        defaults; an attribute with neither value nor default makes the
+        invariant *fail* (it constrains something unspecified).
+        """
+        environment = {}
+        for attribute in self.classifier.all_attributes():
+            if attribute.default_value is not None:
+                environment[attribute.name] = attribute.default_value
+        environment.update(attributes)
+        environment["self"] = dict(environment)
+        try:
+            return bool(asl.evaluate(self.condition, environment))
+        except Exception:  # noqa: BLE001 — any evaluation failure = violated
+            return False
+
+    def __repr__(self) -> str:
+        return f"<Invariant {self.name}: [{self.condition}]>"
+
+
+def add_invariant(classifier: Classifier, condition: str,
+                  name: str = "") -> Invariant:
+    """Attach an ASL invariant to a classifier.
+
+    Stored as an owned :class:`OpaqueExpression` with the
+    ``asl-invariant`` language tag — so invariants serialize through
+    XMI with the model.  The condition is parsed eagerly so malformed
+    invariants fail at declaration time.
+    """
+    try:
+        asl.parse_expression(condition)
+    except Exception as error:  # noqa: BLE001
+        raise ValidationError(
+            f"invariant condition does not parse: {error}")
+    expression = OpaqueExpression(condition, INVARIANT_LANGUAGE)
+    classifier._own(expression)
+    label = name or f"inv{len(invariants_of(classifier))}"
+    expression.name = label  # annotation only; OpaqueExpression is unnamed
+    return Invariant(classifier, expression, label)
+
+
+def invariants_of(classifier: Classifier) -> Tuple[Invariant, ...]:
+    """All invariants declared on a classifier (not inherited)."""
+    found = []
+    for child in classifier.owned_elements:
+        if isinstance(child, OpaqueExpression) \
+                and child.language == INVARIANT_LANGUAGE:
+            label = getattr(child, "name", "") or f"inv{len(found)}"
+            found.append(Invariant(classifier, child, label))
+    return tuple(found)
+
+
+def all_invariants_for(classifier: Classifier) -> Tuple[Invariant, ...]:
+    """Own invariants plus those inherited from general classifiers."""
+    collected = list(invariants_of(classifier))
+    for general in classifier.all_generals():
+        collected.extend(invariants_of(general))
+    return tuple(collected)
+
+
+def check_instances(scope: Element) -> List[Finding]:
+    """Evaluate every invariant against every matching instance."""
+    findings: List[Finding] = []
+    instances = list(scope.descendants_of_type(InstanceSpecification))
+    if isinstance(scope, InstanceSpecification):
+        instances.append(scope)
+    for instance in instances:
+        classifier = instance.classifier
+        if classifier is None:
+            continue
+        for invariant in all_invariants_for(classifier):
+            if not invariant.holds_for(instance.as_dict()):
+                findings.append(Finding(
+                    "class-invariant", Severity.ERROR,
+                    instance.xmi_id, instance.name,
+                    f"invariant {invariant.name!r} violated: "
+                    f"[{invariant.condition}] with {instance.as_dict()}"))
+    return findings
+
+
+def check_object(obj: "Any") -> List[str]:
+    """Evaluate invariants against a live xUML object.
+
+    Returns violation messages; import-cycle-free duck interface: the
+    object needs ``classifier`` and ``attributes``.
+    """
+    violations = []
+    for invariant in all_invariants_for(obj.classifier):
+        if not invariant.holds_for(obj.attributes):
+            violations.append(
+                f"invariant {invariant.name!r} violated on "
+                f"{getattr(obj, 'name', '?')}: [{invariant.condition}]")
+    return violations

@@ -1,0 +1,144 @@
+"""The well-formedness rule framework.
+
+The paper insists "meaning must be given to all the relevant language
+elements" — and meaning starts with well-formedness.  A :class:`Rule`
+checks one property of one element kind; a :class:`RuleSet` runs rules
+over a model scope and produces a :class:`Report` of findings with
+severities.  Profile constraint violations
+(:func:`repro.profiles.core.validate_applications`) are folded in by
+:func:`repro.validation.checks.validate_model`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple, Type
+
+from ..metamodel.element import Element
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule_id: str
+    severity: Severity
+    element_id: str
+    element_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.severity.value}] {self.rule_id} @ "
+                f"{self.element_name or self.element_id}: {self.message}")
+
+
+class Rule:
+    """A single well-formedness rule.
+
+    ``check`` receives one element of type ``applies_to`` and yields
+    human-readable violation messages (none = clean).
+    """
+
+    def __init__(self, rule_id: str, description: str,
+                 applies_to: Type[Element],
+                 check: Callable[[Element], Iterable[str]],
+                 severity: Severity = Severity.ERROR):
+        self.rule_id = rule_id
+        self.description = description
+        self.applies_to = applies_to
+        self.check = check
+        self.severity = severity
+
+    def run(self, element: Element) -> List[Finding]:
+        """Apply the rule to one element."""
+        findings = []
+        for message in self.check(element):
+            findings.append(Finding(
+                self.rule_id, self.severity, element.xmi_id,
+                getattr(element, "name", "") or "", message))
+        return findings
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.rule_id} ({self.severity.value})>"
+
+
+class Report:
+    """The outcome of running a rule set over a scope."""
+
+    def __init__(self, findings: List[Finding]):
+        self.findings = list(findings)
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        """Findings with ERROR severity."""
+        return tuple(f for f in self.findings
+                     if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Finding, ...]:
+        """Findings with WARNING severity."""
+        return tuple(f for f in self.findings
+                     if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no errors (warnings allowed)."""
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> Tuple[Finding, ...]:
+        """Findings produced by one rule."""
+        return tuple(f for f in self.findings if f.rule_id == rule_id)
+
+    def summary(self) -> str:
+        """One-line summary for logs."""
+        return (f"{len(self.errors)} error(s), {len(self.warnings)} "
+                f"warning(s), {len(self.findings)} finding(s) total")
+
+    def __repr__(self) -> str:
+        return f"<Report {self.summary()}>"
+
+
+class RuleSet:
+    """An ordered collection of rules, runnable over a model scope."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: List[Rule] = list(rules)
+
+    def add(self, rule: Rule) -> "RuleSet":
+        """Append a rule (chainable); rule ids must be unique."""
+        if any(r.rule_id == rule.rule_id for r in self.rules):
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        self.rules.append(rule)
+        return self
+
+    def rule(self, rule_id: str) -> Rule:
+        """Lookup a rule by id."""
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def run(self, scope: Element) -> Report:
+        """Run every rule over every element under ``scope``."""
+        findings: List[Finding] = []
+        elements = [scope] + list(scope.all_owned())
+        for rule in self.rules:
+            for element in elements:
+                if isinstance(element, rule.applies_to):
+                    findings.extend(rule.run(element))
+        return Report(findings)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return f"<RuleSet {len(self.rules)} rules>"

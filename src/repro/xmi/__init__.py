@@ -1,0 +1,15 @@
+"""XMI 2.x-style model interchange (subsystem S7).
+
+Write models, profiles and stereotype applications to an XMI XML
+document and read them back with full structural fidelity (verified by
+experiment D10).  ASL text actions round-trip; Python-callable actions
+are rejected at write time with a clear error.
+"""
+
+from .writer import BUILTIN_PREFIX, XMI_NS, write_file, write_model
+from .reader import XmiDocument, read_file, read_model
+
+__all__ = [
+    "BUILTIN_PREFIX", "XMI_NS", "write_file", "write_model",
+    "XmiDocument", "read_file", "read_model",
+]

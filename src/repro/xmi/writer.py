@@ -1,0 +1,150 @@
+"""XMI writer: serialize models (and profiles + applications) to XML.
+
+The document shape follows XMI 2.x conventions: an ``xmi:XMI`` root,
+``xmi:type``/``xmi:id`` attributes on every element, ownership as XML
+nesting and cross-references by id.  Stereotype applications are
+emitted in a trailing ``applications`` section, mirroring how XMI
+stores profile applications outside the model tree.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+from ..errors import XmiError
+from ..metamodel.element import Element, Multiplicity, ONE
+from ..metamodel.model import Model
+from ..metamodel.types import PRIMITIVES
+from ..profiles.core import Profile, applications_of
+from .schema import Field, spec_for
+
+XMI_NS = "http://www.omg.org/XMI"
+ET.register_namespace("xmi", XMI_NS)
+
+_TYPE_ATTR = f"{{{XMI_NS}}}type"
+_ID_ATTR = f"{{{XMI_NS}}}id"
+
+#: id prefix for the shared builtin primitive types.
+BUILTIN_PREFIX = "builtin:"
+
+_BUILTIN_IDS = {id(prim): f"{BUILTIN_PREFIX}{name}"
+                for name, prim in PRIMITIVES.items()}
+
+
+def _ref_id(target: Optional[Element]) -> Optional[str]:
+    if target is None:
+        return None
+    builtin = _BUILTIN_IDS.get(id(target))
+    if builtin is not None:
+        return builtin
+    return target.xmi_id
+
+
+def _serialize_field(element: Element, field: Field,
+                     xml_element: ET.Element) -> None:
+    value = getattr(element, field.name)
+    attr = field.name.lstrip("_")
+    kind = field.kind
+
+    if kind in ("str", "int", "float"):
+        if value != field.default:
+            xml_element.set(attr, str(value))
+    elif kind == "bool":
+        if value != field.default:
+            xml_element.set(attr, "true" if value else "false")
+    elif kind == "enum":
+        if value is not None and value != field.default:
+            xml_element.set(attr, value.value)
+    elif kind == "json":
+        if value != field.default:
+            xml_element.set(attr, json.dumps(value))
+    elif kind == "multiplicity":
+        if value != ONE:
+            xml_element.set(attr, str(value))
+    elif kind == "action":
+        if value is None:
+            return
+        if callable(value):
+            raise XmiError(
+                f"{type(element).__name__} {element.xmi_id}: field "
+                f"{field.name!r} holds a Python callable; XMI interchange "
+                "requires ASL text actions")
+        xml_element.set(attr, str(value))
+    elif kind == "ref":
+        ref = _ref_id(value)
+        if ref is not None:
+            xml_element.set(attr, ref)
+    elif kind == "reflist":
+        refs = [_ref_id(v) for v in value]
+        if refs:
+            xml_element.set(attr, " ".join(r for r in refs if r))
+    elif kind == "tagtype":
+        xml_element.set(attr, value.__name__)
+    else:
+        raise XmiError(f"unknown field kind {kind!r}")
+
+
+def _serialize_element(element: Element, parent: ET.Element) -> None:
+    spec = spec_for(element)
+    xml_element = ET.SubElement(parent, "element")
+    xml_element.set(_TYPE_ATTR, type(element).__name__)
+    xml_element.set(_ID_ATTR, element.xmi_id)
+    for field in spec.fields:
+        _serialize_field(element, field, xml_element)
+    for child in element.owned_elements:
+        _serialize_element(child, xml_element)
+
+
+def _serialize_applications(scope: Element, parent: ET.Element) -> None:
+    targets = [scope] + list(scope.all_owned())
+    for target in targets:
+        for application in applications_of(target):
+            xml_app = ET.SubElement(parent, "application")
+            xml_app.set("stereotype", application.stereotype.xmi_id)
+            xml_app.set("element", target.xmi_id)
+            if application.values:
+                xml_app.set("values", json.dumps(application.values,
+                                                 sort_keys=True))
+
+
+def write_model(model: Model, profiles: Sequence[Profile] = (),
+                pretty: bool = False) -> str:
+    """Serialize a model (plus profiles and applications) to XMI text."""
+    root = ET.Element(f"{{{XMI_NS}}}XMI")
+    root.set("version", "2.1")
+    for profile in profiles:
+        _serialize_element(profile, root)
+    _serialize_element(model, root)
+    applications = ET.SubElement(root, "applications")
+    for profile in profiles:
+        _serialize_applications(profile, applications)
+    _serialize_applications(model, applications)
+    if pretty:
+        _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def write_file(path: str, model: Model,
+               profiles: Sequence[Profile] = ()) -> None:
+    """Serialize to a file (UTF-8, pretty-printed)."""
+    text = write_model(model, profiles, pretty=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        handle.write(text)
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not (element.text or "").strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not (child.tail or "").strip():
+                child.tail = pad + "  "
+        if not (element[-1].tail or "").strip():
+            element[-1].tail = pad
+    elif level and not (element.tail or "").strip():
+        element.tail = pad

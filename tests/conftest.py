@@ -1,0 +1,44 @@
+"""Shared fixtures: deterministic ids per test, common model builders."""
+
+import pytest
+
+import repro
+import repro.metamodel as mm
+from repro.statemachines import StateMachine
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_ids():
+    """Every test starts from a fresh id counter (stable snapshots)."""
+    repro.reset_ids()
+    yield
+
+
+@pytest.fixture
+def simple_model():
+    """A small but representative structural model."""
+    model = mm.Model("demo")
+    pkg = model.create_package("core")
+    iface = pkg.add(mm.Interface("IBus"))
+    read = iface.add_operation("read", mm.INTEGER)
+    read.add_parameter("addr", mm.INTEGER)
+    cpu = pkg.add(mm.Component("Cpu"))
+    cpu.realize(iface)
+    cpu.add_attribute("freq", mm.INTEGER, default=100)
+    mem = pkg.add(mm.Component("Mem"))
+    mem.add_attribute("size", mm.INTEGER, default=4096)
+    return model
+
+
+@pytest.fixture
+def toggle_machine():
+    """A two-state machine: Off <-power-> On."""
+    machine = StateMachine("toggle")
+    region = machine.region
+    init = region.add_initial()
+    off = region.add_state("Off")
+    on = region.add_state("On")
+    region.add_transition(init, off)
+    region.add_transition(off, on, trigger="power")
+    region.add_transition(on, off, trigger="power")
+    return machine

@@ -1,0 +1,147 @@
+"""Tests for activity graph structure and validation."""
+
+import pytest
+
+from repro.activities import (
+    Activity,
+    ControlFlow,
+    ObjectFlow,
+)
+from repro.errors import ActivityError
+
+
+class TestBuilders:
+    def test_chain_connects_in_sequence(self):
+        activity = Activity("a")
+        init = activity.add_initial()
+        work = activity.add_action("work")
+        final = activity.add_final()
+        flows = activity.chain(init, work, final)
+        assert len(flows) == 2
+        assert flows[0].source is init and flows[0].target is work
+
+    def test_duplicate_node_names_rejected(self):
+        activity = Activity("a")
+        activity.add_action("work")
+        with pytest.raises(ActivityError):
+            activity.add_action("work")
+
+    def test_node_lookup(self):
+        activity = Activity("a")
+        work = activity.add_action("work")
+        assert activity.node("work") is work
+        with pytest.raises(ActivityError):
+            activity.node("ghost")
+
+    def test_pins_owned_by_actions(self):
+        activity = Activity("a")
+        action = activity.add_action("f")
+        pin = action.add_output_pin("result")
+        assert pin.action is action
+        assert pin in activity.all_nodes
+        assert pin not in activity.nodes
+        with pytest.raises(ActivityError):
+            action.add_output_pin("result")
+
+    def test_object_flow_endpoint_check(self):
+        activity = Activity("a")
+        init = activity.add_initial()
+        action = activity.add_action("f")
+        with pytest.raises(ActivityError):
+            activity.object_flow(init, action)
+
+    def test_edge_weight_positive(self):
+        activity = Activity("a")
+        a, b = activity.add_action("x"), activity.add_action("y")
+        with pytest.raises(ActivityError):
+            activity.flow(a, b, weight=0)
+
+
+class TestValidation:
+    def test_valid_activity(self):
+        activity = Activity("ok")
+        init = activity.add_initial()
+        action = activity.add_action("act")
+        final = activity.add_final()
+        activity.chain(init, action, final)
+        activity.validate()
+
+    def test_initial_constraints(self):
+        activity = Activity("bad")
+        init = activity.add_initial()
+        a = activity.add_action("a")
+        activity.flow(init, a)
+        activity.flow(a, init)  # incoming into initial: invalid
+        with pytest.raises(ActivityError):
+            activity.validate()
+
+    def test_initial_needs_single_outgoing(self):
+        activity = Activity("bad")
+        init = activity.add_initial()
+        a, b = activity.add_action("a"), activity.add_action("b")
+        activity.flow(init, a)
+        activity.flow(init, b)
+        with pytest.raises(ActivityError):
+            activity.validate()
+
+    def test_final_no_outgoing(self):
+        activity = Activity("bad")
+        init = activity.add_initial()
+        final = activity.add_final()
+        a = activity.add_action("a")
+        activity.flow(init, final)
+        activity.flow(final, a)
+        with pytest.raises(ActivityError):
+            activity.validate()
+
+    def test_unreachable_final_detected(self):
+        activity = Activity("bad")
+        init = activity.add_initial()
+        a = activity.add_action("a")
+        activity.flow(init, a)
+        activity.add_final()
+        with pytest.raises(ActivityError):
+            activity.validate()
+
+    @pytest.mark.parametrize("builder,fix_in,fix_out", [
+        ("add_fork", 1, 2),
+        ("add_join", 2, 1),
+        ("add_decision", 1, 2),
+        ("add_merge", 2, 1),
+    ])
+    def test_control_node_arities(self, builder, fix_in, fix_out):
+        activity = Activity("arity")
+        init = activity.add_initial()
+        node = getattr(activity, builder)()
+        sources = [activity.add_action(f"s{i}") for i in range(fix_in)]
+        targets = [activity.add_action(f"t{i}") for i in range(fix_out)]
+        final = activity.add_final()
+        activity.flow(init, sources[0])
+        for source in sources:
+            activity.flow(source, node)
+        for target in targets:
+            activity.flow(node, target)
+            activity.flow(target, final)
+        activity.validate()  # correct arity passes
+
+    def test_fork_arity_violation(self):
+        activity = Activity("bad")
+        init = activity.add_initial()
+        fork = activity.add_fork()
+        only = activity.add_action("only")
+        final = activity.add_final()
+        activity.chain(init, fork)
+        activity.flow(fork, only)
+        activity.flow(only, final)
+        with pytest.raises(ActivityError):
+            activity.validate()
+
+    def test_foreign_node_rejected(self):
+        activity = Activity("a")
+        other = Activity("b")
+        mine = activity.add_action("mine")
+        theirs = other.add_action("theirs")
+        edge = ControlFlow(mine, theirs)
+        activity._own(edge)
+        with pytest.raises(ActivityError):
+            activity.validate()

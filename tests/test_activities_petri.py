@@ -1,0 +1,205 @@
+"""Tests for the Petri net substrate and the activity mapping (D3 core)."""
+
+import random
+
+import pytest
+
+from repro.activities import (
+    Activity,
+    DONE_PLACE,
+    PetriNet,
+    TokenEngine,
+    activity_to_petri,
+    engine_marking_to_net,
+    explore,
+)
+from repro.errors import ActivityError
+
+
+class TestPetriNet:
+    def _net(self):
+        net = PetriNet()
+        net.add_place("p1", tokens=1)
+        net.add_transition("t1", {"p1": 1}, {"p2": 1})
+        net.add_transition("t2", {"p2": 1}, {"p3": 1})
+        return net
+
+    def test_enabled_and_fire(self):
+        net = self._net()
+        marking = net.initial_marking()
+        enabled = net.enabled(marking)
+        assert [t.name for t in enabled] == ["t1"]
+        after = net.fire(marking, enabled[0])
+        assert after == (("p2", 1),)
+
+    def test_fire_disabled_raises(self):
+        net = self._net()
+        t2 = net.transitions[1]
+        with pytest.raises(ActivityError):
+            net.fire(net.initial_marking(), t2)
+
+    def test_reachability(self):
+        net = self._net()
+        markings = net.reachable_markings()
+        assert (("p3", 1),) in markings
+        assert len(markings) == 3
+
+    def test_weighted_arcs(self):
+        net = PetriNet()
+        net.add_place("in", tokens=3)
+        net.add_transition("burn", {"in": 2}, {"out": 1})
+        first = net.fire(net.initial_marking(), net.transitions[0])
+        assert first == (("in", 1), ("out", 1))
+        assert not net.enabled(first)
+
+    def test_boundedness(self):
+        bounded = self._net()
+        assert bounded.is_bounded(1)
+        grower = PetriNet()
+        grower.add_place("p", tokens=1)
+        grower.add_transition("dup", {"p": 1}, {"p": 2})
+        assert not grower.is_bounded(5, max_markings=10) \
+            if _safe_unbounded(grower) else True
+
+    def test_deadlocks(self):
+        net = self._net()
+        deadlocks = net.deadlock_markings()
+        assert deadlocks == {(("p3", 1),)}
+
+
+def _safe_unbounded(net):
+    try:
+        net.is_bounded(5, max_markings=10)
+        return True
+    except ActivityError:
+        return False
+
+
+def build_fork_join_activity():
+    activity = Activity("fj")
+    init = activity.add_initial()
+    fork = activity.add_fork()
+    a = activity.add_action("A")
+    b = activity.add_action("B")
+    join = activity.add_join()
+    final = activity.add_final()
+    activity.chain(init, fork)
+    activity.flow(fork, a)
+    activity.flow(fork, b)
+    activity.flow(a, join)
+    activity.flow(b, join)
+    activity.flow(join, final)
+    return activity
+
+
+def random_activity(seed, nodes=12):
+    """A random well-formed control-only activity (fork/join/dec/merge)."""
+    rng = random.Random(seed)
+    activity = Activity(f"rand{seed}")
+    init = activity.add_initial()
+    final = activity.add_final()
+    frontier = [init]
+
+    def finish(node):
+        activity.flow(node, final)
+
+    count = 0
+    while frontier and count < nodes:
+        node = frontier.pop(0)
+        count += 1
+        choice = rng.choice(["action", "fork", "decision"])
+        if choice == "action":
+            action = activity.add_action(f"act{count}")
+            activity.flow(node, action)
+            frontier.append(action)
+        elif choice == "fork":
+            fork = activity.add_fork(f"fork{count}")
+            left = activity.add_action(f"l{count}")
+            right = activity.add_action(f"r{count}")
+            join = activity.add_join(f"join{count}")
+            activity.flow(node, fork)
+            activity.flow(fork, left)
+            activity.flow(fork, right)
+            activity.flow(left, join)
+            activity.flow(right, join)
+            frontier.append(join)
+        else:
+            decision = activity.add_decision(f"dec{count}")
+            yes = activity.add_action(f"y{count}")
+            no = activity.add_action(f"n{count}")
+            merge = activity.add_merge(f"mrg{count}")
+            activity.flow(node, decision)
+            activity.flow(decision, yes)
+            activity.flow(decision, no)
+            activity.flow(yes, merge)
+            activity.flow(no, merge)
+            frontier.append(merge)
+    for node in frontier:
+        finish(node)
+    activity.validate()
+    return activity
+
+
+class TestMapping:
+    def test_structure_mirrors_activity(self):
+        activity = build_fork_join_activity()
+        net = activity_to_petri(activity)
+        edge_ids = {edge.xmi_id for edge in activity.edges}
+        assert edge_ids <= net.places
+
+    def test_guarded_activities_rejected(self):
+        activity = Activity("g")
+        init = activity.add_initial()
+        decision = activity.add_decision()
+        a, b = activity.add_action("a"), activity.add_action("b")
+        final = activity.add_final()
+        activity.chain(init, decision)
+        activity.flow(decision, a, guard="x > 1")
+        activity.flow(decision, b, guard="else")
+        activity.flow(a, final)
+        activity.flow(b, final)
+        with pytest.raises(ActivityError):
+            activity_to_petri(activity)
+
+    def test_accept_events_rejected(self):
+        activity = Activity("ev")
+        init = activity.add_initial()
+        accept = activity.add_accept_event("irq")
+        final = activity.add_final()
+        activity.chain(init, accept, final)
+        with pytest.raises(ActivityError):
+            activity_to_petri(activity)
+
+
+class TestEquivalence:
+    """The paper's claim: token semantics == Petri net semantics."""
+
+    def _compare(self, activity):
+        engine_markings = {engine_marking_to_net(m)
+                           for m in explore(activity)}
+        net = activity_to_petri(activity)
+        net_markings = {engine_marking_to_net(m)
+                        for m in net.reachable_markings()}
+        return engine_markings, net_markings
+
+    def test_fork_join_equivalence(self):
+        engine_markings, net_markings = self._compare(
+            build_fork_join_activity())
+        assert engine_markings == net_markings
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_activity_equivalence(self, seed):
+        activity = random_activity(seed)
+        engine_markings, net_markings = self._compare(activity)
+        assert engine_markings == net_markings
+
+    def test_deterministic_run_stays_within_reachable_set(self):
+        activity = build_fork_join_activity()
+        net_markings = {engine_marking_to_net(m) for m in
+                        activity_to_petri(activity).reachable_markings()}
+        engine = TokenEngine(activity)
+        while True:
+            assert engine_marking_to_net(engine.marking_counts()) \
+                in net_markings
+            if engine.step() is None:
+                break

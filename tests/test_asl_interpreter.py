@@ -1,0 +1,142 @@
+"""Tests for the ASL interpreter."""
+
+import pytest
+
+from repro import asl
+from repro.errors import AslRuntimeError
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 + 2 * 3", 7),
+        ("10 / 3", 3),            # integer division on ints
+        ("10.0 / 4", 2.5),        # float division otherwise
+        ("10 % 3", 1),
+        ("-(4)", -4),
+        ("not true", False),
+        ("1 < 2 and 2 < 3", True),
+        ("1 == 1 or missing", True),   # short-circuit skips undefined
+        ('"ab" + "cd"', "abcd"),
+        ("2 in [1, 2, 3]", True),
+        ("len([1, 2])", 2),
+        ("max(3, 9)", 9),
+        ("abs(-5)", 5),
+        ("sum([1, 2, 3])", 6),
+    ])
+    def test_expression(self, source, expected):
+        assert asl.evaluate(source, {}) == expected
+
+    def test_environment_reads(self):
+        assert asl.evaluate("x * 2", {"x": 21}) == 42
+
+    def test_undefined_variable(self):
+        with pytest.raises(AslRuntimeError):
+            asl.evaluate("ghost", {})
+
+    def test_division_by_zero_wrapped(self):
+        with pytest.raises(AslRuntimeError):
+            asl.evaluate("1 / 0", {})
+
+    def test_dict_attribute_access(self):
+        assert asl.evaluate("cfg.width", {"cfg": {"width": 32}}) == 32
+
+    def test_missing_dict_attribute(self):
+        with pytest.raises(AslRuntimeError):
+            asl.evaluate("cfg.ghost", {"cfg": {}})
+
+    def test_index_errors_wrapped(self):
+        with pytest.raises(AslRuntimeError):
+            asl.evaluate("l[10]", {"l": [1]})
+
+
+class TestExecution:
+    def test_environment_mutation(self):
+        env = asl.execute("x = 1; y = x + 1;", {})
+        assert env == {"x": 1, "y": 2}
+
+    def test_control_flow(self):
+        result = asl.run("""
+            total = 0;
+            for i in range(10) {
+                if (i % 2 == 0) { total = total + i; }
+            }
+            return total;
+        """)
+        assert result == 20
+
+    def test_while_break_continue(self):
+        result = asl.run("""
+            i = 0; hits = 0;
+            while (true) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                hits = hits + 1;
+                if (i >= 9) { break; }
+            }
+            return hits;
+        """)
+        assert result == 5
+
+    def test_nested_data_structures(self):
+        env = asl.execute("""
+            d = {};
+            d.regs = [];
+            append(d.regs, 1);
+            append(d.regs, 2);
+            first = pop(d.regs);
+        """, {})
+        assert env["first"] == 1
+        assert env["d"] == {"regs": [2]}
+
+    def test_send_collected_and_sunk(self):
+        received = []
+        asl.execute('send Irq(level=3) to "cpu";', {},
+                    signal_sink=received.append)
+        assert received[0].signal == "Irq"
+        assert received[0].arguments == {"level": 3}
+        assert received[0].target == "cpu"
+
+    def test_call_handler_hook(self):
+        def handler(name, args):
+            assert name == "read_reg"
+            return args[0] * 10
+        result = asl.run("return read_reg(7);", call_handler=handler)
+        assert result == 70
+
+    def test_unknown_operation_without_handler(self):
+        with pytest.raises(AslRuntimeError):
+            asl.run("mystery();")
+
+    def test_callable_in_environment(self):
+        result = asl.run("return double(4);",
+                         {"double": lambda x: x * 2})
+        assert result == 8
+
+    def test_method_call_on_python_object(self):
+        result = asl.run('return name.upper();', {"name": "soc"})
+        assert result == "SOC"
+
+    def test_print_captured(self):
+        interpreter = asl.Interpreter({})
+        interpreter.execute('print("hello", 1 + 1);')
+        assert interpreter.output == ["hello 2"]
+
+    def test_runaway_loop_guard(self):
+        interpreter = asl.Interpreter({}, max_steps=1000)
+        with pytest.raises(AslRuntimeError):
+            interpreter.execute("while (true) { x = 1; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(AslRuntimeError):
+            asl.run("break;")
+
+    def test_return_stops_execution(self):
+        env = {}
+        asl.Interpreter(env).execute("x = 1; return; x = 2;")
+        assert env["x"] == 1
+
+    def test_parse_cache_transparent(self):
+        asl.clear_caches()
+        for _ in range(3):
+            assert asl.run("return 1 + 1;") == 2
+        asl.clear_caches()

@@ -1,0 +1,141 @@
+"""Tests for the ASL parser and unparser."""
+
+import pytest
+
+from repro import asl
+from repro.errors import AslSyntaxError
+
+
+def first(source):
+    return asl.parse(source).body[0]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = asl.parse_expression("1 + 2 * 3")
+        assert isinstance(expr, asl.Binary)
+        assert expr.op == "+"
+        assert isinstance(expr.right, asl.Binary)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = asl.parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = asl.parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, asl.Binary)
+        assert expr.left.op == "-"
+
+    def test_logic_precedence(self):
+        expr = asl.parse_expression("a or b and c")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_unary(self):
+        expr = asl.parse_expression("not -x")
+        assert expr.op == "not"
+        assert expr.operand.op == "-"
+
+    def test_postfix_chain(self):
+        expr = asl.parse_expression("obj.items[0].name")
+        assert isinstance(expr, asl.Attribute)
+        assert expr.name == "name"
+        assert isinstance(expr.target, asl.Index)
+
+    def test_call_with_args(self):
+        expr = asl.parse_expression("min(a, b + 1)")
+        assert isinstance(expr, asl.Call)
+        assert len(expr.arguments) == 2
+
+    def test_list_and_dict_literals(self):
+        assert asl.parse_expression("[1, 2]") == asl.ListLiteral(
+            (asl.Literal(1), asl.Literal(2)))
+        expr = asl.parse_expression("{1: 2}")
+        assert isinstance(expr, asl.DictLiteral)
+
+    def test_expression_must_consume_input(self):
+        with pytest.raises(AslSyntaxError):
+            asl.parse_expression("a b")
+
+
+class TestStatements:
+    def test_assignment_targets(self):
+        assert isinstance(first("x = 1;").target, asl.Name)
+        assert isinstance(first("a.b = 1;").target, asl.Attribute)
+        assert isinstance(first("a[0] = 1;").target, asl.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(AslSyntaxError):
+            asl.parse("f() = 1;")
+
+    def test_if_elif_else_desugars(self):
+        stmt = first("if (a) { x = 1; } elif (b) { x = 2; } else { x = 3; }")
+        assert isinstance(stmt, asl.If)
+        nested = stmt.else_body[0]
+        assert isinstance(nested, asl.If)
+        assert nested.else_body  # the final else
+
+    def test_while_and_for(self):
+        loop = first("while (x < 3) { x = x + 1; }")
+        assert isinstance(loop, asl.While)
+        iteration = first("for i in range(3) { s = s + i; }")
+        assert isinstance(iteration, asl.For)
+        assert iteration.variable == "i"
+
+    def test_send_forms(self):
+        plain = first("send Reset();")
+        assert plain.signal == "Reset"
+        assert plain.target is None
+        targeted = first('send Data(v=1, k=2) to "port";')
+        assert [k for k, _ in targeted.arguments] == ["v", "k"]
+        assert targeted.target == asl.Literal("port")
+
+    def test_return_break_continue(self):
+        assert first("return;").value is None
+        assert first("return 4;").value == asl.Literal(4)
+        assert isinstance(first("break;"), asl.Break)
+        assert isinstance(first("continue;"), asl.Continue)
+
+    def test_var_keyword_accepted(self):
+        stmt = first("var x = 3;")
+        assert isinstance(stmt, asl.Assign)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(AslSyntaxError):
+            asl.parse("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(AslSyntaxError):
+            asl.parse("if (a) { x = 1;")
+
+
+class TestUnparseRoundTrip:
+    SNIPPETS = [
+        "x = 1;",
+        "x = a + b * c - d / e % f;",
+        "y = not (a and b) or c;",
+        "z = obj.field[2](1, 2);",
+        "l = [1, 2, [3]];",
+        "d = {1: 2, k: v};",
+        'if (x > 0) { y = 1; } else { y = 2; }',
+        "while (x < 10) { x = x + 1; if (x == 5) { break; } }",
+        "for item in things { total = total + item; continue; }",
+        'send Sig(a=1) to "p";',
+        "return a >= b;",
+        'if (a) { b = 1; } elif (c) { b = 2; } else { b = 3; }',
+        's = "quoted \\"text\\"";',
+    ]
+
+    @pytest.mark.parametrize("snippet", SNIPPETS)
+    def test_round_trip(self, snippet):
+        tree = asl.parse(snippet)
+        assert asl.parse(asl.unparse(tree)) == tree
+
+    def test_unparse_expression_minimal_parens(self):
+        expr = asl.parse_expression("a + b * c")
+        assert asl.unparse_expression(expr) == "a + b * c"
+        expr2 = asl.parse_expression("(a + b) * c")
+        assert asl.unparse_expression(expr2) == "(a + b) * c"

@@ -1,0 +1,91 @@
+"""Unit tests for associations and the associate() factory."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+class TestAssociate:
+    def test_binary_defaults(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("Mem")
+        assoc = mm.associate(cpu, mem)
+        assert assoc.is_binary
+        assert assoc.end_types == (mem, cpu)
+
+    def test_navigable_end_is_attribute_of_source(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("Mem")
+        mm.associate(cpu, mem, target_end="memory")
+        prop = cpu.member("memory", mm.Property)
+        assert prop.type is mem
+        assert prop.is_navigable
+
+    def test_non_navigable_end_owned_by_association(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("Mem")
+        assoc = mm.associate(cpu, mem)
+        owned = assoc.owned_ends
+        assert len(owned) == 1
+        assert owned[0].type is cpu
+        assert not owned[0].is_navigable
+
+    def test_navigable_both(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        assoc = mm.associate(a, b, navigable_both=True)
+        assert assoc.owned_ends == ()
+        assert b.find_member("a") is not None
+        assert a.find_member("b") is not None
+
+    def test_opposite(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        assoc = mm.associate(a, b)
+        end_b, end_a = assoc.member_ends
+        assert end_b.opposite is end_a
+        assert end_a.opposite is end_b
+
+    def test_default_end_names_decapitalized(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("MemBank")
+        assoc = mm.associate(cpu, mem)
+        assert assoc.member_ends[0].name == "memBank"
+
+    def test_multiplicities_applied(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        assoc = mm.associate(a, b, target_multiplicity=mm.MANY,
+                             source_multiplicity=mm.ONE)
+        assert assoc.member_ends[0].multiplicity == mm.MANY
+        assert assoc.member_ends[1].multiplicity == mm.ONE
+
+    def test_composite_aggregation(self):
+        whole, part = mm.UmlClass("Whole"), mm.UmlClass("Part")
+        assoc = mm.associate(whole, part,
+                             aggregation=mm.AggregationKind.COMPOSITE)
+        assert assoc.member_ends[0].is_composite
+
+
+class TestAssociationInvariants:
+    def test_end_needs_classifier_type(self):
+        assoc = mm.Association("a")
+        untyped = mm.Property("x")
+        with pytest.raises(ModelError):
+            assoc.add_end(untyped)
+
+    def test_end_joins_one_association_only(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        assoc = mm.associate(a, b)
+        end = assoc.member_ends[0]
+        other = mm.Association("other")
+        with pytest.raises(ModelError):
+            other.add_end(end, owned_here=False)
+
+    def test_arity_validation(self):
+        assoc = mm.Association("a")
+        with pytest.raises(ModelError):
+            assoc.validate_arity()
+
+    def test_nary_association(self):
+        a, b, c = (mm.UmlClass(n) for n in "ABC")
+        assoc = mm.Association("tri")
+        for classifier in (a, b, c):
+            assoc.add_end(mm.Property(classifier.name.lower(), classifier))
+        assoc.validate_arity()
+        assert not assoc.is_binary
+        assert len(assoc.member_ends) == 3

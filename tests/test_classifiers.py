@@ -1,0 +1,146 @@
+"""Unit tests for classifiers: inheritance, conformance, realization."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+class TestGeneralization:
+    def test_generals_and_all_generals(self):
+        base = mm.UmlClass("Base")
+        middle = mm.UmlClass("Middle")
+        leaf = mm.UmlClass("Leaf")
+        middle.add_generalization(base)
+        leaf.add_generalization(middle)
+        assert leaf.generals == (middle,)
+        assert leaf.all_generals() == (middle, base)
+
+    def test_self_inheritance_rejected(self):
+        cls = mm.UmlClass("C")
+        with pytest.raises(ModelError):
+            cls.add_generalization(cls)
+
+    def test_cycle_rejected(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        a.add_generalization(b)
+        with pytest.raises(ModelError):
+            b.add_generalization(a)
+
+    def test_duplicate_generalization_rejected(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        a.add_generalization(b)
+        with pytest.raises(ModelError):
+            a.add_generalization(b)
+
+    def test_diamond_deduplicated(self):
+        top = mm.UmlClass("Top")
+        left, right = mm.UmlClass("L"), mm.UmlClass("R")
+        bottom = mm.UmlClass("B")
+        left.add_generalization(top)
+        right.add_generalization(top)
+        bottom.add_generalization(left)
+        bottom.add_generalization(right)
+        assert bottom.all_generals().count(top) == 1
+
+
+class TestInheritedFeatures:
+    def test_all_attributes_includes_inherited(self):
+        base = mm.UmlClass("Base")
+        base.add_attribute("id", mm.INTEGER)
+        derived = mm.UmlClass("Derived")
+        derived.add_attribute("extra", mm.STRING)
+        derived.add_generalization(base)
+        names = [p.name for p in derived.all_attributes()]
+        assert names == ["extra", "id"]
+
+    def test_shadowing_by_name(self):
+        base = mm.UmlClass("Base")
+        base.add_attribute("x", mm.INTEGER)
+        derived = mm.UmlClass("Derived")
+        own = derived.add_attribute("x", mm.REAL)
+        derived.add_generalization(base)
+        attrs = [p for p in derived.all_attributes() if p.name == "x"]
+        assert attrs == [own]
+
+    def test_all_operations_with_override(self):
+        base = mm.UmlClass("Base")
+        base.add_operation("run")
+        derived = mm.UmlClass("Derived")
+        override = derived.add_operation("run")
+        derived.add_generalization(base)
+        assert derived.find_operation("run") is override
+
+    def test_find_operation_searches_chain(self):
+        base = mm.UmlClass("Base")
+        op = base.add_operation("boot")
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(base)
+        assert derived.find_operation("boot") is op
+        assert derived.find_operation("missing") is None
+
+
+class TestConformance:
+    def test_conforms_to_self_and_generals(self):
+        base, derived = mm.UmlClass("B"), mm.UmlClass("D")
+        derived.add_generalization(base)
+        assert derived.conforms_to(derived)
+        assert derived.conforms_to(base)
+        assert not base.conforms_to(derived)
+
+    def test_conforms_to_realized_interface(self):
+        iface = mm.Interface("I")
+        cls = mm.UmlClass("C")
+        cls.realize(iface)
+        assert cls.conforms_to(iface)
+
+    def test_conforms_through_interface_inheritance(self):
+        base_iface = mm.Interface("IBase")
+        sub_iface = mm.Interface("ISub")
+        sub_iface.add_generalization(base_iface)
+        cls = mm.UmlClass("C")
+        cls.realize(sub_iface)
+        assert cls.conforms_to(base_iface)
+
+    def test_conformance_inherited_from_general(self):
+        iface = mm.Interface("I")
+        base = mm.UmlClass("Base")
+        base.realize(iface)
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(base)
+        assert derived.conforms_to(iface)
+
+    def test_duplicate_realization_rejected(self):
+        iface, cls = mm.Interface("I"), mm.UmlClass("C")
+        cls.realize(iface)
+        with pytest.raises(ModelError):
+            cls.realize(iface)
+
+
+class TestInterfaceQueries:
+    def test_implementers(self):
+        model = mm.Model("m")
+        iface = model.add(mm.Interface("I"))
+        a = model.add(mm.UmlClass("A"))
+        b = model.add(mm.UmlClass("B"))
+        a.realize(iface)
+        assert iface.implementers(model) == (a,)
+
+
+class TestClassBehaviors:
+    def test_classifier_behavior_assignment(self):
+        from repro.statemachines import StateMachine
+
+        cls = mm.UmlClass("C")
+        machine = StateMachine("m")
+        other = StateMachine("aux")
+        cls.add_behavior(machine, as_classifier_behavior=True)
+        cls.add_behavior(other)
+        assert cls.classifier_behavior is machine
+        assert set(cls.owned_of_type(StateMachine)) == {machine, other}
+
+    def test_dependencies(self):
+        a, b = mm.UmlClass("A"), mm.UmlClass("B")
+        dep = a.add_dependency(b, kind="use")
+        assert a.dependencies == (dep,)
+        assert dep.supplier is b

@@ -1,0 +1,139 @@
+"""Unit tests for components, ports, connectors and composite structure."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+def _wired_pair():
+    """Provider/consumer components sharing one interface."""
+    iface = mm.Interface("IBus")
+    provider = mm.Component("Mem")
+    p_out = provider.add_port("s", direction=mm.PortDirection.IN)
+    p_out.provide(iface)
+    consumer = mm.Component("Cpu")
+    c_out = consumer.add_port("m", direction=mm.PortDirection.OUT)
+    c_out.require(iface)
+    return iface, provider, p_out, consumer, c_out
+
+
+class TestPorts:
+    def test_add_and_lookup(self):
+        comp = mm.Component("C")
+        port = comp.add_port("bus", direction=mm.PortDirection.OUT)
+        assert comp.port("bus") is port
+        assert port.component is comp
+
+    def test_duplicate_port_name_rejected(self):
+        comp = mm.Component("C")
+        comp.add_port("bus")
+        with pytest.raises(ModelError):
+            comp.add_port("bus")
+
+    def test_provide_require_chainable_and_unique(self):
+        iface = mm.Interface("I")
+        port = mm.Port("p")
+        port.provide(iface)
+        with pytest.raises(ModelError):
+            port.provide(iface)
+        port.require(mm.Interface("J"))
+        assert len(port.provided) == 1
+        assert len(port.required) == 1
+
+    def test_component_interface_rollups(self):
+        iface, provider, p_out, consumer, c_out = _wired_pair()
+        assert provider.provided_interfaces == (iface,)
+        assert consumer.required_interfaces == (iface,)
+
+    def test_realized_interface_counts_as_provided(self):
+        iface = mm.Interface("I")
+        comp = mm.Component("C")
+        comp.realize(iface)
+        assert iface in comp.provided_interfaces
+
+
+class TestCanConnect:
+    def test_compatible_pair(self):
+        iface, provider, p_in, consumer, c_out = _wired_pair()
+        assert mm.can_connect(c_out, p_in)
+        assert mm.can_connect(p_in, c_out)
+
+    def test_missing_interface_fails(self):
+        _iface, _provider, p_in, consumer, c_out = _wired_pair()
+        bare = mm.Port("bare", direction=mm.PortDirection.IN)
+        assert not mm.can_connect(c_out, bare)
+
+    def test_same_direction_out_out_fails(self):
+        a = mm.Port("a", direction=mm.PortDirection.OUT)
+        b = mm.Port("b", direction=mm.PortDirection.OUT)
+        assert not mm.can_connect(a, b)
+
+    def test_interface_conformance_satisfies_requirement(self):
+        base = mm.Interface("IBase")
+        extended = mm.Interface("IExt")
+        extended.add_generalization(base)
+        need = mm.Port("n", direction=mm.PortDirection.OUT)
+        need.require(base)
+        offer = mm.Port("o", direction=mm.PortDirection.IN)
+        offer.provide(extended)
+        assert mm.can_connect(need, offer)
+
+
+class TestConnectors:
+    def test_assembly_connector_created(self):
+        iface, provider, p_in, consumer, c_out = _wired_pair()
+        top = mm.Component("Top")
+        part_p = top.add_part("mem", provider)
+        part_c = top.add_part("cpu", consumer)
+        connector = top.connect(c_out, p_in, part_c, part_p)
+        assert connector in top.connectors
+        assert connector.kind is mm.ConnectorKind.ASSEMBLY
+
+    def test_incompatible_assembly_rejected(self):
+        top = mm.Component("Top")
+        a = mm.Component("A")
+        b = mm.Component("B")
+        out_a = a.add_port("o", direction=mm.PortDirection.OUT)
+        out_b = b.add_port("o", direction=mm.PortDirection.OUT)
+        pa, pb = top.add_part("a", a), top.add_part("b", b)
+        with pytest.raises(ModelError):
+            top.connect(out_a, out_b, pa, pb)
+
+    def test_check_can_be_disabled(self):
+        top = mm.Component("Top")
+        a, b = mm.Component("A"), mm.Component("B")
+        out_a = a.add_port("o", direction=mm.PortDirection.OUT)
+        out_b = b.add_port("o", direction=mm.PortDirection.OUT)
+        pa, pb = top.add_part("a", a), top.add_part("b", b)
+        connector = top.connect(out_a, out_b, pa, pb, check=False)
+        assert connector.kind is mm.ConnectorKind.ASSEMBLY
+
+    def test_delegation_requires_own_port(self):
+        top = mm.Component("Top")
+        inner = mm.Component("Inner")
+        inner_port = inner.add_port("p")
+        part = top.add_part("i", inner)
+        outer_port = top.add_port("ext")
+        connector = top.delegate(outer_port, inner_port, part)
+        assert connector.kind is mm.ConnectorKind.DELEGATION
+        stranger_port = inner.add_port("q")
+        with pytest.raises(ModelError):
+            top.delegate(stranger_port, inner_port, part)
+
+
+class TestParts:
+    def test_parts_are_composite_typed_attributes(self):
+        top = mm.Component("Top")
+        inner = mm.Component("Inner")
+        part = top.add_part("core", inner)
+        assert part in top.parts
+        assert part.is_composite
+        plain = top.add_attribute("tag", mm.STRING)
+        assert plain not in top.parts
+
+    def test_part_multiplicity(self):
+        top = mm.Component("Top")
+        inner = mm.Component("Inner")
+        part = top.add_part("banks", inner, multiplicity=mm.Multiplicity(4, 4))
+        assert part.multiplicity.lower == 4

@@ -1,0 +1,199 @@
+"""Tests for submachine inlining, testbench generation and the PIC core."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.codegen import check_verilog, check_vhdl
+from repro.codegen.testbench import (
+    generate_verilog_testbench,
+    generate_vhdl_testbench,
+)
+from repro.errors import StateMachineError
+from repro.hw import make_interrupt_controller, make_timer
+from repro.statemachines import (
+    PseudostateKind,
+    StateMachine,
+    StateMachineRuntime,
+    clone_machine,
+    connection_point,
+    inline_submachine,
+)
+
+
+def build_handshake_library():
+    """A reusable handshake behavior with a named exit point."""
+    machine = StateMachine("Handshake")
+    region = machine.region
+    init = region.add_initial()
+    wait = region.add_state("WaitReq")
+    acking = region.add_state("Acking", entry="acks = acks + 1;")
+    region.add_transition(init, wait)
+    region.add_transition(wait, acking, trigger="req")
+    done = region.add_pseudostate(PseudostateKind.EXIT_POINT, "done")
+    region.add_transition(acking, done, trigger="fin")
+    return machine
+
+
+class TestCloneMachine:
+    def test_clone_is_independent(self):
+        original = build_handshake_library()
+        clone = clone_machine(original)
+        assert clone is not original
+        assert {s.name for s in clone.all_states()} == \
+            {s.name for s in original.all_states()}
+        original_ids = {v.xmi_id for v in original.all_vertices()}
+        clone_ids = {v.xmi_id for v in clone.all_vertices()}
+        assert not original_ids & clone_ids
+
+    def test_clone_of_owned_machine(self):
+        owner = mm.UmlClass("Owner")
+        machine = build_handshake_library()
+        owner.add_behavior(machine)
+        clone = clone_machine(machine)
+        assert machine.owner is owner  # original untouched
+        assert clone.owner is None
+
+    def test_clone_executes_independently(self):
+        original = build_handshake_library()
+        clone = clone_machine(original)
+        runtime = StateMachineRuntime(clone, context={"acks": 0}).start()
+        runtime.send("req")
+        assert runtime.in_state("Acking")
+        assert runtime.context["acks"] == 1
+
+
+class TestInlineSubmachine:
+    def _host(self):
+        library = build_handshake_library()
+        host = StateMachine("Host")
+        region = host.region
+        init = region.add_initial()
+        idle = region.add_state("Idle")
+        engaged = region.add_state("Engaged")
+        after = region.add_state("After")
+        region.add_transition(init, idle)
+        region.add_transition(idle, engaged, trigger="start")
+        inline_submachine(engaged, library)
+        exit_point = connection_point(engaged, "done")
+        region.add_transition(exit_point, after)
+        return host
+
+    def test_inlined_behavior_runs(self):
+        runtime = StateMachineRuntime(self._host(),
+                                      context={"acks": 0}).start()
+        runtime.send("start")
+        assert runtime.active_leaf_names() == ("WaitReq",)
+        runtime.send("req")
+        assert runtime.context["acks"] == 1
+        runtime.send("fin")
+        assert runtime.active_leaf_names() == ("After",)
+
+    def test_two_inlines_are_disjoint(self):
+        library = build_handshake_library()
+        hosts = []
+        for index in range(2):
+            host = StateMachine(f"H{index}")
+            region = host.region
+            init = region.add_initial()
+            state = region.add_state("S")
+            region.add_transition(init, state)
+            inline_submachine(state, library)
+            hosts.append(host)
+        ids = [({v.xmi_id for v in h.all_vertices()}) for h in hosts]
+        assert not ids[0] & ids[1]
+
+    def test_multi_region_submachine_rejected(self):
+        library = StateMachine("multi")
+        library.add_region("a")
+        library.add_region("b")
+        host_state = StateMachine("h").region.add_state("S")
+        with pytest.raises(StateMachineError):
+            inline_submachine(host_state, library)
+
+    def test_missing_connection_point(self):
+        host = self._host()
+        engaged = host.find_state("Engaged")
+        with pytest.raises(StateMachineError):
+            connection_point(engaged, "ghost")
+
+
+class TestTestbenches:
+    def test_vhdl_testbench_valid_and_complete(self):
+        timer = make_timer()
+        bench = generate_vhdl_testbench(timer)
+        assert check_vhdl(bench) == []
+        assert "entity Timer_tb is" in bench
+        assert "ev_start" in bench and "ev_stop" in bench
+        assert "dut : entity work.Timer" in bench
+
+    def test_verilog_testbench_valid_and_complete(self):
+        timer = make_timer()
+        bench = generate_verilog_testbench(timer)
+        assert check_verilog(bench) == []
+        assert "module timer_tb ()" in bench
+        assert "$finish" in bench
+        assert "timer dut (" in bench
+
+    def test_structural_component_bench(self):
+        shell = mm.Component("Shell")
+        bench = generate_vhdl_testbench(shell)
+        assert check_vhdl(bench) == []
+
+
+class TestInterruptController:
+    @pytest.fixture
+    def runtime(self):
+        sink = []
+        pic = make_interrupt_controller(lines=4)
+        runtime = StateMachineRuntime(pic.classifier_behavior,
+                                      context={"dispatched": 0},
+                                      signal_sink=sink.append).start()
+        runtime.sink = sink  # test convenience
+        return runtime
+
+    def test_single_irq_dispatched(self, runtime):
+        runtime.send("Irq", line=1)
+        assert runtime.sink[-1].signal == "Interrupt"
+        assert runtime.sink[-1].arguments == {"line": 1}
+
+    def test_priority_order_lowest_line_first(self, runtime):
+        runtime.send("Irq", line=2)
+        runtime.send("Irq", line=0)
+        runtime.send("Irq", line=3)
+        assert runtime.sink[-1].arguments == {"line": 2}  # first wins
+        runtime.send("Ack", line=2)
+        assert runtime.sink[-1].arguments == {"line": 0}
+        runtime.send("Ack", line=0)
+        assert runtime.sink[-1].arguments == {"line": 3}
+
+    def test_handshake_blocks_until_ack(self, runtime):
+        runtime.send("Irq", line=1)
+        runtime.send("Irq", line=2)
+        interrupts = [s for s in runtime.sink
+                      if s.signal == "Interrupt"]
+        assert len(interrupts) == 1
+
+    def test_mask_gates_dispatch(self, runtime):
+        runtime.send("Mask", line=1)
+        runtime.send("Irq", line=1)
+        assert not [s for s in runtime.sink if s.signal == "Interrupt"]
+        runtime.send("Unmask", line=1)
+        assert runtime.sink[-1].arguments == {"line": 1}
+
+    def test_out_of_range_line_ignored(self, runtime):
+        runtime.send("Irq", line=99)
+        assert not runtime.sink
+
+    def test_duplicate_irq_collapsed(self, runtime):
+        runtime.send("Irq", line=1)
+        runtime.send("Irq", line=1)  # already inflight: ignored
+        runtime.send("Ack", line=1)
+        interrupts = [s for s in runtime.sink
+                      if s.signal == "Interrupt"]
+        assert len(interrupts) == 1
+
+    def test_in_library(self):
+        from repro.hw import ip_library
+
+        library = ip_library()
+        assert library.find_member("Pic") is not None

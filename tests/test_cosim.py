@@ -1,0 +1,182 @@
+"""Tests for the cosimulation harness executing UML component models."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import SimulationError
+from repro.simulation import SystemSimulation
+from repro.statemachines import StateMachine, TransitionKind
+
+
+def make_echo(name="Echo"):
+    """A component that replies Pong(n) on port 'out' to Ping(n)."""
+    comp = mm.Component(name)
+    comp.add_port("in", direction=mm.PortDirection.IN)
+    comp.add_port("out", direction=mm.PortDirection.OUT)
+    comp.add_attribute("count", mm.INTEGER, default=0)
+    machine = StateMachine(f"{name}Fsm")
+    region = machine.region
+    init = region.add_initial()
+    ready = region.add_state("Ready")
+    region.add_transition(init, ready)
+    region.add_transition(
+        ready, ready, trigger="Ping",
+        effect='count = count + 1; send Pong(n=event.n) to "out";',
+        kind=TransitionKind.INTERNAL)
+    comp.add_behavior(machine, as_classifier_behavior=True)
+    return comp
+
+
+def make_collector(name="Collector"):
+    comp = mm.Component(name)
+    comp.add_port("rx", direction=mm.PortDirection.IN)
+    machine = StateMachine(f"{name}Fsm")
+    region = machine.region
+    init = region.add_initial()
+    listen = region.add_state("Listen")
+    region.add_transition(init, listen)
+    region.add_transition(listen, listen, trigger="Pong",
+                          effect="got = got + [event.n];",
+                          kind=TransitionKind.INTERNAL)
+    comp.add_behavior(machine, as_classifier_behavior=True)
+    return comp
+
+
+def build_pair():
+    top = mm.Component("Top")
+    echo = make_echo()
+    collector = make_collector()
+    p_echo = top.add_part("echo", echo)
+    p_col = top.add_part("col", collector)
+    top.connect(echo.port("out"), collector.port("rx"),
+                p_echo, p_col, check=False)
+    return top
+
+
+class TestBasics:
+    def test_parts_instantiated_and_started(self):
+        sim = SystemSimulation(build_pair())
+        assert set(sim.parts) == {"echo", "col"}
+        assert sim.state_snapshot() == {"col": ("Listen",),
+                                        "echo": ("Ready",)}
+
+    def test_empty_top_rejected(self):
+        with pytest.raises(SimulationError):
+            SystemSimulation(mm.Component("Empty"))
+
+    def test_attribute_defaults_seed_context(self):
+        sim = SystemSimulation(build_pair())
+        assert sim.context_of("echo")["count"] == 0
+
+    def test_explicit_context_overrides(self):
+        sim = SystemSimulation(build_pair(),
+                               context={"echo": {"count": 100}})
+        assert sim.context_of("echo")["count"] == 100
+
+    def test_unknown_part_send_rejected(self):
+        sim = SystemSimulation(build_pair())
+        with pytest.raises(SimulationError):
+            sim.send("ghost", "Ping")
+
+
+class TestMessageFlow:
+    def test_signal_routes_through_connector(self):
+        sim = SystemSimulation(build_pair(),
+                               context={"col": {"got": []}})
+        sim.send("echo", "Ping", n=1)
+        sim.send("echo", "Ping", n=2, delay=1.0)
+        sim.run(until=10.0)
+        assert sim.context_of("echo")["count"] == 2
+        assert sim.context_of("col")["got"] == [1, 2]
+
+    def test_latency_applied(self):
+        sim = SystemSimulation(build_pair(), default_latency=5.0,
+                               context={"col": {"got": []}}, trace=True)
+        sim.send("echo", "Ping", n=9)
+        sim.run(until=20.0)
+        delivery_times = [t for t, label in sim.trace
+                          if label.startswith("Pong")]
+        assert delivery_times == [5.0]  # injected at 0, one 5.0 hop
+
+    def test_unconnected_port_send_drops_by_default(self):
+        top = mm.Component("Top")
+        lonely = make_echo("Lonely")
+        top.add_part("lonely", lonely)
+        sim = SystemSimulation(top)
+        sim.send("lonely", "Ping", n=1)
+        sim.run(until=5.0)
+        assert sim.messages_dropped == 1
+
+    def test_unconnected_port_send_raises_in_strict_mode(self):
+        top = mm.Component("Top")
+        lonely = make_echo("Lonely")
+        top.add_part("lonely", lonely)
+        sim = SystemSimulation(top, strict_routing=True)
+        sim.send("lonely", "Ping", n=1)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_self_send_without_target(self):
+        comp = mm.Component("Selfish")
+        comp.add_attribute("n", mm.INTEGER, default=0)
+        machine = StateMachine("fsm")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="kick",
+                              effect="send Internal();")
+        region.add_transition(b, b, trigger="Internal",
+                              effect="n = n + 1;",
+                              kind=TransitionKind.INTERNAL)
+        comp.add_behavior(machine, as_classifier_behavior=True)
+        top = mm.Component("Top")
+        top.add_part("s", comp)
+        sim = SystemSimulation(top)
+        sim.send("s", "kick")
+        sim.run(until=5.0)
+        assert sim.context_of("s")["n"] == 1
+
+    def test_messages_counted(self):
+        sim = SystemSimulation(build_pair(),
+                               context={"col": {"got": []}})
+        sim.send("echo", "Ping", n=1)
+        sim.run(until=10.0)
+        assert sim.messages_delivered == 2  # Ping in + Pong across
+
+
+class TestTimeIntegration:
+    def test_state_machine_timers_advance_with_simulation(self):
+        comp = mm.Component("Beeper")
+        comp.add_attribute("beeps", mm.INTEGER, default=0)
+        machine = StateMachine("fsm")
+        region = machine.region
+        init = region.add_initial()
+        beat = region.add_state("Beat")
+        region.add_transition(init, beat)
+        region.add_transition(beat, beat, after=10.0,
+                              effect="beeps = beeps + 1;")
+        comp.add_behavior(machine, as_classifier_behavior=True)
+        top = mm.Component("Top")
+        top.add_part("beeper", comp)
+        sim = SystemSimulation(top, quantum=1.0)
+        sim.run(until=35.0)
+        assert sim.context_of("beeper")["beeps"] == 3
+
+    def test_delegated_port_input(self):
+        top = mm.Component("Top")
+        echo = make_echo()
+        part = top.add_part("echo", echo)
+        outer = top.add_port("ext", direction=mm.PortDirection.IN)
+        top.delegate(outer, echo.port("in"), part)
+        collector = make_collector()
+        p_col = top.add_part("col", collector)
+        top.connect(echo.port("out"), collector.port("rx"),
+                    part, p_col, check=False)
+        sim = SystemSimulation(top, context={"col": {"got": []}})
+        sim.send_to_port("ext", "Ping", n=5)
+        sim.run(until=10.0)
+        assert sim.context_of("col")["got"] == [5]
+        with pytest.raises(SimulationError):
+            sim.send_to_port("ghost", "Ping")

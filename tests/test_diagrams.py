@@ -1,0 +1,190 @@
+"""Tests for diagram views and PlantUML rendering."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import interactions as ixn
+from repro import statemachines as st
+from repro.activities import Activity
+from repro.diagrams import (
+    BEHAVIORAL_KINDS,
+    DiagramKind,
+    PHYSICAL_KINDS,
+    STRUCTURAL_KINDS,
+    activity_diagram,
+    class_diagram,
+    component_diagram,
+    composite_structure_diagram,
+    deployment_diagram,
+    object_diagram,
+    package_diagram,
+    render,
+    render_state_machine,
+    sequence_diagram,
+    state_machine_diagram,
+    use_case_diagram,
+)
+
+
+class TestThirteenKinds:
+    def test_all_thirteen_present(self):
+        assert len(DiagramKind) == 13
+
+    def test_paper_grouping_covers_all(self):
+        grouped = set(STRUCTURAL_KINDS) | set(BEHAVIORAL_KINDS) \
+            | set(PHYSICAL_KINDS)
+        assert grouped == set(DiagramKind)
+
+
+class TestExtraction:
+    def test_class_diagram_collects_classifiers(self, simple_model):
+        pkg = simple_model.member("core", mm.Package)
+        diagram = class_diagram(pkg)
+        names = {getattr(e, "name", "") for e in diagram.elements}
+        assert {"IBus", "Cpu", "Mem"} <= names
+
+    def test_object_diagram(self):
+        model = mm.Model("m")
+        pkg = model.create_package("p")
+        cls = pkg.add(mm.UmlClass("C"))
+        inst = pkg.add(mm.InstanceSpecification("c0", cls))
+        diagram = object_diagram(pkg)
+        assert inst in diagram.elements
+        assert cls not in diagram.elements
+
+    def test_package_diagram_nests(self):
+        model = mm.Model("m")
+        model.create_package("a").create_package("b")
+        diagram = package_diagram(model)
+        assert len(diagram) == 3
+
+    def test_composite_structure(self):
+        top = mm.Component("Top")
+        inner = mm.Component("Inner")
+        part = top.add_part("i", inner)
+        diagram = composite_structure_diagram(top)
+        assert part in diagram.elements
+
+    def test_use_case_diagram(self):
+        model = mm.Model("m")
+        pkg = model.create_package("uc")
+        actor = pkg.add(mm.Actor("User"))
+        case = pkg.add(mm.UseCase("Boot"))
+        diagram = use_case_diagram(pkg)
+        assert {actor, case} <= set(diagram.elements)
+
+
+class TestRendering:
+    def test_class_diagram_plantuml(self, simple_model):
+        pkg = simple_model.member("core", mm.Package)
+        text = render(class_diagram(pkg))
+        assert text.startswith("@startuml")
+        assert text.endswith("@enduml")
+        assert "interface IBus" in text
+        assert "IBus <|.. Cpu" in text
+
+    def test_generalization_rendered(self):
+        model = mm.Model("m")
+        pkg = model.create_package("p")
+        base = pkg.add(mm.UmlClass("Base"))
+        derived = pkg.add(mm.UmlClass("Derived"))
+        derived.add_generalization(base)
+        text = render(class_diagram(pkg))
+        assert "Base <|-- Derived" in text
+
+    def test_association_rendered(self):
+        model = mm.Model("m")
+        pkg = model.create_package("p")
+        a = pkg.add(mm.UmlClass("A"))
+        b = pkg.add(mm.UmlClass("B"))
+        pkg.add(mm.associate(a, b, target_multiplicity=mm.MANY))
+        text = render(class_diagram(pkg))
+        assert '"*"' in text
+
+    def test_state_machine_plantuml(self, toggle_machine):
+        text = render_state_machine(toggle_machine)
+        assert "[*] --> Off" in text
+        assert "Off --> On : power" in text
+
+    def test_composite_state_rendered(self):
+        machine = st.StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        comp = region.add_state("Comp")
+        region.add_transition(init, comp)
+        inner = comp.add_region()
+        i2 = inner.add_initial()
+        inner.add_transition(i2, inner.add_state("Nested"))
+        text = render_state_machine(machine)
+        assert "state Comp {" in text
+        assert "Nested" in text
+
+    def test_guard_and_effect_in_label(self):
+        machine = st.StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        a, b = region.add_state("A"), region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="go", guard="x > 0",
+                              effect="x = 0;")
+        text = render_state_machine(machine)
+        assert "go [x > 0] / x = 0;" in text
+
+    def test_activity_plantuml(self):
+        activity = Activity("boot")
+        init = activity.add_initial()
+        work = activity.add_action("work")
+        final = activity.add_final()
+        activity.chain(init, work, final)
+        text = render(activity_diagram(activity))
+        assert "state work" in text
+        assert "(*) --> work" in text
+
+    def test_sequence_plantuml(self):
+        interaction = ixn.Interaction("hs")
+        a = interaction.add_lifeline("a")
+        b = interaction.add_lifeline("b")
+        interaction.message("req", a, b)
+        alt = interaction.alt()
+        ok = alt.add_operand("ok")
+        ok.add(ixn.Message("ack", b, a))
+        fail = alt.add_operand("else")
+        fail.add(ixn.Message("nak", b, a))
+        text = render(sequence_diagram(interaction))
+        assert "participant a" in text
+        assert "a ->> b: req" in text
+        assert "alt ok" in text
+        assert "else else" in text
+        assert text.count("end") >= 1
+
+    def test_stereotypes_shown(self):
+        from repro.profiles import apply_stereotype, create_soc_profile
+
+        prof = create_soc_profile()
+        model = mm.Model("m")
+        pkg = model.create_package("p")
+        cpu = pkg.add(mm.Component("Cpu"))
+        apply_stereotype(cpu, prof.stereotype("Processor"))
+        text = render(component_diagram(pkg))
+        assert "<<Processor>>" in text
+
+
+class TestDeploymentRendering:
+    def test_nodes_artifacts_and_paths(self):
+        model = mm.Model("m")
+        pkg = model.create_package("dep")
+        board = pkg.add(mm.Node("board"))
+        chip = mm.Device("chip")
+        board.add_node(chip)
+        firmware = pkg.add(mm.Artifact("fw"))
+        board.deploy(firmware)
+        peer = pkg.add(mm.Node("soc2"))
+        pkg.add(mm.CommunicationPath(board, peer, name="pcie"))
+        loose = pkg.add(mm.Artifact("spare"))
+        text = render(deployment_diagram(pkg))
+        assert "node board {" in text
+        assert "  artifact fw" in text
+        assert text.count("artifact fw") == 1  # no duplicates
+        assert "node chip" in text
+        assert "board -- soc2 : pcie" in text
+        assert "artifact spare" in text

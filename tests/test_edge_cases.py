@@ -1,0 +1,237 @@
+"""Edge-case coverage across subsystems.
+
+Cases that don't fit the per-module suites: entry/exit points, junction
+pseudostates, multi-master SoCs, link/communication-path XMI round
+trips, edge weights, connector latency functions, and generator corner
+cases.
+"""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import xmi
+from repro.activities import Activity, TokenEngine
+from repro.errors import SimulationError, StateMachineError
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.simulation import SystemSimulation
+from repro.statemachines import (
+    PseudostateKind,
+    StateMachine,
+    StateMachineRuntime,
+)
+
+
+class TestEntryExitPoints:
+    def _machine(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        outside = region.add_state("Outside")
+        after = region.add_state("After")
+        composite = region.add_state("Comp")
+        inner = composite.add_region()
+        i2 = inner.add_initial()
+        normal = inner.add_state("Normal")
+        special = inner.add_state("Special")
+        inner.add_transition(i2, normal)
+        entry_point = inner.add_pseudostate(PseudostateKind.ENTRY_POINT,
+                                            "via")
+        inner.add_transition(entry_point, special)
+        exit_point = inner.add_pseudostate(PseudostateKind.EXIT_POINT,
+                                           "out")
+        inner.add_transition(special, exit_point, trigger="leave")
+        region.add_transition(exit_point, after)
+        region.add_transition(init, outside)
+        region.add_transition(outside, entry_point, trigger="enter")
+        return machine
+
+    def test_entry_point_routes_into_composite(self):
+        runtime = StateMachineRuntime(self._machine()).start()
+        runtime.send("enter")
+        assert runtime.active_leaf_names() == ("Special",)
+        assert runtime.in_state("Comp")
+
+    def test_exit_point_routes_out(self):
+        runtime = StateMachineRuntime(self._machine()).start()
+        runtime.send("enter")
+        runtime.send("leave")
+        assert runtime.active_leaf_names() == ("After",)
+        assert not runtime.in_state("Comp")
+
+
+class TestJunction:
+    def test_junction_selects_branch(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        start = region.add_state("Start")
+        low = region.add_state("Low")
+        high = region.add_state("High")
+        junction = region.add_pseudostate(PseudostateKind.JUNCTION, "j")
+        region.add_transition(init, start)
+        region.add_transition(start, junction, trigger="go")
+        region.add_transition(junction, high, guard="v > 5")
+        region.add_transition(junction, low, guard="else")
+        runtime = StateMachineRuntime(machine, context={"v": 9}).start()
+        runtime.send("go")
+        assert runtime.in_state("High")
+
+
+class TestMultiMasterSoc:
+    def test_two_masters_share_the_bus(self):
+        masters = [make_traffic_generator(f"Cpu{i}", period=7.0 + i,
+                                          address_range=256)
+                   for i in range(2)]
+        memory = make_memory("Ram", size_bytes=256)
+        top = make_soc("Dual", masters=masters,
+                       slaves=[(memory, "bus", 0, 256)])
+        simulation = SystemSimulation(top, quantum=1.0)
+        simulation.run(until=120.0)
+        issued = sum(simulation.context_of(f"m{i}_cpu{i}")["issued"]
+                     for i in range(2))
+        assert issued > 20
+        # NOTE: responses broadcast to both masters on the shared port —
+        # a real bus would tag request ids; the model documents this
+        store = simulation.context_of("s0_ram")["store"]
+        assert store  # writes landed
+
+    def test_latency_fn_overrides_default(self):
+        cpu = make_traffic_generator("Cpu", period=10.0,
+                                     address_range=64)
+        memory = make_memory("Ram", size_bytes=64)
+        top = make_soc("L", masters=[cpu],
+                       slaves=[(memory, "bus", 0, 64)])
+        slow = SystemSimulation(top, quantum=1.0,
+                                latency_fn=lambda connector: 20.0)
+        slow.run(until=35.0)
+        # issue at t=10,20,30; 20-unit hop: nothing returns before t=35
+        assert slow.context_of("m0_cpu")["responses"] == 0
+
+
+class TestXmiMoreKinds:
+    def test_link_round_trip(self):
+        model = mm.Model("m")
+        cpu = model.add(mm.UmlClass("Cpu"))
+        mem = model.add(mm.UmlClass("Mem"))
+        assoc = mm.associate(cpu, mem)
+        model.add(assoc)
+        cpu0 = model.add(mm.InstanceSpecification("cpu0", cpu))
+        mem0 = model.add(mm.InstanceSpecification("mem0", mem))
+        model.add(mm.Link(assoc, mem0, cpu0, name="wire0"))
+        document = xmi.read_model(xmi.write_model(model))
+        link = next(document.model.elements_of_type(mm.Link))
+        assert [p.name for p in link.participants] == ["mem0", "cpu0"]
+        assert link.association.member_ends
+
+    def test_communication_path_round_trip(self):
+        model = mm.Model("m")
+        board = model.add(mm.Node("board"))
+        chip = model.add(mm.Node("chip"))
+        model.add(mm.CommunicationPath(board, chip, name="axi"))
+        document = xmi.read_model(xmi.write_model(model))
+        path = next(document.model.elements_of_type(mm.CommunicationPath))
+        assert tuple(n.name for n in path.ends) == ("board", "chip")
+
+    def test_enumeration_round_trip(self):
+        model = mm.Model("m")
+        enum = model.add(mm.Enumeration("Mode", ("FAST", "SLOW")))
+        cls = model.add(mm.UmlClass("C"))
+        cls.add_attribute("mode", enum)
+        document = xmi.read_model(xmi.write_model(model))
+        restored = document.model.member("Mode", mm.Enumeration)
+        assert [l.name for l in restored.literals] == ["FAST", "SLOW"]
+        attr = document.model.member("C", mm.UmlClass).member("mode")
+        assert attr.type is restored
+
+    def test_package_import_round_trip(self):
+        model = mm.Model("m")
+        lib = model.create_package("lib")
+        app = model.create_package("app")
+        app.import_package(lib)
+        document = xmi.read_model(xmi.write_model(model))
+        restored_app = document.model.member("app", mm.Package)
+        assert [p.name for p in restored_app.imported_packages] == ["lib"]
+
+    def test_use_case_round_trip(self):
+        model = mm.Model("m")
+        actor = model.add(mm.Actor("User"))
+        system = model.add(mm.Component("Soc"))
+        boot = model.add(mm.UseCase("Boot"))
+        init = model.add(mm.UseCase("Init"))
+        boot.add_actor(actor)
+        boot.add_subject(system)
+        boot.add_extension_point("on_error")
+        boot.include(init)
+        retry = model.add(mm.UseCase("Retry"))
+        retry.extend(boot, "on_error", condition="retries < 3")
+        document = xmi.read_model(xmi.write_model(model))
+        restored = document.model.member("Boot", mm.UseCase)
+        assert restored.actors[0].name == "User"
+        assert restored.subjects[0].name == "Soc"
+        assert restored.extension_points == ["on_error"]
+        assert restored.includes[0].addition.name == "Init"
+        restored_retry = document.model.member("Retry", mm.UseCase)
+        assert restored_retry.extends[0].condition == "retries < 3"
+
+    def test_reception_and_signal_round_trip(self):
+        model = mm.Model("m")
+        irq = model.add(mm.Signal("Irq"))
+        irq.add_attribute("level", mm.INTEGER)
+        handler = model.add(mm.UmlClass("Handler"))
+        handler.add_reception(irq)
+        document = xmi.read_model(xmi.write_model(model))
+        restored = document.model.member("Handler", mm.UmlClass)
+        assert restored.receptions[0].signal.name == "Irq"
+
+
+class TestActivityEdgeWeights:
+    def test_weighted_edge_needs_n_tokens(self):
+        activity = Activity("w")
+        source = activity.add_parameter_node("feed", is_input=True)
+        collector = activity.add_action("collect",
+                                        "batches = batches + 1;")
+        pin = collector.add_input_pin("item")
+        activity.object_flow(source, pin, weight=1)
+        # route: feed pool -> edge; action consumes per weight
+        engine = TokenEngine(activity, env={"batches": 0},
+                             inputs={"feed": [1, 2, 3]})
+        engine.run()
+        assert engine.env["batches"] == 3
+
+    def test_buffer_bounded_backpressure(self):
+        activity = Activity("bp")
+        source = activity.add_parameter_node("feed", is_input=True)
+        buffer = activity.add_buffer("buf", upper_bound=2)
+        edge = activity.object_flow(source, buffer)
+        engine = TokenEngine(activity, inputs={"feed": [1, 2, 3, 4]})
+        engine.run()
+        assert engine.tokens_in(buffer) == 2
+        # backpressure: the remaining tokens wait on the edge in front
+        # of the full buffer
+        assert engine.tokens_on(edge) == 2
+
+
+class TestRegionEdgeCases:
+    def test_history_without_default_uses_region_initial(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        off = region.add_state("Off")
+        on = region.add_state("On")
+        region.add_transition(init, off)
+        inner = on.add_region()
+        history = inner.add_pseudostate(
+            PseudostateKind.SHALLOW_HISTORY, "h")
+        i2 = inner.add_initial()
+        a = inner.add_state("A")
+        inner.add_transition(i2, a)
+        region.add_transition(off, history, trigger="power")
+        runtime = StateMachineRuntime(machine).start()
+        runtime.send("power")
+        assert runtime.active_leaf_names() == ("A",)
+
+    def test_empty_region_tolerated(self):
+        machine = StateMachine("m")
+        machine.add_region("empty")
+        runtime = StateMachineRuntime(machine).start()
+        assert runtime.active_leaf_names() == ()

@@ -1,0 +1,155 @@
+"""Unit tests for the metamodel root: Element, ownership, Multiplicity."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+from repro.metamodel.element import Element
+
+
+class TestOwnership:
+    def test_own_sets_owner_and_child_list(self):
+        parent, child = Element(), Element()
+        parent._own(child)
+        assert child.owner is parent
+        assert parent.owned_elements == (child,)
+
+    def test_single_owner_enforced(self):
+        first, second, child = Element(), Element(), Element()
+        first._own(child)
+        with pytest.raises(ModelError):
+            second._own(child)
+
+    def test_self_ownership_rejected(self):
+        element = Element()
+        with pytest.raises(ModelError):
+            element._own(element)
+
+    def test_ownership_cycle_rejected(self):
+        grandparent, parent, child = Element(), Element(), Element()
+        grandparent._own(parent)
+        parent._own(child)
+        with pytest.raises(ModelError):
+            child._own(grandparent)
+
+    def test_disown_releases(self):
+        parent, child = Element(), Element()
+        parent._own(child)
+        parent._disown(child)
+        assert child.owner is None
+        assert parent.owned_elements == ()
+
+    def test_disown_requires_current_owner(self):
+        parent, stranger, child = Element(), Element(), Element()
+        parent._own(child)
+        with pytest.raises(ModelError):
+            stranger._disown(child)
+
+    def test_root_walks_to_top(self):
+        a, b, c = Element(), Element(), Element()
+        a._own(b)
+        b._own(c)
+        assert c.root() is a
+        assert a.root() is a
+
+    def test_owner_chain_order(self):
+        a, b, c = Element(), Element(), Element()
+        a._own(b)
+        b._own(c)
+        assert list(c.owner_chain()) == [b, a]
+
+    def test_all_owned_preorder(self):
+        a, b, c, d = Element(), Element(), Element(), Element()
+        a._own(b)
+        b._own(c)
+        a._own(d)
+        assert list(a.all_owned()) == [b, c, d]
+
+    def test_owned_of_type_filters(self):
+        pkg = mm.Package("p")
+        cls = pkg.add(mm.UmlClass("C"))
+        pkg.add(mm.Interface("I"))
+        assert pkg.owned_of_type(mm.UmlClass) == (cls,)
+
+    def test_descendants_of_type_recurses(self):
+        model = mm.Model("m")
+        inner = model.create_package("inner")
+        cls = inner.add(mm.UmlClass("C"))
+        assert model.descendants_of_type(mm.UmlClass) == (cls,)
+
+
+class TestComments:
+    def test_add_comment(self):
+        element = Element()
+        comment = element.add_comment("a note")
+        assert comment.body == "a note"
+        assert element.comments == (comment,)
+        assert comment.owner is element
+
+    def test_comment_repr_truncates(self):
+        comment = mm.Comment("x" * 50)
+        assert "..." in repr(comment)
+
+
+class TestMultiplicity:
+    @pytest.mark.parametrize("text,lower,upper", [
+        ("1", 1, 1),
+        ("0..1", 0, 1),
+        ("*", 0, None),
+        ("2..*", 2, None),
+        ("3..7", 3, 7),
+    ])
+    def test_parse(self, text, lower, upper):
+        multiplicity = mm.Multiplicity.parse(text)
+        assert multiplicity.lower == lower
+        assert multiplicity.upper == upper
+
+    def test_parse_round_trips_through_str(self):
+        for text in ("1", "0..1", "*", "2..*", "3..7", "0..4"):
+            assert str(mm.Multiplicity.parse(text)) == text
+
+    def test_accepts_bounds(self):
+        multiplicity = mm.Multiplicity.parse("1..3")
+        assert not multiplicity.accepts(0)
+        assert multiplicity.accepts(1)
+        assert multiplicity.accepts(3)
+        assert not multiplicity.accepts(4)
+
+    def test_unlimited_accepts_any_above_lower(self):
+        multiplicity = mm.Multiplicity.parse("2..*")
+        assert not multiplicity.accepts(1)
+        assert multiplicity.accepts(2_000_000)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            mm.Multiplicity(3, 1)
+        with pytest.raises(ModelError):
+            mm.Multiplicity(-1, 1)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            mm.ONE.lower = 5
+
+    def test_equality_and_hash(self):
+        assert mm.Multiplicity(0, None) == mm.MANY
+        assert hash(mm.Multiplicity(1, 1)) == hash(mm.ONE)
+        assert mm.Multiplicity(1, 2) != mm.Multiplicity(1, 3)
+
+    def test_is_collection(self):
+        assert mm.MANY.is_collection
+        assert mm.Multiplicity(0, 2).is_collection
+        assert not mm.ONE.is_collection
+
+
+class TestIds:
+    def test_ids_are_unique_and_tagged(self):
+        first, second = mm.UmlClass("A"), mm.UmlClass("B")
+        assert first.xmi_id != second.xmi_id
+        assert first.xmi_id.startswith("Class_")
+
+    def test_reset_ids_restarts_counter(self):
+        import repro
+
+        repro.reset_ids()
+        element = mm.Comment("x")
+        assert element.xmi_id == "Comment_1"

@@ -1,0 +1,39 @@
+"""The examples must keep running — executed as real subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "deliverable: at least three examples"
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True, text=True, timeout=180)
+    assert completed.returncode == 0, (
+        f"{example} failed:\n{completed.stderr[-2000:]}")
+    assert completed.stdout.strip(), f"{example} produced no output"
+
+
+def test_quickstart_reaches_vhdl():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=180)
+    assert "generated VHDL" in completed.stdout
+    assert "entity Counter is" in completed.stdout
+
+
+def test_codesign_runs_generated_software():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "hw_sw_codesign.py")],
+        capture_output=True, text=True, timeout=180)
+    assert "generated SW run: accepted=3 dropped=2" in completed.stdout

@@ -1,0 +1,97 @@
+"""Unit tests for properties, operations, parameters and receptions."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+class TestProperties:
+    def test_default_value_wrapping(self):
+        cls = mm.UmlClass("C")
+        prop = cls.add_attribute("count", mm.INTEGER, default=5)
+        assert prop.default_value == 5
+        assert isinstance(prop.default, mm.LiteralInteger)
+        assert prop.default.owner is prop
+
+    def test_set_default_replaces(self):
+        prop = mm.Property("x", mm.INTEGER, default=1)
+        prop.set_default(9)
+        assert prop.default_value == 9
+        assert len(prop.owned_of_type(mm.ValueSpecification)) == 1
+
+    def test_type_name(self):
+        assert mm.Property("x", mm.INTEGER).type_name == "Integer"
+        assert mm.Property("y").type_name == ""
+
+    def test_composite_flag(self):
+        prop = mm.Property("p", aggregation=mm.AggregationKind.COMPOSITE)
+        assert prop.is_composite
+
+    def test_featuring_classifier(self):
+        cls = mm.UmlClass("C")
+        prop = cls.add_attribute("a")
+        assert prop.featuring_classifier is cls
+
+
+class TestOperations:
+    def test_signature(self):
+        op = mm.Operation("read", mm.INTEGER)
+        op.add_parameter("addr", mm.INTEGER)
+        op.add_parameter("burst", mm.BOOLEAN)
+        assert op.signature == "read(addr: Integer, burst: Boolean): Integer"
+
+    def test_void_signature(self):
+        assert mm.Operation("reset").signature == "reset()"
+
+    def test_parameter_directions(self):
+        op = mm.Operation("f")
+        op.add_parameter("a", mm.INTEGER)
+        op.add_parameter("b", mm.INTEGER,
+                         direction=mm.ParameterDirection.OUT)
+        op.add_parameter("c", mm.INTEGER,
+                         direction=mm.ParameterDirection.INOUT)
+        assert [p.name for p in op.in_parameters] == ["a", "c"]
+        assert [p.name for p in op.out_parameters] == ["b", "c"]
+
+    def test_single_return_parameter(self):
+        op = mm.Operation("f", mm.INTEGER)
+        with pytest.raises(ModelError):
+            op.add_parameter("r", mm.INTEGER,
+                             direction=mm.ParameterDirection.RETURN)
+
+    def test_set_return_type_replaces_in_place(self):
+        op = mm.Operation("f", mm.INTEGER)
+        op.set_return_type(mm.BOOLEAN)
+        assert op.return_type is mm.BOOLEAN
+        assert len([p for p in op.parameters
+                    if p.direction is mm.ParameterDirection.RETURN]) == 1
+
+    def test_duplicate_parameter_name_rejected(self):
+        op = mm.Operation("f")
+        op.add_parameter("x")
+        with pytest.raises(ModelError):
+            op.add_parameter("x")
+
+    def test_body_attach_and_replace(self):
+        op = mm.Operation("f")
+        op.set_body("return 1;")
+        assert op.body == "return 1;"
+        op.set_body("return 2;")
+        assert op.body == "return 2;"
+        assert len(op.owned_of_type(mm.OpaqueExpression)) == 1
+
+    def test_parameter_default(self):
+        op = mm.Operation("f")
+        param = op.add_parameter("x", mm.INTEGER, default=4)
+        assert param.default_value == 4
+
+
+class TestReceptions:
+    def test_reception_declared_once(self):
+        cls = mm.UmlClass("C")
+        signal = mm.Signal("Irq")
+        cls.add_reception(signal)
+        assert cls.receptions[0].signal is signal
+        with pytest.raises(ModelError):
+            cls.add_reception(signal)

@@ -1,0 +1,193 @@
+"""Tests for the IP library and bus fabric."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+from repro.hw import (
+    AddressMap,
+    Region,
+    ip_library,
+    make_arbiter,
+    make_bus,
+    make_dma,
+    make_fifo,
+    make_memory,
+    make_soc,
+    make_timer,
+    make_traffic_generator,
+    make_uart_tx,
+)
+from repro.profiles import create_soc_profile, has_stereotype
+from repro.simulation import SystemSimulation
+from repro.statemachines import StateMachine, StateMachineRuntime
+from repro.validation import validate_model
+
+
+class TestAddressMap:
+    def test_decode(self):
+        amap = AddressMap([Region(0, 0x100, "s0"),
+                           Region(0x100, 0x100, "s1")])
+        assert amap.decode(0x20).port == "s0"
+        assert amap.decode(0x100).port == "s1"
+        assert amap.decode(0x200) is None
+
+    def test_overlap_rejected(self):
+        amap = AddressMap([Region(0, 0x100, "s0")])
+        with pytest.raises(ModelError):
+            amap.add(Region(0x80, 0x100, "s1"))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ModelError):
+            AddressMap([Region(0, 0, "s0")])
+
+
+class TestIpCores:
+    def test_library_contents(self):
+        library = ip_library()
+        names = {c.name for c in library.packaged_elements}
+        assert {"Fifo", "Sram", "Arbiter", "UartTx", "Timer", "Dma",
+                "TrafficGen", "Pic"} == names
+
+    def test_library_with_profile_stereotypes(self):
+        profile = create_soc_profile()
+        library = ip_library(profile)
+        fifo = library.member("Fifo", mm.Component)
+        assert has_stereotype(fifo, "IpCore")
+        assert has_stereotype(fifo, "HwModule")  # via specialization
+
+    def test_every_core_passes_validation(self):
+        profile = create_soc_profile()
+        library = ip_library(profile)
+        report = validate_model(library)
+        assert report.ok, [str(f) for f in report.errors]
+
+    def test_fifo_order_and_capacity(self):
+        fifo = make_fifo(depth=2)
+        sink = []
+        runtime = StateMachineRuntime(fifo.classifier_behavior,
+                                      signal_sink=sink.append).start()
+        runtime.send("Push", value=1)
+        runtime.send("Push", value=2)
+        runtime.send("Push", value=3)  # overflow
+        assert sink[-1].signal == "Full"
+        runtime.send("Next")
+        runtime.send("Next")
+        values = [s.arguments["value"] for s in sink
+                  if s.signal == "Pop"]
+        assert values == [1, 2]
+        runtime.send("Next")
+        assert sink[-1].signal == "Empty"
+
+    def test_memory_read_write_and_bounds(self):
+        memory = make_memory(size_bytes=16)
+        sink = []
+        runtime = StateMachineRuntime(memory.classifier_behavior,
+                                      signal_sink=sink.append).start()
+        runtime.send("Write", addr=4, value=99)
+        runtime.send("Read", addr=4)
+        assert sink[-1].signal == "ReadResp"
+        assert sink[-1].arguments["value"] == 99
+        runtime.send("Read", addr=999)
+        assert sink[-1].signal == "BusError"
+        runtime.send("Read", addr=8)  # never written -> 0
+        assert sink[-1].arguments["value"] == 0
+
+    def test_arbiter_round_robin_queue(self):
+        arbiter = make_arbiter()
+        sink = []
+        runtime = StateMachineRuntime(arbiter.classifier_behavior,
+                                      signal_sink=sink.append).start()
+        runtime.send("Request", master=0)
+        runtime.send("Request", master=1)
+        runtime.send("Request", master=2)
+        runtime.send("Release")
+        runtime.send("Release")
+        grants = [s.arguments["master"] for s in sink
+                  if s.signal == "Grant"]
+        assert grants == [0, 1, 2]
+        runtime.send("Release")
+        assert runtime.active_leaf_names() == ("Idle",)
+
+    def test_timer_periodic_and_stop(self):
+        timer = make_timer(period=10.0)
+        sink = []
+        runtime = StateMachineRuntime(timer.classifier_behavior,
+                                      context={"count": 0},
+                                      signal_sink=sink.append).start()
+        runtime.advance_time(35.0)
+        ticks = [s.arguments["count"] for s in sink if s.signal == "Tick"]
+        assert ticks == [1, 2, 3]
+        runtime.send("Stop")
+        runtime.advance_time(50.0)
+        assert len([s for s in sink if s.signal == "Tick"]) == 3
+
+    def test_uart_defers_byte_while_shifting(self):
+        uart = make_uart_tx(bit_time=1.0)  # frame = 10
+        sink = []
+        runtime = StateMachineRuntime(uart.classifier_behavior,
+                                      signal_sink=sink.append).start()
+        runtime.send("Send", byte=65)
+        runtime.send("Send", byte=66)  # arrives mid-frame, deferred
+        runtime.advance_time(10.0)
+        assert [s.arguments["byte"] for s in sink] == [65]
+        runtime.advance_time(10.0)
+        assert [s.arguments["byte"] for s in sink] == [65, 66]
+
+
+class TestBusAndSoc:
+    def test_bus_decodes_and_rewrites_addresses(self):
+        amap = AddressMap([Region(0x000, 0x100, "s0"),
+                           Region(0x100, 0x100, "s1")])
+        bus = make_bus("B", amap)
+        sink = []
+        runtime = StateMachineRuntime(bus.classifier_behavior,
+                                      signal_sink=sink.append).start()
+        runtime.send("Read", addr=0x120)
+        assert sink[-1].target == "s1"
+        assert sink[-1].arguments["addr"] == 0x20
+        runtime.send("Read", addr=0x999)
+        assert sink[-1].signal == "BusError"
+        assert sink[-1].target == "m"
+
+    def test_soc_end_to_end_traffic(self):
+        cpu = make_traffic_generator(period=5.0, address_range=8192)
+        sram = make_memory("Sram", size_bytes=4096)
+        rom = make_memory("Rom", size_bytes=4096)
+        top = make_soc("Soc", masters=[cpu],
+                       slaves=[(sram, "bus", 0x0000, 4096),
+                               (rom, "bus", 0x1000, 4096)])
+        sim = SystemSimulation(top, quantum=1.0, default_latency=1.0)
+        sim.run(until=300.0)
+        ctx = sim.context_of("m0_trafficgen")
+        assert ctx["issued"] > 30
+        # every issued request except in-flight tail gets a response
+        assert ctx["responses"] >= ctx["issued"] - 2
+        stored = len(sim.context_of("s0_sram")["store"]) \
+            + len(sim.context_of("s1_rom")["store"])
+        assert stored > 0
+
+    def test_soc_package_registration(self):
+        pkg = mm.Package("sys")
+        cpu = make_traffic_generator()
+        mem = make_memory()
+        top = make_soc("Soc", masters=[cpu],
+                       slaves=[(mem, "bus", 0, 4096)], package=pkg)
+        assert top.owner is pkg
+        assert cpu.owner is pkg
+
+    def test_dma_copies_through_memory(self):
+        top = mm.Component("T")
+        dma = make_dma()
+        memory = make_memory("M", size_bytes=256)
+        p_dma = top.add_part("dma", dma)
+        p_mem = top.add_part("mem", memory)
+        top.connect(dma.port("mem"), memory.port("bus"),
+                    p_dma, p_mem, check=False)
+        sim = SystemSimulation(top)
+        for address in range(4):
+            sim.send("mem", "Write", addr=address, value=100 + address)
+        sim.send("dma", "Start", src=0, dst=16, length=4, delay=1.0)
+        sim.run(until=100.0)
+        store = sim.context_of("mem")["store"]
+        assert [store[16 + i] for i in range(4)] == [100, 101, 102, 103]

@@ -1,0 +1,101 @@
+"""Unit tests for instance specifications, slots and links."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def cpu_class():
+    cls = mm.UmlClass("Cpu")
+    cls.add_attribute("freq", mm.INTEGER, default=100)
+    cls.add_attribute("cores", mm.INTEGER, multiplicity=mm.Multiplicity(1, 4))
+    return cls
+
+
+class TestSlots:
+    def test_set_and_read_slot(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        instance.set_slot("freq", 800)
+        assert instance.slot_value("freq") == 800
+
+    def test_default_value_fallback(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        assert instance.slot_value("freq") == 100
+
+    def test_missing_slot_default_argument(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        assert instance.slot_value("cores", default="n/a") == "n/a"
+
+    def test_multi_value_slot(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        instance.set_slot("cores", 1, 2, 3)
+        assert instance.slot_value("cores") == (1, 2, 3)
+
+    def test_multiplicity_violation_rejected(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        with pytest.raises(ModelError):
+            instance.set_slot("cores", 1, 2, 3, 4, 5)
+
+    def test_unknown_feature_rejected(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        with pytest.raises(ModelError):
+            instance.set_slot("ghost", 1)
+
+    def test_slot_replacement(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        instance.set_slot("freq", 1)
+        instance.set_slot("freq", 2)
+        assert instance.slot_value("freq") == 2
+        assert len(instance.slots) == 1
+
+    def test_inherited_attribute_slot(self):
+        base = mm.UmlClass("Base")
+        base.add_attribute("id", mm.INTEGER)
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(base)
+        instance = mm.InstanceSpecification("d0", derived)
+        instance.set_slot("id", 7)
+        assert instance.slot_value("id") == 7
+
+    def test_as_dict(self, cpu_class):
+        instance = mm.InstanceSpecification("cpu0", cpu_class)
+        instance.set_slot("freq", 42)
+        assert instance.as_dict() == {"freq": 42}
+
+
+class TestLinks:
+    def test_link_participants_validated(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("Mem")
+        assoc = mm.associate(cpu, mem)
+        cpu0 = mm.InstanceSpecification("cpu0", cpu)
+        mem0 = mm.InstanceSpecification("mem0", mem)
+        # member end order: (mem end, cpu end)
+        link = mm.Link(assoc, mem0, cpu0)
+        assert link.participants == (mem0, cpu0)
+
+    def test_wrong_participant_count(self):
+        cpu, mem = mm.UmlClass("Cpu"), mm.UmlClass("Mem")
+        assoc = mm.associate(cpu, mem)
+        cpu0 = mm.InstanceSpecification("cpu0", cpu)
+        with pytest.raises(ModelError):
+            mm.Link(assoc, cpu0)
+
+    def test_type_conformance_checked(self):
+        cpu, mem, other = (mm.UmlClass(n) for n in ("Cpu", "Mem", "Other"))
+        assoc = mm.associate(cpu, mem)
+        wrong = mm.InstanceSpecification("x", other)
+        cpu0 = mm.InstanceSpecification("cpu0", cpu)
+        with pytest.raises(ModelError):
+            mm.Link(assoc, wrong, cpu0)
+
+    def test_subtype_participant_allowed(self):
+        base, mem = mm.UmlClass("Base"), mm.UmlClass("Mem")
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(base)
+        assoc = mm.associate(base, mem)
+        derived0 = mm.InstanceSpecification("d", derived)
+        mem0 = mm.InstanceSpecification("m", mem)
+        link = mm.Link(assoc, mem0, derived0)
+        assert link.participants[1] is derived0

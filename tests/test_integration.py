@@ -1,0 +1,251 @@
+"""Integration tests: the full flows the paper envisions, end to end.
+
+Pipeline A (MDA flow): PIM -> SoC profile -> hardware PSM -> all four
+code generators -> structural validity + executable generated Python.
+
+Pipeline B (early prototyping): IP library -> SoC assembly ->
+cosimulation, then XMI round-trip and re-simulation — the model is the
+single source of truth.
+
+Pipeline C (xUML): one model drives interpreter, flattened machine and
+generated code to identical behaviour.
+"""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import xmi
+from repro.codegen import VALIDATORS, generate_all, python_gen
+from repro.hw import ip_library, make_memory, make_soc, make_traffic_generator
+from repro.mda import hardware_transformation, software_transformation
+from repro.metrics import abstraction_report, reuse_report
+from repro.profiles import create_soc_profile, has_stereotype
+from repro.simulation import SystemSimulation
+from repro.statemachines import StateMachineRuntime, flatten
+from repro.validation import validate_model
+
+
+class TestMdaPipeline:
+    def build_pim(self):
+        profile = create_soc_profile()
+        pim = mm.Model("pipeline")
+        pkg = pim.create_package("design")
+        for component in (make_memory("Mem", size_bytes=1024,
+                                      profile=profile),
+                          make_traffic_generator("Gen", profile=profile)):
+            pkg.add(component)
+        return pim, profile
+
+    def test_pim_to_hw_psm_to_all_backends(self):
+        pim, profile = self.build_pim()
+        result = hardware_transformation().transform(pim,
+                                                     profiles=[profile])
+        assert result.completeness() == 1.0
+        generated = generate_all(result.psm)
+        for backend, files in generated.items():
+            for filename, text in files.items():
+                issues = VALIDATORS[backend](text)
+                assert issues == [], f"{backend}/{filename}: {issues}"
+
+    def test_psm_validates_clean(self):
+        pim, profile = self.build_pim()
+        result = hardware_transformation().transform(pim,
+                                                     profiles=[profile])
+        report = validate_model(result.psm)
+        assert report.ok, [str(f) for f in report.errors]
+
+    def test_sw_and_hw_psm_from_same_pim(self):
+        pim, profile = self.build_pim()
+        sw = software_transformation().transform(pim, profiles=[profile])
+        hw = hardware_transformation().transform(pim, profiles=[profile])
+        mem_sw = sw.psm.resolve("design::Mem", mm.Component)
+        mem_hw = hw.psm.resolve("design::Mem", mm.Component)
+        assert mem_sw.find_operation("run") is not None
+        assert {"clk", "rst_n"} <= {p.name for p in mem_hw.ports}
+        # the PIM has neither
+        mem_pim = pim.resolve("design::Mem", mm.Component)
+        assert mem_pim.find_operation("run") is None
+
+    def test_abstraction_report_expansion(self):
+        pim, profile = self.build_pim()
+        result = hardware_transformation().transform(pim,
+                                                     profiles=[profile])
+        generated = generate_all(result.psm)
+        merged = {backend: "\n".join(files.values())
+                  for backend, files in generated.items()}
+        report = abstraction_report(pim, merged)
+        assert report.expansion_factor > 1.0
+
+
+class TestPrototypingPipeline:
+    def build_system(self):
+        profile = create_soc_profile()
+        package = mm.Package("system")
+        cpu = make_traffic_generator(period=4.0, address_range=2048,
+                                     profile=profile)
+        mem = make_memory("Ram", size_bytes=2048, profile=profile)
+        top = make_soc("Demo", masters=[cpu],
+                       slaves=[(mem, "bus", 0, 2048)],
+                       profile=profile, package=package)
+        return package, top, profile
+
+    def test_assembled_soc_simulates(self):
+        package, top, profile = self.build_system()
+        simulation = SystemSimulation(top, quantum=1.0)
+        simulation.run(until=100.0)
+        context = simulation.context_of("m0_trafficgen")
+        assert context["responses"] > 0
+
+    def test_model_survives_xmi_and_resimulates(self):
+        package, top, profile = self.build_system()
+        model = mm.Model("wrap")
+        model._own(package)
+        text = xmi.write_model(model, profiles=[profile])
+        document = xmi.read_model(text)
+        top2 = document.model.member("system", mm.Package) \
+            .member("Demo", mm.Component)
+        first = SystemSimulation(top, quantum=1.0)
+        second = SystemSimulation(top2, quantum=1.0)
+        first.run(until=60.0)
+        second.run(until=60.0)
+        assert first.context_of("m0_trafficgen")["issued"] == \
+            second.context_of("m0_trafficgen")["issued"]
+        assert first.state_snapshot() == second.state_snapshot()
+
+    def test_reuse_measured_against_library(self):
+        profile = create_soc_profile()
+        library = ip_library(profile)
+        top = mm.Component("Sys")
+        fifo_type = library.member("Fifo", mm.Component)
+        mem_type = library.member("Sram", mm.Component)
+        top.add_part("f0", fifo_type)
+        top.add_part("f1", fifo_type)
+        top.add_part("m0", mem_type)
+        custom = mm.Component("Custom")
+        top.add_part("c0", custom)
+        report = reuse_report(top, library)
+        assert report.reuse_ratio == pytest.approx(0.75)
+
+
+class TestXumlPipeline:
+    def test_interpreter_flat_and_generated_agree(self):
+        cls = mm.UmlClass("Proto", is_active=True)
+        cls.add_attribute("hops", mm.INTEGER, default=0)
+        from repro.statemachines import StateMachine
+
+        machine = StateMachine("proto")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        c = region.add_state("C")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="x",
+                              effect="hops = hops + 1;")
+        region.add_transition(b, c, trigger="y",
+                              effect="hops = hops + 1;")
+        region.add_transition(c, a, trigger="z",
+                              effect="hops = hops + 1;")
+        cls.add_behavior(machine, as_classifier_behavior=True)
+
+        runtime = StateMachineRuntime(machine,
+                                      context={"hops": 0}).start()
+        flat = flatten(machine, context={"hops": 0})
+        generated = python_gen.compile_module(cls)["Proto"]()
+
+        import random
+
+        rng = random.Random(3)
+        for _ in range(100):
+            event = rng.choice(["x", "y", "z"])
+            runtime.send(event)
+            flat.step(event)
+            generated.dispatch(event)
+            assert runtime.active_leaf_names() == flat.leaf_names()
+            assert (generated.state,) == runtime.active_leaf_names()
+        assert generated.hops == runtime.context["hops"]
+
+    def test_operation_body_executes_same_via_asl_and_generated(self):
+        from repro import asl
+
+        cls = mm.UmlClass("Math")
+        cls.add_attribute("acc", mm.INTEGER, default=0)
+        op = cls.add_operation("mac", mm.INTEGER)
+        op.add_parameter("a", mm.INTEGER)
+        op.add_parameter("b", mm.INTEGER)
+        op.set_body("acc = acc + a * b; return acc;")
+
+        # interpreted
+        env = {"acc": 0, "a": 3, "b": 4}
+        interpreted = asl.run(op.body, env)
+        # generated
+        instance = python_gen.compile_module(cls)["Math"]()
+        generated = instance.mac(3, 4)
+        assert interpreted == generated == 12
+
+
+class TestThirteenDiagramsOfOneSystem:
+    def test_one_model_supports_all_diagram_kinds(self):
+        """The paper's 13-diagram claim, exercised on one system."""
+        from repro import activities as ac
+        from repro import interactions as ixn
+        from repro import statemachines as st
+        from repro.diagrams import (
+            DiagramKind,
+            activity_diagram,
+            class_diagram,
+            communication_diagram,
+            component_diagram,
+            composite_structure_diagram,
+            deployment_diagram,
+            interaction_overview_diagram,
+            object_diagram,
+            package_diagram,
+            render,
+            sequence_diagram,
+            state_machine_diagram,
+            timing_diagram,
+            use_case_diagram,
+        )
+
+        model = mm.Model("full")
+        pkg = model.create_package("sys")
+        cpu = pkg.add(mm.Component("Cpu"))
+        machine = st.StateMachine("fsm")
+        region = machine.region
+        region.add_transition(region.add_initial(),
+                              region.add_state("Run"))
+        cpu.add_behavior(machine, as_classifier_behavior=True)
+        activity = ac.Activity("boot")
+        activity.chain(activity.add_initial(),
+                       activity.add_action("load"),
+                       activity.add_final())
+        cpu.add_behavior(activity)
+        top = pkg.add(mm.Component("Top"))
+        top.add_part("cpu", cpu)
+        pkg.add(mm.InstanceSpecification("cpu0", cpu))
+        interaction = pkg.add(ixn.Interaction("io"))
+        a = interaction.add_lifeline("a")
+        b = interaction.add_lifeline("b")
+        interaction.message("m", a, b)
+        pkg.add(mm.Actor("User"))
+        pkg.add(mm.UseCase("Boot"))
+        node = pkg.add(mm.Node("board"))
+        artifact = pkg.add(mm.Artifact("fw"))
+        node.deploy(artifact)
+
+        diagrams = [
+            class_diagram(pkg), object_diagram(pkg),
+            package_diagram(model), component_diagram(pkg),
+            composite_structure_diagram(top), deployment_diagram(pkg),
+            use_case_diagram(pkg), state_machine_diagram(machine),
+            activity_diagram(activity), sequence_diagram(interaction),
+            communication_diagram(interaction),
+            interaction_overview_diagram(activity),
+            timing_diagram(machine),
+        ]
+        assert {d.kind for d in diagrams} == set(DiagramKind)
+        for diagram in diagrams:
+            text = render(diagram)
+            assert text.startswith("@startuml")
+            assert text.endswith("@enduml")

@@ -1,0 +1,128 @@
+"""Tests for ASL class invariants (the OCL role)."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import xmi
+from repro.errors import ValidationError
+from repro.validation import (
+    Invariant,
+    add_invariant,
+    all_invariants_for,
+    check_instances,
+    invariants_of,
+    validate_model,
+)
+
+
+@pytest.fixture
+def counter_class():
+    cls = mm.UmlClass("Counter")
+    cls.add_attribute("count", mm.INTEGER, default=0)
+    cls.add_attribute("limit", mm.INTEGER, default=10)
+    return cls
+
+
+class TestDeclaration:
+    def test_add_and_enumerate(self, counter_class):
+        invariant = add_invariant(counter_class, "count <= limit",
+                                  name="bounded")
+        assert invariants_of(counter_class) == (invariant,) or \
+            invariants_of(counter_class)[0].condition == "count <= limit"
+        assert invariant.name == "bounded"
+
+    def test_malformed_condition_rejected(self, counter_class):
+        with pytest.raises(ValidationError):
+            add_invariant(counter_class, "count <=")
+
+    def test_auto_naming(self, counter_class):
+        first = add_invariant(counter_class, "count >= 0")
+        second = add_invariant(counter_class, "limit > 0")
+        assert first.name != second.name
+
+    def test_inherited_invariants(self, counter_class):
+        add_invariant(counter_class, "count >= 0")
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(counter_class)
+        add_invariant(derived, "limit <= 100")
+        assert len(all_invariants_for(derived)) == 2
+        assert len(invariants_of(derived)) == 1
+
+
+class TestEvaluation:
+    def test_holds_with_defaults(self, counter_class):
+        invariant = add_invariant(counter_class, "count <= limit")
+        assert invariant.holds_for({})  # defaults: 0 <= 10
+
+    def test_explicit_values(self, counter_class):
+        invariant = add_invariant(counter_class, "count <= limit")
+        assert invariant.holds_for({"count": 10})
+        assert not invariant.holds_for({"count": 11})
+
+    def test_self_alias(self, counter_class):
+        invariant = add_invariant(counter_class,
+                                  "self.count <= self.limit")
+        assert invariant.holds_for({"count": 5})
+        assert not invariant.holds_for({"count": 50})
+
+    def test_evaluation_error_means_violated(self, counter_class):
+        invariant = add_invariant(counter_class, "count / zero > 1")
+        assert not invariant.holds_for({"count": 5})
+
+
+class TestModelChecking:
+    def test_check_instances_finds_violations(self, counter_class):
+        add_invariant(counter_class, "count <= limit", name="bounded")
+        model = mm.Model("m")
+        model.add(counter_class)
+        good = model.add(mm.InstanceSpecification("good", counter_class))
+        good.set_slot("count", 3)
+        bad = model.add(mm.InstanceSpecification("bad", counter_class))
+        bad.set_slot("count", 99)
+        findings = check_instances(model)
+        assert len(findings) == 1
+        assert findings[0].element_name == "bad"
+
+    def test_validate_model_includes_invariants(self, counter_class):
+        add_invariant(counter_class, "count <= limit")
+        model = mm.Model("m")
+        model.add(counter_class)
+        bad = model.add(mm.InstanceSpecification("bad", counter_class))
+        bad.set_slot("count", 99)
+        report = validate_model(model)
+        assert report.by_rule("class-invariant")
+        assert not report.ok
+
+    def test_validate_model_can_skip_invariants(self, counter_class):
+        add_invariant(counter_class, "count <= limit")
+        model = mm.Model("m")
+        model.add(counter_class)
+        bad = model.add(mm.InstanceSpecification("bad", counter_class))
+        bad.set_slot("count", 99)
+        report = validate_model(model, check_invariants=False)
+        assert not report.by_rule("class-invariant")
+
+    def test_subtype_instances_checked(self, counter_class):
+        add_invariant(counter_class, "count >= 0")
+        derived = mm.UmlClass("Derived")
+        derived.add_generalization(counter_class)
+        model = mm.Model("m")
+        model.add(counter_class)
+        model.add(derived)
+        instance = model.add(mm.InstanceSpecification("d0", derived))
+        instance.set_slot("count", -1)
+        assert check_instances(model)
+
+
+class TestPersistence:
+    def test_invariants_survive_xmi(self, counter_class):
+        add_invariant(counter_class, "count <= limit", name="bounded")
+        model = mm.Model("m")
+        model.add(counter_class)
+        bad = model.add(mm.InstanceSpecification("bad", counter_class))
+        bad.set_slot("count", 99)
+        document = xmi.read_model(xmi.write_model(model))
+        restored = document.model.member("Counter", mm.UmlClass)
+        assert len(invariants_of(restored)) == 1
+        assert invariants_of(restored)[0].name == "bounded"
+        assert len(check_instances(document.model)) == 1

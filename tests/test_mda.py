@@ -1,0 +1,215 @@
+"""Tests for the MDA engine and the built-in mappings."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import TransformError
+from repro.mda import (
+    HARDWARE_PLATFORM,
+    ModelRule,
+    Platform,
+    PlatformKind,
+    SOFTWARE_PLATFORM,
+    Transformation,
+    TransformationRule,
+    clone_model,
+    hardware_transformation,
+    software_transformation,
+)
+from repro.profiles import (
+    create_soc_profile,
+    has_stereotype,
+    tagged_value,
+)
+
+
+@pytest.fixture
+def pim():
+    model = mm.Model("counter_soc")
+    pkg = model.create_package("design")
+    counter = pkg.add(mm.Component("Counter"))
+    counter.add_attribute("count", mm.INTEGER, default=0)
+    counter.add_attribute("limit", mm.INTEGER, default=255)
+    increment = counter.add_operation("increment", mm.INTEGER)
+    increment.set_body("count = count + 1; return count;")
+    counter.add_port("bus", direction=mm.PortDirection.INOUT)
+    uart = pkg.add(mm.Component("Uart"))
+    uart.add_attribute("baud", mm.INTEGER, default=115200)
+    uart.add_port("tx", direction=mm.PortDirection.OUT)
+    return model
+
+
+class TestEngine:
+    def test_clone_preserves_structure_and_ids(self, pim):
+        clone = clone_model(pim)
+        assert clone is not pim
+        assert clone.summary() == pim.summary()
+        assert {e.xmi_id for e in clone.all_owned()} == \
+            {e.xmi_id for e in pim.all_owned()}
+
+    def test_pim_never_mutated(self, pim):
+        before = pim.summary()
+        software_transformation().transform(pim)
+        assert pim.summary() == before
+
+    def test_rules_sorted_by_priority(self):
+        transformation = Transformation("t", SOFTWARE_PLATFORM)
+        low = TransformationRule("low", lambda e: False,
+                                 lambda e, c: None, priority=200)
+        high = TransformationRule("high", lambda e: False,
+                                  lambda e, c: None, priority=1)
+        transformation.add_rule(low)
+        transformation.add_rule(high)
+        assert [r.name for r in transformation.rules] == ["high", "low"]
+
+    def test_duplicate_rule_name_rejected(self):
+        transformation = Transformation("t", SOFTWARE_PLATFORM)
+        rule = TransformationRule("r", lambda e: False, lambda e, c: None)
+        transformation.add_rule(rule)
+        with pytest.raises(TransformError):
+            transformation.add_rule(
+                TransformationRule("r", lambda e: False,
+                                   lambda e, c: None))
+
+    def test_custom_rule_and_trace(self, pim):
+        def tag_components(element, context):
+            element.add_comment("touched")
+            context.record("tagger", context.source_of(element), element)
+
+        transformation = Transformation("t", SOFTWARE_PLATFORM)
+        transformation.add_rule(TransformationRule(
+            "tagger", lambda e: isinstance(e, mm.Component),
+            tag_components))
+        result = transformation.transform(pim)
+        assert result.applications["tagger"] == 2
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert counter.comments[0].body == "touched"
+        assert len(result.trace) == 2
+
+    def test_model_rule_runs_once(self, pim):
+        calls = []
+        transformation = Transformation("t", SOFTWARE_PLATFORM)
+        transformation.add_rule(ModelRule(
+            "once", lambda model, ctx: calls.append(model)))
+        transformation.transform(pim)
+        assert len(calls) == 1
+
+
+class TestSoftwareMapping:
+    def test_tasks_synthesized(self, pim):
+        result = software_transformation().transform(pim)
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert counter.find_member("mailbox") is not None
+        run = counter.find_operation("run")
+        assert run is not None and "mailbox" in run.body
+
+    def test_ports_become_queues(self, pim):
+        result = software_transformation().transform(pim)
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert counter.find_member("bus_queue") is not None
+
+    def test_runtime_package_synthesized(self, pim):
+        result = software_transformation().transform(pim)
+        runtime = result.psm.member("runtime", mm.Package)
+        scheduler = runtime.member("Scheduler", mm.UmlClass)
+        assert scheduler.is_active
+        queue_cls = runtime.member("MessageQueue", mm.UmlClass)
+        assert queue_cls.find_operation("push").body
+
+    def test_psm_named_after_platform(self, pim):
+        result = software_transformation().transform(pim)
+        assert result.psm.name == "counter_soc_sw-runtime"
+        assert result.platform is SOFTWARE_PLATFORM
+
+    def test_completeness_100_percent(self, pim):
+        result = software_transformation().transform(pim)
+        assert result.completeness() == 1.0
+
+    def test_idempotent_on_retransform(self, pim):
+        first = software_transformation().transform(pim)
+        again = software_transformation().transform(first.psm)
+        counter = again.psm.resolve("design::Counter", mm.Component)
+        mailboxes = [m for m in counter.members if m.name == "mailbox"]
+        assert len(mailboxes) == 1
+
+
+class TestHardwareMapping:
+    def test_clock_and_reset_added(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        port_names = {p.name for p in counter.ports}
+        assert {"clk", "rst_n"} <= port_names
+        clk = counter.port("clk")
+        assert has_stereotype(clk, "ClockInput")
+
+    def test_hw_module_stereotype_applied(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert has_stereotype(counter, "HwModule")
+
+    def test_registers_allocated_aligned(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert tagged_value(counter.member("count"), "Register",
+                            "address") == 0
+        assert tagged_value(counter.member("limit"), "Register",
+                            "address") == 4
+        assert tagged_value(counter.member("count"), "Register",
+                            "reset_value") == 0
+
+    def test_types_narrowed_to_word(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert counter.member("count").type_name == "Word"
+
+    def test_base_addresses_allocated(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        uart = result.psm.resolve("design::Uart", mm.Component)
+        bases = [c.body for comp in (counter, uart)
+                 for c in comp.comments if "base_address" in c.body]
+        assert len(bases) == 2
+        assert len(set(bases)) == 2  # distinct addresses
+
+    def test_deployment_synthesized(self, pim):
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        deployment = result.psm.member("deployment", mm.Package)
+        die = deployment.member("die0", mm.Device)
+        assert len(die.deployed_artifacts) == 2
+        artifact = deployment.member("Counter_bit", mm.Artifact)
+        manifested = artifact.manifestations[0].utilized
+        assert manifested.name == "Counter"
+
+    def test_completeness_and_validation(self, pim):
+        from repro.validation import validate_model
+
+        prof = create_soc_profile()
+        result = hardware_transformation().transform(pim, profiles=[prof])
+        assert result.completeness() == 1.0
+        report = validate_model(result.psm)
+        assert report.ok, [str(f) for f in report.errors]
+
+    def test_without_profile_still_structural(self, pim):
+        result = hardware_transformation().transform(pim)
+        counter = result.psm.resolve("design::Counter", mm.Component)
+        assert {"clk", "rst_n"} <= {p.name for p in counter.ports}
+        assert not has_stereotype(counter, "HwModule")
+
+
+class TestPlatforms:
+    def test_platform_properties(self):
+        assert SOFTWARE_PLATFORM.kind is PlatformKind.SOFTWARE
+        assert HARDWARE_PLATFORM.property("register_width") == 32
+        assert HARDWARE_PLATFORM.property("missing", "dflt") == "dflt"
+
+    def test_custom_platform(self):
+        platform = Platform("fpga", PlatformKind.HARDWARE,
+                            properties={"luts": 10000})
+        assert platform.property("luts") == 10000
+        assert "fpga" in str(platform)

@@ -1,0 +1,128 @@
+"""Tests for model metrics and productivity measures."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import statemachines as st
+from repro.activities import Activity
+from repro.metrics import (
+    abstraction_report,
+    activity_branching,
+    coupling,
+    element_counts,
+    generated_loc,
+    inheritance_depth,
+    model_loc_equivalent,
+    model_size,
+    productivity_index,
+    reuse_report,
+    state_machine_cyclomatic,
+    summary,
+)
+
+
+class TestSizeMetrics:
+    def test_model_size_counts_all(self, simple_model):
+        assert model_size(simple_model) == \
+            len(list(simple_model.all_owned()))
+
+    def test_element_counts(self, simple_model):
+        counts = element_counts(simple_model)
+        assert counts["Component"] == 2
+
+    def test_loc_equivalent_grows_with_content(self):
+        small = mm.Model("s")
+        small.add(mm.UmlClass("C"))
+        big = mm.Model("b")
+        cls = big.add(mm.UmlClass("C"))
+        for index in range(10):
+            cls.add_attribute(f"a{index}", mm.INTEGER)
+        assert model_loc_equivalent(big) > model_loc_equivalent(small)
+
+    def test_asl_bodies_add_lines(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        op = cls.add_operation("f")
+        before = model_loc_equivalent(model)
+        op.set_body("x = 1;\ny = 2;\nreturn x + y;")
+        assert model_loc_equivalent(model) >= before + 3
+
+    def test_cyclomatic_for_machines(self, toggle_machine):
+        assert state_machine_cyclomatic(toggle_machine) >= 1
+        # adding a transition raises complexity
+        region = toggle_machine.region
+        before = state_machine_cyclomatic(toggle_machine)
+        region.add_transition(toggle_machine.find_state("On"),
+                              toggle_machine.find_state("Off"),
+                              trigger="fault")
+        assert state_machine_cyclomatic(toggle_machine) == before + 1
+
+    def test_activity_branching(self):
+        activity = Activity("a")
+        init = activity.add_initial()
+        decision = activity.add_decision()
+        x, y = activity.add_action("x"), activity.add_action("y")
+        merge = activity.add_merge()
+        final = activity.add_final()
+        activity.chain(init, decision)
+        activity.flow(decision, x)
+        activity.flow(decision, y)
+        activity.flow(x, merge)
+        activity.flow(y, merge)
+        activity.flow(merge, final)
+        assert activity_branching(activity) == 2.0
+        linear = Activity("l")
+        assert activity_branching(linear) == 0.0
+
+    def test_inheritance_depth(self):
+        a, b, c = (mm.UmlClass(n) for n in "ABC")
+        b.add_generalization(a)
+        c.add_generalization(b)
+        assert inheritance_depth(a) == 0
+        assert inheritance_depth(c) == 2
+
+    def test_coupling(self):
+        a, b, c = (mm.UmlClass(n) for n in "ABC")
+        a.add_attribute("b_ref", b)
+        a.add_dependency(c)
+        assert coupling(a) == 2
+
+    def test_summary_keys(self, simple_model):
+        bundle = summary(simple_model)
+        assert {"elements", "model_loc", "classifiers"} <= set(bundle)
+
+
+class TestProductivity:
+    def test_generated_loc_skips_comments_and_blanks(self):
+        text = "\n".join([
+            "-- header", "// c comment", "# py", "", "real line;",
+            "another;",
+        ])
+        assert generated_loc(text) == 2
+
+    def test_abstraction_report(self, simple_model):
+        report = abstraction_report(simple_model, {
+            "vhdl": "line1;\nline2;\nline3;\n",
+            "verilog": "only;\n",
+        })
+        assert report.total_generated == 4
+        assert report.expansion_factor > 0
+        assert report.model_elements == model_size(simple_model)
+
+    def test_reuse_report(self):
+        library = mm.Package("lib")
+        fifo = library.add(mm.Component("Fifo"))
+        custom = mm.Component("Custom")
+        system = mm.Component("Sys")
+        system.add_part("f1", fifo)
+        system.add_part("f2", fifo)
+        system.add_part("c", custom)
+        report = reuse_report(system, library)
+        assert report.total_parts == 3
+        assert report.library_parts == 2
+        assert report.distinct_library_types == 1
+        assert report.reuse_ratio == pytest.approx(2 / 3)
+
+    def test_productivity_index(self):
+        assert productivity_index(100, 1000) > 1
+        assert productivity_index(0, 1000) == 0.0

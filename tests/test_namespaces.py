@@ -1,0 +1,131 @@
+"""Unit tests for named elements, namespaces and packages."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import LookupFailed, ModelError
+
+
+class TestQualifiedNames:
+    def test_nested_qualified_name(self):
+        model = mm.Model("soc")
+        pkg = model.create_package("cpu")
+        cls = pkg.add(mm.UmlClass("Core"))
+        assert cls.qualified_name == "soc::cpu::Core"
+
+    def test_unnamed_segments_skipped(self):
+        pkg = mm.Package("")
+        cls = pkg.add(mm.UmlClass("C"))
+        assert cls.qualified_name == "C"
+
+    def test_namespace_property_finds_nearest(self):
+        pkg = mm.Package("p")
+        cls = pkg.add(mm.UmlClass("C"))
+        prop = cls.add_attribute("a")
+        assert prop.namespace is cls
+        assert cls.namespace is pkg
+
+
+class TestMemberLookup:
+    def test_member_by_name(self):
+        pkg = mm.Package("p")
+        cls = pkg.add(mm.UmlClass("C"))
+        assert pkg.member("C") is cls
+
+    def test_member_by_name_and_kind(self):
+        pkg = mm.Package("p")
+        pkg.add(mm.UmlClass("X"))
+        with pytest.raises(LookupFailed):
+            pkg.member("X", mm.Interface)
+
+    def test_missing_member_raises_lookup_failed(self):
+        pkg = mm.Package("p")
+        with pytest.raises(LookupFailed):
+            pkg.member("ghost")
+
+    def test_lookup_failed_is_keyerror(self):
+        pkg = mm.Package("p")
+        with pytest.raises(KeyError):
+            pkg.member("ghost")
+
+    def test_find_member_returns_none(self):
+        pkg = mm.Package("p")
+        assert pkg.find_member("ghost") is None
+
+    def test_resolve_path(self):
+        model = mm.Model("m")
+        inner = model.create_package("a").create_package("b")
+        cls = inner.add(mm.UmlClass("C"))
+        assert model.resolve("a::b::C") is cls
+        assert model.resolve("a::b::C", mm.UmlClass) is cls
+
+    def test_resolve_missing_step(self):
+        model = mm.Model("m")
+        model.create_package("a")
+        with pytest.raises(LookupFailed):
+            model.resolve("a::missing::C")
+
+    def test_resolve_through_non_namespace_fails(self):
+        model = mm.Model("m")
+        pkg = model.create_package("a")
+        cls = pkg.add(mm.UmlClass("C"))
+        prop = cls.add_attribute("x")
+        with pytest.raises(LookupFailed):
+            model.resolve("a::C::x::deeper")
+
+
+class TestPackages:
+    def test_duplicate_member_names_rejected(self):
+        pkg = mm.Package("p")
+        pkg.add(mm.UmlClass("C"))
+        with pytest.raises(ModelError):
+            pkg.add(mm.UmlClass("C"))
+
+    def test_only_packageable_elements(self):
+        pkg = mm.Package("p")
+        with pytest.raises(ModelError):
+            pkg.add(mm.Comment("not packageable"))  # type: ignore[arg-type]
+
+    def test_nested_packages_enumeration(self):
+        root = mm.Package("root")
+        a = root.create_package("a")
+        b = a.create_package("b")
+        assert set(p.name for p in root.all_packages()) == {"root", "a", "b"}
+        assert root.nested_packages == (a,)
+
+    def test_packaged_elements(self):
+        pkg = mm.Package("p")
+        cls = pkg.add(mm.UmlClass("C"))
+        sub = pkg.create_package("sub")
+        assert set(pkg.packaged_elements) == {cls, sub}
+
+
+class TestPackageImports:
+    def test_import_makes_members_visible(self):
+        lib = mm.Package("lib")
+        util = lib.add(mm.UmlClass("Util"))
+        app = mm.Package("app")
+        app.import_package(lib)
+        assert app.visible_member("Util") is util
+
+    def test_private_members_not_visible_through_import(self):
+        lib = mm.Package("lib")
+        secret = lib.add(mm.UmlClass("Secret"))
+        secret.visibility = mm.VisibilityKind.PRIVATE
+        app = mm.Package("app")
+        app.import_package(lib)
+        with pytest.raises(LookupFailed):
+            app.visible_member("Secret")
+
+    def test_local_member_shadows_import(self):
+        lib = mm.Package("lib")
+        lib.add(mm.UmlClass("Thing"))
+        app = mm.Package("app")
+        local = app.add(mm.UmlClass("Thing"))
+        app.import_package(lib)
+        assert app.visible_member("Thing") is local
+
+    def test_imported_packages_listed(self):
+        lib, app = mm.Package("lib"), mm.Package("app")
+        app.import_package(lib)
+        assert app.imported_packages == (lib,)

@@ -1,0 +1,117 @@
+"""Tests for observed-execution sequence diagram synthesis."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.interactions import (
+    Interaction,
+    InteractionOperator,
+    Message,
+    conforms,
+    interaction_from_messages,
+    interaction_from_simulation,
+    observed_trace,
+    traces,
+)
+from repro.simulation import SystemSimulation
+
+
+@pytest.fixture
+def simulation():
+    cpu = make_traffic_generator("Cpu", period=10.0, address_range=64)
+    memory = make_memory("Ram", size_bytes=64)
+    top = make_soc("Obs", masters=[cpu],
+                   slaves=[(memory, "bus", 0, 64)])
+    sim = SystemSimulation(top, quantum=1.0)
+    sim.run(until=25.0)
+    return sim
+
+
+class TestFromMessages:
+    def test_lifelines_created_in_order(self):
+        interaction = interaction_from_messages("x", [
+            ("a", "b", "m1"), ("b", "c", "m2"), ("c", "a", "m3"),
+        ])
+        assert [l.name for l in interaction.lifelines] == ["a", "b", "c"]
+
+    def test_single_trace_language(self):
+        interaction = interaction_from_messages("x", [
+            ("a", "b", "m1"), ("b", "a", "m2"),
+        ])
+        assert traces(interaction) == [("a->b:m1", "b->a:m2")]
+
+    def test_empty_observation(self):
+        interaction = interaction_from_messages("empty", [])
+        assert traces(interaction) == [()]
+
+
+class TestFromSimulation:
+    def test_message_log_recorded(self, simulation):
+        assert simulation.message_log
+        time0, sender, receiver, signal = simulation.message_log[0]
+        assert sender == "m0_cpu" and receiver == "bus"
+        assert signal in ("Read", "Write")
+
+    def test_times_monotonic(self, simulation):
+        times = [entry[0] for entry in simulation.message_log]
+        assert times == sorted(times)
+
+    def test_observed_interaction_roundtrips_the_log(self, simulation):
+        observed = interaction_from_simulation("run", simulation, limit=8)
+        trace = traces(observed)[0]
+        assert trace == observed_trace(simulation, limit=8)
+
+    def test_env_messages_excluded_by_default(self):
+        """External stimuli don't appear unless requested."""
+        cpu = make_traffic_generator("Cpu", period=50.0,
+                                     address_range=64)
+        memory = make_memory("Ram", size_bytes=64)
+        top = make_soc("E", masters=[cpu],
+                       slaves=[(memory, "bus", 0, 64)])
+        sim = SystemSimulation(top, quantum=1.0)
+        sim.send("s0_ram", "Write", addr=1, value=2)
+        sim.run(until=10.0)
+        without_env = observed_trace(sim)
+        with_env = observed_trace(sim, include_env=True)
+        assert any(label.startswith("env->") for label in with_env)
+        assert not any(label.startswith("env->")
+                       for label in without_env)
+
+    def test_observed_run_conforms_to_bus_specification(self, simulation):
+        """The spec: every request round-trips through the bus."""
+        spec = Interaction("bus_protocol")
+        cpu = spec.add_lifeline("m0_cpu")
+        bus = spec.add_lifeline("bus")
+        ram = spec.add_lifeline("s0_ram")
+        loop = spec.loop(0, 10)
+        body = loop.add_operand()
+        # one round: alt(Write|Read) to bus, forward, reply, forward back
+        from repro.interactions import CombinedFragment
+
+        round_alt = CombinedFragment(InteractionOperator.ALT)
+        body.add(round_alt)
+        write_op = round_alt.add_operand()
+        write_op.add(Message("Write", cpu, bus))
+        write_op.add(Message("Write", bus, ram))
+        write_op.add(Message("WriteAck", ram, bus))
+        write_op.add(Message("WriteAck", bus, cpu))
+        read_op = round_alt.add_operand()
+        read_op.add(Message("Read", cpu, bus))
+        read_op.add(Message("Read", bus, ram))
+        read_op.add(Message("ReadResp", ram, bus))
+        read_op.add(Message("ReadResp", bus, cpu))
+
+        # take only complete rounds (multiples of 4 messages)
+        full = observed_trace(simulation)
+        rounds = len(full) // 4
+        assert rounds >= 1
+        assert conforms(spec, full[:rounds * 4])
+
+    def test_mutated_trace_rejected_by_specification(self, simulation):
+        spec = interaction_from_simulation("self-spec", simulation,
+                                           limit=4)
+        good = observed_trace(simulation, limit=4)
+        assert conforms(spec, good)
+        bad = (good[1], good[0]) + good[2:]
+        assert not conforms(spec, bad)

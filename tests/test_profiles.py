@@ -1,0 +1,243 @@
+"""Tests for the profile mechanism and the SoC / UML-RT profiles."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ProfileError
+from repro.profiles import (
+    Profile,
+    apply_stereotype,
+    applications_of,
+    application_of,
+    create_rt_profile,
+    create_soc_profile,
+    has_stereotype,
+    rt_ports_compatible,
+    stereotypes_of,
+    tagged_value,
+    unapply_stereotype,
+    validate_applications,
+)
+
+
+class TestMechanism:
+    def test_define_and_lookup(self):
+        profile = Profile("P")
+        stereotype = profile.define("Hw", extends=("Class",))
+        assert profile.stereotype("Hw") is stereotype
+        with pytest.raises(ProfileError):
+            profile.define("Hw")
+        with pytest.raises(ProfileError):
+            profile.stereotype("Ghost")
+
+    def test_applicability_by_metaclass(self):
+        profile = Profile("P")
+        port_only = profile.define("B", extends=("Port",))
+        assert port_only.applicable_to(mm.Port("p"))
+        assert not port_only.applicable_to(mm.UmlClass("C"))
+
+    def test_class_alias_matches_umlclass(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        assert stereotype.applicable_to(mm.UmlClass("C"))
+        # Component subclasses UmlClass, so it also matches
+        assert stereotype.applicable_to(mm.Component("K"))
+
+    def test_apply_and_read_tags(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        stereotype.add_tag("speed", int, default=10)
+        cls = mm.UmlClass("C")
+        application = apply_stereotype(cls, stereotype, speed=99)
+        assert application.value("speed") == 99
+        assert tagged_value(cls, "S", "speed") == 99
+
+    def test_default_tag_value(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        stereotype.add_tag("speed", int, default=10)
+        cls = mm.UmlClass("C")
+        application = apply_stereotype(cls, stereotype)
+        assert application.value("speed") == 10
+
+    def test_required_tag_enforced(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        stereotype.add_tag("must", int, required=True)
+        with pytest.raises(ProfileError):
+            apply_stereotype(mm.UmlClass("C"), stereotype)
+
+    def test_tag_type_checked(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        stereotype.add_tag("n", int)
+        with pytest.raises(ProfileError):
+            apply_stereotype(mm.UmlClass("C"), stereotype, n="oops")
+
+    def test_unknown_tag_rejected(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        with pytest.raises(ProfileError):
+            apply_stereotype(mm.UmlClass("C"), stereotype, ghost=1)
+
+    def test_wrong_metaclass_rejected(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Port",))
+        with pytest.raises(ProfileError):
+            apply_stereotype(mm.UmlClass("C"), stereotype)
+
+    def test_double_application_rejected(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        cls = mm.UmlClass("C")
+        apply_stereotype(cls, stereotype)
+        with pytest.raises(ProfileError):
+            apply_stereotype(cls, stereotype)
+
+    def test_unapply(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        cls = mm.UmlClass("C")
+        apply_stereotype(cls, stereotype)
+        unapply_stereotype(cls, stereotype)
+        assert not stereotypes_of(cls)
+        with pytest.raises(ProfileError):
+            unapply_stereotype(cls, stereotype)
+
+    def test_specialization_inherits_tags_and_name_matching(self):
+        profile = Profile("P")
+        base = profile.define("Hw", extends=("Class",))
+        base.add_tag("area", float, default=0.0)
+        derived = profile.define("Ip", extends=("Class",))
+        derived.specialize(base)
+        cls = mm.UmlClass("C")
+        apply_stereotype(cls, derived, area=1.5)
+        assert has_stereotype(cls, "Hw")
+        assert tagged_value(cls, "Ip", "area") == 1.5
+        assert derived.is_kind_of(base)
+        assert not base.is_kind_of(derived)
+
+    def test_specialization_cycle_rejected(self):
+        profile = Profile("P")
+        a = profile.define("A")
+        b = profile.define("B")
+        b.specialize(a)
+        with pytest.raises(ProfileError):
+            a.specialize(b)
+
+    def test_set_value_type_checked(self):
+        profile = Profile("P")
+        stereotype = profile.define("S", extends=("Class",))
+        stereotype.add_tag("n", int)
+        application = apply_stereotype(mm.UmlClass("C"), stereotype)
+        application.set_value("n", 4)
+        assert application.value("n") == 4
+        with pytest.raises(ProfileError):
+            application.set_value("n", "bad")
+
+    def test_constraints_run_through_specialization(self):
+        profile = Profile("P")
+        base = profile.define("Base", extends=("Class",))
+        base.add_constraint(lambda e, a: "always broken")
+        derived = profile.define("Derived", extends=("Class",))
+        derived.specialize(base)
+        cls = mm.UmlClass("C")
+        apply_stereotype(cls, derived)
+        assert validate_applications(cls)
+
+
+class TestSocProfile:
+    @pytest.fixture
+    def soc(self):
+        return create_soc_profile()
+
+    def test_hardware_primitive_types_present(self, soc):
+        assert soc.find_member("Bit", mm.PrimitiveType) is not None
+        assert soc.find_member("Word", mm.PrimitiveType) is not None
+
+    def test_processor_is_hw_module(self, soc):
+        cpu = mm.Component("Cpu")
+        apply_stereotype(cpu, soc.stereotype("Processor"))
+        assert has_stereotype(cpu, "HwModule")
+
+    def test_register_alignment_constraint(self, soc):
+        cls = mm.UmlClass("C", is_active=True)
+        reg = cls.add_attribute("r", mm.INTEGER)
+        apply_stereotype(reg, soc.stereotype("Register"),
+                         address=2, width=32)  # 2 not 4-aligned
+        violations = validate_applications(cls)
+        assert any("aligned" in v for v in violations)
+
+    def test_register_width_constraint(self, soc):
+        cls = mm.UmlClass("C", is_active=True)
+        reg = cls.add_attribute("r", mm.INTEGER)
+        apply_stereotype(reg, soc.stereotype("Register"),
+                         address=0, width=24)
+        assert any("width" in v for v in validate_applications(cls))
+
+    def test_register_address_collision(self, soc):
+        cls = mm.UmlClass("C", is_active=True)
+        a = cls.add_attribute("a", mm.INTEGER)
+        b = cls.add_attribute("b", mm.INTEGER)
+        apply_stereotype(a, soc.stereotype("Register"), address=0)
+        apply_stereotype(b, soc.stereotype("Register"), address=0)
+        assert any("collides" in v for v in validate_applications(cls))
+
+    def test_clean_registers_pass(self, soc):
+        cls = mm.UmlClass("C", is_active=True)
+        apply_stereotype(cls, soc.stereotype("HwModule"))
+        a = cls.add_attribute("a", mm.INTEGER)
+        b = cls.add_attribute("b", mm.INTEGER)
+        apply_stereotype(a, soc.stereotype("Register"), address=0)
+        apply_stereotype(b, soc.stereotype("Register"), address=4)
+        assert validate_applications(cls) == []
+
+    def test_hw_module_must_be_active(self, soc):
+        passive = mm.UmlClass("P", is_active=False)
+        apply_stereotype(passive, soc.stereotype("HwModule"))
+        assert any("active" in v for v in validate_applications(passive))
+
+    def test_bus_width_power_of_two(self, soc):
+        bus = mm.Component("B")
+        apply_stereotype(bus, soc.stereotype("HwBus"), width=48)
+        assert any("power of two" in v
+                   for v in validate_applications(bus))
+
+    def test_memory_size_positive(self, soc):
+        memory = mm.Component("M")
+        apply_stereotype(memory, soc.stereotype("Memory"), size_bytes=0)
+        assert any("positive" in v for v in validate_applications(memory))
+
+
+class TestRtProfile:
+    def test_port_compatibility(self):
+        rt = create_rt_profile()
+        a, b = mm.Port("a"), mm.Port("b")
+        apply_stereotype(a, rt.stereotype("RTPort"), protocol="bus",
+                         conjugated=False)
+        apply_stereotype(b, rt.stereotype("RTPort"), protocol="bus",
+                         conjugated=True)
+        assert rt_ports_compatible(a, b)
+
+    def test_same_orientation_incompatible(self):
+        rt = create_rt_profile()
+        a, b = mm.Port("a"), mm.Port("b")
+        for port in (a, b):
+            apply_stereotype(port, rt.stereotype("RTPort"),
+                             protocol="bus", conjugated=False)
+        assert not rt_ports_compatible(a, b)
+
+    def test_protocol_mismatch_incompatible(self):
+        rt = create_rt_profile()
+        a, b = mm.Port("a"), mm.Port("b")
+        apply_stereotype(a, rt.stereotype("RTPort"), protocol="x")
+        apply_stereotype(b, rt.stereotype("RTPort"), protocol="y",
+                         conjugated=True)
+        assert not rt_ports_compatible(a, b)
+
+    def test_protocol_signal_overlap_constraint(self):
+        rt = create_rt_profile()
+        proto = mm.Interface("P")
+        apply_stereotype(proto, rt.stereotype("Protocol"),
+                         incoming=["a", "b"], outgoing=["b"])
+        assert any("both" in v for v in validate_applications(proto))

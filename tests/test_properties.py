@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property states an invariant a subsystem must hold for *any*
+input: ownership stays a tree, multiplicity strings round-trip, ASL
+parse/unparse is a bijection on its image, the token game conserves
+tokens at forks/joins, flattened machines replay interpreter traces,
+and XMI round-trips preserve structure for generated models.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st_
+
+import repro.metamodel as mm
+from repro import asl, xmi
+from repro.activities import Activity, TokenEngine
+from repro.statemachines import (
+    StateMachine,
+    StateMachineRuntime,
+    flatten,
+)
+
+names = st_.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+identifiers = st_.text(alphabet=string.ascii_lowercase,
+                       min_size=1, max_size=6).filter(
+    lambda s: s not in asl.KEYWORDS)
+
+
+# ---------------------------------------------------------------------------
+# metamodel invariants
+# ---------------------------------------------------------------------------
+
+@given(st_.lists(names, min_size=1, max_size=6, unique=True))
+def test_ownership_is_a_tree(class_names):
+    model = mm.Model("m")
+    pkg = model.create_package("p")
+    for name in class_names:
+        pkg.add(mm.UmlClass(name))
+    seen = set()
+    for element in model.all_owned():
+        assert id(element) not in seen, "element owned twice"
+        seen.add(id(element))
+        assert element.root() is model
+
+
+@given(st_.integers(min_value=0, max_value=50),
+       st_.one_of(st_.none(), st_.integers(min_value=0, max_value=80)))
+def test_multiplicity_string_round_trip(lower, upper):
+    if upper is not None and upper < lower:
+        lower, upper = upper, lower
+    multiplicity = mm.Multiplicity(lower, upper)
+    assert mm.Multiplicity.parse(str(multiplicity)) == multiplicity
+
+
+@given(st_.integers(min_value=0, max_value=30),
+       st_.one_of(st_.none(), st_.integers(min_value=0, max_value=60)),
+       st_.integers(min_value=0, max_value=100))
+def test_multiplicity_accepts_is_consistent(lower, upper, count):
+    if upper is not None and upper < lower:
+        lower, upper = upper, lower
+    multiplicity = mm.Multiplicity(lower, upper)
+    expected = count >= lower and (upper is None or count <= upper)
+    assert multiplicity.accepts(count) == expected
+
+
+@given(st_.lists(names, min_size=1, max_size=5, unique=True))
+def test_qualified_names_resolve_back(path_segments):
+    model = mm.Model("root")
+    namespace = model
+    for segment in path_segments:
+        namespace = namespace.create_package(segment)
+    leaf = namespace.add(mm.UmlClass("Leaf"))
+    relative = leaf.qualified_name.split("::", 1)[1]
+    assert model.resolve(relative) is leaf
+
+
+# ---------------------------------------------------------------------------
+# ASL: parse/unparse round-trip on generated ASTs
+# ---------------------------------------------------------------------------
+
+literals = st_.one_of(
+    st_.integers(min_value=0, max_value=10_000),
+    st_.booleans(),
+    st_.text(alphabet=string.ascii_letters + " ", max_size=10),
+)
+
+
+def expressions(depth=2):
+    base = st_.one_of(literals.map(asl.Literal),
+                      identifiers.map(asl.Name))
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st_.one_of(
+        base,
+        st_.tuples(st_.sampled_from(["+", "-", "*", "and", "or", "==",
+                                     "<", ">="]), sub, sub)
+        .map(lambda t: asl.Binary(t[0], t[1], t[2])),
+        st_.tuples(st_.sampled_from(["-", "not"]), sub)
+        .map(lambda t: asl.Unary(t[0], t[1])),
+        st_.lists(sub, max_size=3).map(
+            lambda items: asl.ListLiteral(tuple(items))),
+    )
+
+
+@given(expressions())
+@settings(max_examples=200)
+def test_asl_expression_unparse_parse_identity(expr):
+    text = asl.unparse_expression(expr)
+    assert asl.parse_expression(text) == expr
+
+
+def statements(depth=1):
+    assign = st_.tuples(identifiers, expressions(1)).map(
+        lambda t: asl.Assign(asl.Name(t[0]), t[1]))
+    send = st_.tuples(
+        identifiers,
+        st_.lists(st_.tuples(identifiers, expressions(0)),
+                  max_size=2, unique_by=lambda kv: kv[0]),
+    ).map(lambda t: asl.Send(t[0].capitalize(), tuple(t[1])))
+    base = st_.one_of(assign, send)
+    if depth == 0:
+        return base
+    sub = st_.lists(statements(depth - 1), min_size=1, max_size=3)
+    compound = st_.one_of(
+        st_.tuples(expressions(1), sub, sub).map(
+            lambda t: asl.If(t[0], tuple(t[1]), tuple(t[2]))),
+        st_.tuples(identifiers, expressions(0), sub).map(
+            lambda t: asl.For(t[0], t[1], tuple(t[2]))),
+    )
+    return st_.one_of(base, compound)
+
+
+@given(st_.lists(statements(), min_size=1, max_size=4))
+@settings(max_examples=150)
+def test_asl_program_unparse_parse_identity(body):
+    program = asl.Program(tuple(body))
+    assert asl.parse(asl.unparse(program)) == program
+
+
+@given(st_.integers(min_value=-1000, max_value=1000),
+       st_.integers(min_value=1, max_value=100))
+def test_asl_integer_division_floors(a, b):
+    assert asl.evaluate(f"({a}) / {b}", {}) == a // b
+
+
+# ---------------------------------------------------------------------------
+# token engine: conservation at fork/join
+# ---------------------------------------------------------------------------
+
+@given(st_.integers(min_value=2, max_value=6))
+@settings(max_examples=20)
+def test_fork_join_token_conservation(branches):
+    activity = Activity("fj")
+    init = activity.add_initial()
+    fork = activity.add_fork()
+    join = activity.add_join()
+    final = activity.add_final()
+    activity.chain(init, fork)
+    for index in range(branches):
+        action = activity.add_action(f"a{index}")
+        activity.flow(fork, action)
+        activity.flow(action, join)
+    activity.flow(join, final)
+    engine = TokenEngine(activity)
+    max_live = 0
+    while True:
+        live = sum(count for _loc, count in engine.marking_counts())
+        max_live = max(max_live, live)
+        if engine.step() is None:
+            break
+    assert engine.finished
+    assert max_live == branches  # fork multiplies to exactly N tokens
+
+
+@given(st_.integers(min_value=1, max_value=5),
+       st_.integers(min_value=0, max_value=20))
+@settings(max_examples=30)
+def test_linear_chain_always_terminates(length, seed):
+    activity = Activity("chain")
+    nodes = [activity.add_initial()]
+    for index in range(length):
+        nodes.append(activity.add_action(f"s{index}"))
+    nodes.append(activity.add_final())
+    activity.chain(*nodes)
+    engine = TokenEngine(activity, seed=seed)
+    engine.run()
+    assert engine.finished
+    assert engine.steps == length + 2
+
+
+# ---------------------------------------------------------------------------
+# flattening equivalence under random event sequences
+# ---------------------------------------------------------------------------
+
+@given(st_.lists(st_.sampled_from(["power", "tick"]), max_size=30))
+@settings(max_examples=50)
+def test_flatten_equals_interpreter(events):
+    machine = StateMachine("m")
+    region = machine.region
+    init = region.add_initial()
+    off = region.add_state("Off")
+    on = region.add_state("On")
+    region.add_transition(init, off)
+    region.add_transition(off, on, trigger="power")
+    region.add_transition(on, off, trigger="power")
+    inner = on.add_region()
+    i2 = inner.add_initial()
+    red = inner.add_state("Red")
+    green = inner.add_state("Green")
+    inner.add_transition(i2, red)
+    inner.add_transition(red, green, trigger="tick")
+    inner.add_transition(green, red, trigger="tick")
+
+    flat = flatten(machine)
+    runtime = StateMachineRuntime(machine).start()
+    for event in events:
+        flat.step(event)
+        runtime.send(event)
+    assert flat.leaf_names() == runtime.active_leaf_names()
+
+
+# ---------------------------------------------------------------------------
+# XMI round-trip on generated structural models
+# ---------------------------------------------------------------------------
+
+@given(st_.lists(st_.tuples(names, st_.integers(0, 5)),
+                 min_size=1, max_size=8, unique_by=lambda t: t[0]))
+@settings(max_examples=30)
+def test_xmi_round_trip_random_models(class_specs):
+    model = mm.Model("gen")
+    pkg = model.create_package("p")
+    classes = []
+    for name, attribute_count in class_specs:
+        cls = pkg.add(mm.UmlClass(name.capitalize()))
+        for index in range(attribute_count):
+            cls.add_attribute(f"a{index}", mm.INTEGER, default=index)
+        classes.append(cls)
+    for first, second in zip(classes, classes[1:]):
+        pkg.add(mm.associate(first, second))
+    document = xmi.read_model(xmi.write_model(model))
+    assert document.model.summary() == model.summary()
+    assert {e.xmi_id for e in document.model.all_owned()} == \
+        {e.xmi_id for e in model.all_owned()}

@@ -1,0 +1,193 @@
+"""Deeper semantic coverage: local transitions, completion-style joins,
+re-entrant dispatch, run-to-completion chain limits, and cross-cutting
+behavior interactions."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import StateMachineError
+from repro.statemachines import (
+    EventOccurrence,
+    PseudostateKind,
+    StateMachine,
+    StateMachineRuntime,
+    TransitionKind,
+)
+
+
+class TestLocalTransitions:
+    def _machine(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        comp = region.add_state("Comp", entry="comp_entries = comp_entries + 1;")
+        region.add_transition(init, comp)
+        inner = comp.add_region()
+        i2 = inner.add_initial()
+        a = inner.add_state("A")
+        b = inner.add_state("B")
+        inner.add_transition(i2, a)
+        # local self-transition on the composite: restart inner region
+        # without exiting/re-entering Comp itself
+        region.add_transition(comp, a, trigger="restart",
+                              kind=TransitionKind.LOCAL)
+        inner.add_transition(a, b, trigger="go")
+        return machine
+
+    def test_local_transition_keeps_composite_active(self):
+        runtime = StateMachineRuntime(
+            self._machine(), context={"comp_entries": 0}).start()
+        assert runtime.context["comp_entries"] == 1
+        runtime.send("go")
+        assert runtime.active_leaf_names() == ("B",)
+        runtime.send("restart")
+        assert runtime.active_leaf_names() == ("A",)
+        # LOCAL: the composite's entry action did NOT run again
+        assert runtime.context["comp_entries"] == 1
+
+    def test_external_equivalent_reenters(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        comp = region.add_state("Comp",
+                                entry="entries = entries + 1;")
+        region.add_transition(init, comp)
+        inner = comp.add_region()
+        i2 = inner.add_initial()
+        a = inner.add_state("A")
+        inner.add_transition(i2, a)
+        region.add_transition(comp, a, trigger="restart")  # EXTERNAL
+        runtime = StateMachineRuntime(machine,
+                                      context={"entries": 0}).start()
+        runtime.send("restart")
+        assert runtime.context["entries"] == 2
+
+
+class TestCompletionJoin:
+    def test_join_with_completion_outgoing(self):
+        """A triggerless join fires as soon as all branches arrive."""
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        par = region.add_state("Par")
+        done = region.add_state("Done")
+        join = region.add_pseudostate(PseudostateKind.JOIN, "join")
+        region.add_transition(init, par)
+        left_region = par.add_region("l")
+        right_region = par.add_region("r")
+        li, ri = left_region.add_initial(), right_region.add_initial()
+        l1 = left_region.add_state("L1")
+        r1 = right_region.add_state("R1")
+        l2 = left_region.add_state("L2")
+        r2 = right_region.add_state("R2")
+        left_region.add_transition(li, l1)
+        right_region.add_transition(ri, r1)
+        left_region.add_transition(l1, l2, trigger="lgo")
+        right_region.add_transition(r1, r2, trigger="rgo")
+        region.add_transition(l2, join)
+        region.add_transition(r2, join)
+        region.add_transition(join, done)  # completion-style outgoing
+        runtime = StateMachineRuntime(machine).start()
+        runtime.send("lgo")
+        assert runtime.in_state("Par")  # join not ready
+        runtime.send("rgo")
+        # both sides complete; completion event fires the join
+        assert runtime.active_leaf_names() == ("Done",)
+
+
+class TestReentrantDispatch:
+    def test_action_sending_to_self_queues(self):
+        """send without target during an effect queues a new RTC step."""
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        c = region.add_state("C")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="kick",
+                              effect="send Chain();")
+        region.add_transition(b, c, trigger="Chain")
+        sink = []
+
+        def route_self(sent):
+            runtime.dispatch(EventOccurrence.signal(sent.signal))
+        runtime = StateMachineRuntime(machine, signal_sink=route_self)
+        runtime.start()
+        runtime.send("kick")
+        # the Chain send was re-dispatched during the drain and queued
+        assert runtime.active_leaf_names() == ("C",)
+
+    def test_livelock_guard_trips(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b)   # completion
+        region.add_transition(b, a)   # completion: ping-pong forever
+        with pytest.raises(StateMachineError):
+            StateMachineRuntime(machine, max_chain=100).start()
+
+
+class TestGuardEvaluationOrder:
+    def test_effect_visible_to_downstream_choice(self):
+        """Choice guards see variables written by the incoming effect."""
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        idle = region.add_state("Idle")
+        pick = region.add_pseudostate(PseudostateKind.CHOICE, "pick")
+        even = region.add_state("Even")
+        odd = region.add_state("Odd")
+        region.add_transition(init, idle)
+        region.add_transition(idle, pick, trigger="classify",
+                              effect="parity = event.n % 2;")
+        region.add_transition(pick, even, guard="parity == 0")
+        region.add_transition(pick, odd, guard="else")
+        runtime = StateMachineRuntime(machine,
+                                      context={"parity": -1}).start()
+        runtime.send("classify", n=4)
+        assert runtime.in_state("Even")
+
+    def test_guard_exception_propagates(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="go", guard="missing > 1")
+        runtime = StateMachineRuntime(machine).start()
+        from repro.errors import AslRuntimeError
+
+        with pytest.raises(AslRuntimeError):
+            runtime.send("go")
+
+
+class TestBehaviorInteroperability:
+    def test_machine_and_activity_share_class_context_via_xuml(self):
+        """An operation body and a transition effect mutate one state."""
+        from repro.xuml import XObject
+
+        cls = mm.UmlClass("Dual", is_active=True)
+        cls.add_attribute("total", mm.INTEGER, default=0)
+        bump = cls.add_operation("bump", mm.INTEGER)
+        bump.add_parameter("by", mm.INTEGER)
+        bump.set_body("total = total + by; return total;")
+        machine = StateMachine("fsm")
+        region = machine.region
+        init = region.add_initial()
+        s = region.add_state("S")
+        region.add_transition(init, s)
+        region.add_transition(s, s, trigger="inc",
+                              effect="total = total + 1;",
+                              kind=TransitionKind.INTERNAL)
+        cls.add_behavior(machine, as_classifier_behavior=True)
+        obj = XObject(cls)
+        obj.call("bump", 10)
+        obj.send("inc")
+        obj.call("bump", 5)
+        assert obj.attributes["total"] == 16
+        assert obj.machine_runtime.context["total"] == 16

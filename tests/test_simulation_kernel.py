@@ -1,0 +1,206 @@
+"""Tests for the discrete-event kernel, signals, clocks, waveforms."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Clock, SimSignal, Simulator, Timeout, Waveform
+
+
+class TestScheduler:
+    def test_actions_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert not fired
+        assert sim.now == 5.0
+        sim.run()
+        assert fired
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_timeout_yields(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 3.0
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+        sim.process(proc())
+        sim.run()
+        assert log == [0.0, 3.0, 5.0]
+
+    def test_event_wait_and_value(self):
+        sim = Simulator()
+        event = sim.event()
+        results = []
+
+        def waiter():
+            value = yield event
+            results.append(value)
+
+        def firer():
+            yield 2.0
+            event.succeed("payload")
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert results == ["payload"]
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(42)
+        results = []
+
+        def late():
+            value = yield event
+            results.append(value)
+        sim.process(late())
+        sim.run()
+        assert results == [42]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_process_join(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 4.0
+            return "done"
+
+        def boss():
+            handle = sim.process(worker(), "w")
+            result = yield handle
+            log.append((sim.now, result))
+        sim.process(boss())
+        sim.run()
+        assert log == [(4.0, "done")]
+
+    def test_invalid_yield_type(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestSignals:
+    def test_write_notifies_subscribers(self):
+        sim = Simulator()
+        sig = SimSignal(sim, "s", initial=0)
+        seen = []
+        sig.on_change(lambda old, new: seen.append((old, new)))
+        sig.write(5)
+        assert seen == [(0, 5)]
+
+    def test_same_value_suppressed(self):
+        sim = Simulator()
+        sig = SimSignal(sim, "s", initial=1)
+        seen = []
+        sig.on_change(lambda old, new: seen.append(new))
+        sig.write(1)
+        assert seen == []
+
+    def test_delayed_write(self):
+        sim = Simulator()
+        sig = SimSignal(sim, "s", initial=0)
+        sig.write(9, delay=3.0)
+        assert sig.value == 0
+        sim.run()
+        assert sig.value == 9
+        assert sim.now == 3.0
+
+    def test_wait_change_in_process(self):
+        sim = Simulator()
+        sig = SimSignal(sim, "s", initial=0)
+        got = []
+
+        def consumer():
+            value = yield sig.wait_change()
+            got.append((sim.now, value))
+
+        def producer():
+            yield 2.0
+            sig.write(7)
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, 7)]
+
+
+class TestClockAndWaveform:
+    def test_clock_ticks(self):
+        sim = Simulator()
+        clock = Clock(sim, period=2.0)
+        ticks = []
+        clock.on_tick(lambda n: ticks.append((sim.now, n)))
+        clock.start(max_cycles=3)
+        sim.run()
+        assert ticks == [(2.0, 1), (4.0, 2), (6.0, 3)]
+
+    def test_clock_stop(self):
+        sim = Simulator()
+        clock = Clock(sim, period=1.0)
+        clock.on_tick(lambda n: clock.stop() if n >= 2 else None)
+        clock.start()
+        sim.run()
+        assert clock.cycles == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(SimulationError):
+            Clock(Simulator(), period=0)
+
+    def test_waveform_records_and_queries(self):
+        sim = Simulator()
+        sig = SimSignal(sim, "s", initial=0)
+        wave = Waveform(sig)
+        sig.write(1, delay=1.0)
+        sig.write(2, delay=3.0)
+        sim.run()
+        assert wave.changes() == ((0.0, 0), (1.0, 1), (3.0, 2))
+        assert wave.value_at(0.5) == 0
+        assert wave.value_at(2.0) == 1
+        assert wave.value_at(10.0) == 2

@@ -1,0 +1,164 @@
+"""Tests for semantic flattening of state machines."""
+
+import pytest
+
+from repro.errors import StateMachineError
+from repro.statemachines import (
+    FlatStateMachine,
+    PseudostateKind,
+    StateMachine,
+    StateMachineRuntime,
+    default_alphabet,
+    flatten,
+)
+
+
+def build_hierarchical():
+    """Off / On(Red->Green->Yellow) with power + tick events."""
+    machine = StateMachine("traffic")
+    region = machine.region
+    init = region.add_initial()
+    off = region.add_state("Off")
+    on = region.add_state("On")
+    region.add_transition(init, off)
+    region.add_transition(off, on, trigger="power")
+    region.add_transition(on, off, trigger="power")
+    inner = on.add_region()
+    i2 = inner.add_initial()
+    names = ["Red", "Green", "Yellow"]
+    states = [inner.add_state(n) for n in names]
+    inner.add_transition(i2, states[0])
+    for a, b in zip(states, states[1:] + states[:1]):
+        inner.add_transition(a, b, trigger="tick")
+    return machine
+
+
+class TestFlatten:
+    def test_default_alphabet(self):
+        machine = build_hierarchical()
+        assert default_alphabet(machine) == ("power", "tick")
+
+    def test_flat_machine_structure(self):
+        flat = flatten(build_hierarchical())
+        assert flat.initial == "Off"
+        assert set(flat.states) == {"Off", "Red", "Green", "Yellow"}
+
+    def test_flat_matches_interpreter_on_random_walk(self):
+        import random
+
+        machine = build_hierarchical()
+        flat = flatten(machine)
+        runtime = StateMachineRuntime(machine).start()
+        rng = random.Random(7)
+        for _ in range(200):
+            event = rng.choice(["power", "tick"])
+            flat.step(event)
+            runtime.send(event)
+            assert flat.leaf_names() == runtime.active_leaf_names()
+
+    def test_unknown_event_is_identity(self):
+        flat = flatten(build_hierarchical())
+        before = flat.current
+        flat.step("bogus")
+        assert flat.current == before
+
+    def test_run_sequence(self):
+        flat = flatten(build_hierarchical())
+        final = flat.run(["power", "tick", "tick"])
+        assert final == "Yellow"
+        flat.reset()
+        assert flat.current == "Off"
+
+    def test_orthogonal_configurations(self):
+        machine = StateMachine("par")
+        region = machine.region
+        init = region.add_initial()
+        par = region.add_state("Par")
+        region.add_transition(init, par)
+        for label in ("x", "y"):
+            sub = par.add_region(label)
+            i = sub.add_initial()
+            one = sub.add_state(f"{label}1")
+            two = sub.add_state(f"{label}2")
+            sub.add_transition(i, one)
+            sub.add_transition(one, two, trigger=label)
+        flat = flatten(machine)
+        assert set(flat.states) == {"x1+y1", "x1+y2", "x2+y1", "x2+y2"}
+        flat.step("x")
+        flat.step("y")
+        assert flat.current == "x2+y2"
+
+    def test_time_triggers_rejected(self):
+        machine = StateMachine("t")
+        region = machine.region
+        init = region.add_initial()
+        a, b = region.add_state("A"), region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, after=1.0)
+        with pytest.raises(StateMachineError):
+            flatten(machine)
+
+    def test_guards_respect_fixed_context(self):
+        machine = StateMachine("g")
+        region = machine.region
+        init = region.add_initial()
+        a, b = region.add_state("A"), region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, trigger="go", guard="enabled")
+        blocked = flatten(machine, context={"enabled": False})
+        blocked.step("go")
+        assert blocked.current == "A"
+        allowed = flatten(machine, context={"enabled": True})
+        allowed.step("go")
+        assert allowed.current == "B"
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_configuration(self):
+        machine = build_hierarchical()
+        runtime = StateMachineRuntime(machine).start()
+        runtime.send("power")
+        runtime.send("tick")
+        checkpoint = runtime.snapshot()
+        runtime.send("power")  # move away
+        assert runtime.active_leaf_names() == ("Off",)
+        runtime.restore(checkpoint)
+        assert runtime.active_leaf_names() == ("Green",)
+        # execution continues correctly from the restored point
+        runtime.send("tick")
+        assert runtime.active_leaf_names() == ("Yellow",)
+
+    def test_context_and_time_restored(self):
+        machine = StateMachine("m")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, after=10.0,
+                              effect="fired = fired + 1;")
+        runtime = StateMachineRuntime(machine,
+                                      context={"fired": 0}).start()
+        checkpoint = runtime.snapshot()
+        runtime.advance_time(15.0)
+        assert runtime.context["fired"] == 1
+        runtime.restore(checkpoint)
+        assert runtime.time == 0.0
+        assert runtime.context["fired"] == 0
+        runtime.advance_time(15.0)  # the timer fires again post-restore
+        assert runtime.context["fired"] == 1
+
+    def test_history_restored(self):
+        machine = build_hierarchical()
+        # add history so exits are remembered
+        on = machine.find_state("On")
+        on.regions[0].add_pseudostate(
+            PseudostateKind.SHALLOW_HISTORY, "hist")
+        runtime = StateMachineRuntime(machine).start()
+        runtime.send("power")
+        runtime.send("tick")       # Green
+        runtime.send("power")      # Off (history records Green)
+        checkpoint = runtime.snapshot()
+        runtime.send("power")      # back On -> default Red (no hist entry)
+        runtime.restore(checkpoint)
+        assert runtime.active_leaf_names() == ("Off",)

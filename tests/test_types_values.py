@@ -1,0 +1,80 @@
+"""Unit tests for value specifications, data types and enumerations."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("raw,expected_cls,value", [
+        (3, mm.LiteralInteger, 3),
+        (2.5, mm.LiteralReal, 2.5),
+        (True, mm.LiteralBoolean, True),
+        ("hi", mm.LiteralString, "hi"),
+        (None, mm.LiteralNull, None),
+    ])
+    def test_literal_factory(self, raw, expected_cls, value):
+        spec = mm.literal(raw)
+        assert isinstance(spec, expected_cls)
+        assert spec.value() == value
+
+    def test_bool_not_confused_with_int(self):
+        assert isinstance(mm.literal(True), mm.LiteralBoolean)
+        assert isinstance(mm.literal(1), mm.LiteralInteger)
+
+    def test_existing_spec_passes_through(self):
+        spec = mm.LiteralInteger(7)
+        assert mm.literal(spec) is spec
+
+    def test_element_becomes_instance_value(self):
+        instance = mm.InstanceSpecification("i")
+        spec = mm.literal(instance)
+        assert isinstance(spec, mm.InstanceValue)
+        assert spec.value() is instance
+
+    def test_unsupported_raw_rejected(self):
+        with pytest.raises(ModelError):
+            mm.literal(object())
+
+    def test_unlimited_natural(self):
+        star = mm.LiteralUnlimitedNatural(None)
+        assert star.value() is None
+        assert "*" in repr(star)
+        with pytest.raises(ModelError):
+            mm.LiteralUnlimitedNatural(-1)
+
+    def test_opaque_expression(self):
+        expr = mm.OpaqueExpression("x + 1", "asl")
+        assert expr.value() == "x + 1"
+        assert expr.language == "asl"
+
+
+class TestEnumerations:
+    def test_literals_in_order(self):
+        enum = mm.Enumeration("Color", ("RED", "GREEN", "BLUE"))
+        assert [l.name for l in enum.literals] == ["RED", "GREEN", "BLUE"]
+
+    def test_literal_lookup(self):
+        enum = mm.Enumeration("Color", ("RED",))
+        assert enum.literal("RED").enumeration is enum
+
+    def test_duplicate_literal_rejected(self):
+        enum = mm.Enumeration("Color", ("RED",))
+        with pytest.raises(ModelError):
+            enum.add_literal("RED")
+
+
+class TestPrimitives:
+    def test_standard_five(self):
+        fresh = mm.standard_primitives()
+        assert set(fresh) == {"Integer", "Boolean", "String", "Real",
+                              "UnlimitedNatural"}
+
+    def test_shared_primitives_are_ownerless(self):
+        assert mm.INTEGER.owner is None
+        assert mm.INTEGER.name == "Integer"
+
+    def test_conformance_is_identity_for_datatypes(self):
+        assert mm.INTEGER.conforms_to(mm.INTEGER)
+        assert not mm.INTEGER.conforms_to(mm.REAL)

@@ -1,0 +1,127 @@
+"""Unit tests for use cases, actors, nodes, artifacts and deployments."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import ModelError
+
+
+class TestUseCases:
+    def test_include_transitive(self):
+        boot, init, load = (mm.UseCase(n) for n in ("Boot", "Init", "Load"))
+        boot.include(init)
+        init.include(load)
+        assert boot.all_included() == (init, load)
+
+    def test_include_self_rejected(self):
+        case = mm.UseCase("X")
+        with pytest.raises(ModelError):
+            case.include(case)
+
+    def test_include_duplicate_rejected(self):
+        a, b = mm.UseCase("A"), mm.UseCase("B")
+        a.include(b)
+        with pytest.raises(ModelError):
+            a.include(b)
+
+    def test_include_cycle_safe(self):
+        a, b = mm.UseCase("A"), mm.UseCase("B")
+        a.include(b)
+        b.include(a)
+        assert a.all_included() == (b,)
+
+    def test_extend_with_extension_point(self):
+        base = mm.UseCase("Transfer")
+        base.add_extension_point("on_error")
+        ext = mm.UseCase("Retry")
+        extend = ext.extend(base, "on_error", condition="retries < 3")
+        assert extend.extended is base
+        assert extend.extension_point == "on_error"
+
+    def test_extend_unknown_extension_point(self):
+        base, ext = mm.UseCase("A"), mm.UseCase("B")
+        with pytest.raises(ModelError):
+            ext.extend(base, "missing")
+
+    def test_duplicate_extension_point_rejected(self):
+        case = mm.UseCase("A")
+        case.add_extension_point("p")
+        with pytest.raises(ModelError):
+            case.add_extension_point("p")
+
+    def test_subjects_and_actors(self):
+        case = mm.UseCase("Configure")
+        system = mm.Component("Soc")
+        designer = mm.Actor("Designer")
+        case.add_subject(system)
+        case.add_actor(designer)
+        assert case.subjects == (system,)
+        assert case.actors == (designer,)
+        with pytest.raises(ModelError):
+            case.add_actor(designer)
+
+
+class TestDeployments:
+    def test_deploy_artifact(self):
+        node = mm.Node("board")
+        artifact = mm.Artifact("fw", file_name="fw.bin")
+        node.deploy(artifact)
+        assert node.deployed_artifacts == (artifact,)
+        with pytest.raises(ModelError):
+            node.deploy(artifact)
+
+    def test_manifestation(self):
+        artifact = mm.Artifact("fw")
+        cls = mm.UmlClass("Kernel")
+        artifact.manifest(cls)
+        assert artifact.manifestations[0].utilized is cls
+        with pytest.raises(ModelError):
+            artifact.manifest(cls)
+
+    def test_nested_nodes(self):
+        board = mm.Node("board")
+        chip = mm.Device("chip")
+        board.add_node(chip)
+        assert board.nested_nodes == (chip,)
+
+    def test_execution_environment_is_node(self):
+        rtos = mm.ExecutionEnvironment("rtos")
+        assert isinstance(rtos, mm.Node)
+
+    def test_communication_path(self):
+        a, b = mm.Node("a"), mm.Node("b")
+        path = mm.CommunicationPath(a, b, name="axi")
+        assert path.connects(a) and path.connects(b)
+        assert not path.connects(mm.Node("c"))
+        with pytest.raises(ModelError):
+            mm.CommunicationPath(a, a)
+
+    def test_artifact_default_file_name(self):
+        assert mm.Artifact("boot").file_name == "boot"
+
+
+class TestModelQueries:
+    def test_find_by_id(self, simple_model):
+        cpu = simple_model.resolve("core::Cpu")
+        assert simple_model.find_by_id(cpu.xmi_id) is cpu
+        assert simple_model.find_by_id("nope") is None
+
+    def test_element_by_id_raises(self, simple_model):
+        from repro.errors import LookupFailed
+
+        with pytest.raises(LookupFailed):
+            simple_model.element_by_id("nope")
+
+    def test_build_id_index(self, simple_model):
+        index = simple_model.build_id_index()
+        assert index[simple_model.xmi_id] is simple_model
+        assert len(index) == simple_model.element_count() + 1
+
+    def test_summary_counts(self, simple_model):
+        summary = simple_model.summary()
+        assert summary["Component"] == 2
+        assert summary["Interface"] == 1
+
+    def test_elements_of_type(self, simple_model):
+        comps = list(simple_model.elements_of_type(mm.Component))
+        assert {c.name for c in comps} == {"Cpu", "Mem"}

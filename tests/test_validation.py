@@ -1,0 +1,163 @@
+"""Tests for the well-formedness rule framework and built-in rules."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import statemachines as st
+from repro.activities import Activity
+from repro.profiles import apply_stereotype, create_soc_profile
+from repro.validation import (
+    Report,
+    Rule,
+    RuleSet,
+    Severity,
+    default_rules,
+    validate_model,
+)
+
+
+class TestFramework:
+    def test_rule_produces_findings(self):
+        rule = Rule("no-x", "names must not be x", mm.UmlClass,
+                    lambda c: ["bad name"] if c.name == "x" else [])
+        findings = rule.run(mm.UmlClass("x"))
+        assert len(findings) == 1
+        assert findings[0].rule_id == "no-x"
+
+    def test_ruleset_runs_over_scope(self):
+        model = mm.Model("m")
+        model.add(mm.UmlClass("x"))
+        model.add(mm.UmlClass("ok"))
+        rules = RuleSet([Rule("no-x", "", mm.UmlClass,
+                              lambda c: ["bad"] if c.name == "x" else [])])
+        report = rules.run(model)
+        assert len(report.findings) == 1
+
+    def test_duplicate_rule_id_rejected(self):
+        rules = RuleSet()
+        rules.add(Rule("a", "", mm.Element, lambda e: []))
+        with pytest.raises(ValueError):
+            rules.add(Rule("a", "", mm.Element, lambda e: []))
+
+    def test_report_partitions(self):
+        from repro.validation.rules import Finding
+
+        report = Report([
+            Finding("r1", Severity.ERROR, "id", "n", "boom"),
+            Finding("r2", Severity.WARNING, "id", "n", "meh"),
+        ])
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+        assert "1 error(s)" in report.summary()
+
+
+class TestBuiltinRules:
+    def test_clean_model_passes(self, simple_model):
+        report = validate_model(simple_model)
+        assert report.ok, report.findings
+
+    def test_abstract_instance_flagged(self):
+        model = mm.Model("m")
+        abstract = model.add(mm.UmlClass("A", is_abstract=True))
+        model.add(mm.InstanceSpecification("a0", abstract))
+        report = validate_model(model)
+        assert report.by_rule("no-abstract-instances")
+
+    def test_untyped_attribute_warned(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        cls.add_attribute("mystery")
+        report = validate_model(model)
+        findings = report.by_rule("attribute-typed")
+        assert findings and findings[0].severity is Severity.WARNING
+        assert report.ok  # warnings don't fail
+
+    def test_unnamed_classifier_warned(self):
+        model = mm.Model("m")
+        model._own(mm.UmlClass(""))
+        report = validate_model(model)
+        assert report.by_rule("classifier-named")
+
+    def test_interface_with_body_flagged(self):
+        model = mm.Model("m")
+        iface = model.add(mm.Interface("I"))
+        op = iface.add_operation("f")
+        op.set_body("return 1;")
+        report = validate_model(model)
+        assert report.by_rule("interface-contract")
+
+    def test_unwired_required_port_warned(self):
+        model = mm.Model("m")
+        iface = model.add(mm.Interface("I"))
+        consumer = model.add(mm.Component("C"))
+        port = consumer.add_port("needs", direction=mm.PortDirection.OUT)
+        port.require(iface)
+        report = validate_model(model)
+        assert report.by_rule("required-wired")
+
+    def test_invalid_statemachine_reported(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        machine = st.StateMachine("broken")
+        machine.region.add_state("S")  # no initial
+        cls.add_behavior(machine)
+        report = validate_model(model)
+        assert report.by_rule("statemachine-structure")
+        assert not report.ok
+
+    def test_statemachine_lint_surfaces_unreachable(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        machine = st.StateMachine("m1")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        region.add_state("Orphan")
+        region.add_transition(init, a)
+        cls.add_behavior(machine)
+        report = validate_model(model)
+        findings = report.by_rule("statemachine-lint")
+        assert any("Orphan" in f.message for f in findings)
+
+    def test_invalid_activity_reported(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        activity = Activity("bad")
+        activity.add_final()  # unreachable final
+        cls.add_behavior(activity)
+        report = validate_model(model)
+        assert report.by_rule("activity-structure")
+
+    def test_profile_constraints_folded_in(self):
+        prof = create_soc_profile()
+        model = mm.Model("m")
+        memory = model.add(mm.Component("M"))
+        apply_stereotype(memory, prof.stereotype("Memory"), size_bytes=-1)
+        report = validate_model(model)
+        assert report.by_rule("profile-constraint")
+        assert not report.ok
+
+    def test_usecase_without_participants_warned(self):
+        model = mm.Model("m")
+        model.add(mm.UseCase("Lonely"))
+        report = validate_model(model)
+        assert report.by_rule("usecase-participants")
+
+    def test_rule_count_is_stable(self):
+        assert len(default_rules()) == 17
+
+    def test_completion_livelock_surfaced(self):
+        model = mm.Model("m")
+        cls = model.add(mm.UmlClass("C"))
+        machine = st.StateMachine("live")
+        region = machine.region
+        init = region.add_initial()
+        a, b = region.add_state("A"), region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b)
+        region.add_transition(b, a)
+        cls.add_behavior(machine)
+        report = validate_model(model)
+        findings = report.by_rule("statemachine-lint")
+        assert any("livelock" in f.message for f in findings)

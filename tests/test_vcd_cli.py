@@ -1,0 +1,149 @@
+"""Tests for VCD export and the command-line interface."""
+
+import os
+
+import pytest
+
+import repro.metamodel as mm
+from repro import xmi
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.profiles import create_soc_profile
+from repro.simulation import SimSignal, Simulator, Waveform
+from repro.simulation.vcd import dump_vcd, write_vcd
+
+
+class TestVcd:
+    def _waves(self):
+        sim = Simulator()
+        data = SimSignal(sim, "data", initial=0)
+        valid = SimSignal(sim, "valid", initial=False)
+        waves = [Waveform(data), Waveform(valid)]
+        data.write(5, delay=1.0)
+        valid.write(True, delay=1.0)
+        data.write(-3, delay=4.0)
+        valid.write(False, delay=6.0)
+        sim.run()
+        return waves
+
+    def test_header_and_vars(self):
+        text = dump_vcd(self._waves())
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 32 ! data $end" in text
+        assert '$var wire 32 " valid $end' in text
+        assert "$enddefinitions $end" in text
+
+    def test_time_ordered_changes(self):
+        text = dump_vcd(self._waves())
+        body = text.split("$enddefinitions $end")[1]
+        times = [int(line[1:]) for line in body.splitlines()
+                 if line.startswith("#")]
+        assert times == sorted(times)
+        assert times[0] == 0
+
+    def test_value_encodings(self):
+        text = dump_vcd(self._waves())
+        assert "b101 !" in text            # 5
+        assert 'b1 "' in text              # True
+        # -3 in 32-bit two's complement has 30 leading ones
+        assert "b" + "1" * 30 + "01 !" in text
+
+    def test_string_and_real_values(self):
+        sim = Simulator()
+        state = SimSignal(sim, "state", initial="Idle")
+        temperature = SimSignal(sim, "temp", initial=1.5)
+        waves = [Waveform(state), Waveform(temperature)]
+        state.write("Run Fast", delay=2.0)
+        temperature.write(2.25, delay=3.0)
+        sim.run()
+        text = dump_vcd(waves)
+        assert "sIdle !" in text
+        assert "sRun_Fast !" in text
+        assert 'r2.25 "' in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            dump_vcd([])
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        write_vcd(str(path), self._waves())
+        assert path.read_text().startswith("$date")
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    profile = create_soc_profile()
+    model = mm.Model("clitest")
+    pkg = model.create_package("design")
+    cpu = make_traffic_generator("Cpu", period=5.0, address_range=256,
+                                 profile=profile)
+    mem = make_memory("Ram", size_bytes=256, profile=profile)
+    make_soc("Top", masters=[cpu], slaves=[(mem, "bus", 0, 256)],
+             profile=profile, package=pkg)
+    path = tmp_path / "model.xmi"
+    xmi.write_file(str(path), model, profiles=[profile])
+    return str(path)
+
+
+class TestCli:
+    def test_info(self, model_file, capsys):
+        assert main(["info", model_file]) == 0
+        output = capsys.readouterr().out
+        assert "model: clitest" in output
+        assert "Component" in output
+
+    def test_validate_clean(self, model_file, capsys):
+        assert main(["validate", model_file]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_validate_reports_errors(self, tmp_path, capsys):
+        model = mm.Model("bad")
+        abstract = model.add(mm.UmlClass("A", is_abstract=True))
+        model.add(mm.InstanceSpecification("a0", abstract))
+        path = tmp_path / "bad.xmi"
+        xmi.write_file(str(path), model)
+        assert main(["validate", str(path)]) == 1
+
+    def test_generate(self, model_file, tmp_path, capsys):
+        output_dir = str(tmp_path / "gen")
+        assert main(["generate", model_file, "--backend", "verilog",
+                     "-o", output_dir]) == 0
+        files = os.listdir(output_dir)
+        assert any(name.endswith(".v") for name in files)
+        assert "0 invalid" in capsys.readouterr().out
+
+    def test_transform(self, model_file, tmp_path, capsys):
+        out = str(tmp_path / "psm.xmi")
+        assert main(["transform", model_file, "--platform", "hw",
+                     "-o", out]) == 0
+        document = xmi.read_file(out)
+        assert document.model.name.endswith("rtl-synchronous")
+
+    def test_simulate(self, model_file, capsys):
+        assert main(["simulate", model_file, "--top", "design::Top",
+                     "--until", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "message(s) delivered" in output
+
+    def test_diagram(self, model_file, capsys):
+        assert main(["diagram", model_file, "--kind", "statemachine"]) == 0
+        assert "@startuml" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["info", "/nonexistent.xmi"]) == 2
+
+    def test_bad_top_fails_cleanly(self, model_file):
+        assert main(["simulate", model_file, "--top",
+                     "design::Ghost"]) == 2
+
+
+class TestCliTestbench:
+    def test_generate_with_testbench(self, model_file, tmp_path, capsys):
+        output_dir = str(tmp_path / "tb")
+        assert main(["generate", model_file, "--backend", "vhdl",
+                     "--testbench", "-o", output_dir]) == 0
+        files = os.listdir(output_dir)
+        assert any(name.endswith("_tb.vhd") for name in files)
+        assert "0 invalid" in capsys.readouterr().out
