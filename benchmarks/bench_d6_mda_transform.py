@@ -7,13 +7,22 @@ Measured: full software and hardware transformations over PIMs of
 10..200 components; rule applications per second and trace completeness
 (must be 100% — full automation, no manual gap).  Shape: near-linear
 scaling in model size.
+
+Also measured: the memoized path (``transform_cached``) — a second
+transform of an unchanged PIM is served from the content-addressed
+cache (model fingerprint + generation counter), so design iterations
+that only re-run downstream steps pay nothing for the mapping.
 """
 
 import time
 
 import pytest
 
-from repro.mda import hardware_transformation, software_transformation
+from repro.mda import (
+    TransformCache,
+    hardware_transformation,
+    software_transformation,
+)
 
 from workloads import synthetic_soc_pim
 
@@ -39,12 +48,40 @@ def measure_point(components: int, which: str):
     }
 
 
+def measure_cached(components: int, which: str = "hw"):
+    """Cold vs. warm transform through the memoizing path."""
+    pim, profile = synthetic_soc_pim(components)
+    transformation = (hardware_transformation() if which == "hw"
+                      else software_transformation())
+    cache = TransformCache()
+    start = time.perf_counter()
+    cold_result = transformation.transform_cached(pim, [profile],
+                                                  cache=cache)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_result = transformation.transform_cached(pim, [profile],
+                                                  cache=cache)
+    warm = time.perf_counter() - start
+    return {
+        "mapping": which,
+        "components": components,
+        "cold_ms": round(1e3 * cold, 2),
+        "warm_ms": round(1e3 * warm, 4),
+        "speedup": round(cold / warm, 1),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "shared_result": warm_result is cold_result,
+    }
+
+
 def table():
     """Rows: both mappings across the size sweep."""
     rows = []
     for which in ("sw", "hw"):
         for components in SIZES:
             rows.append(measure_point(components, which))
+    for components in (10, 50):
+        rows.append(measure_cached(components))
     return rows
 
 
@@ -57,6 +94,13 @@ class TestShape:
     def test_psm_strictly_larger_than_pim(self):
         row = measure_point(20, "hw")
         assert row["psm_elements"] > row["pim_elements"]
+
+    def test_cached_retransform_much_faster(self):
+        """Acceptance floor is 20x; the warm path is a dict lookup."""
+        row = measure_cached(25)
+        assert row["shared_result"]
+        assert row["hits"] == 1 and row["misses"] == 1
+        assert row["speedup"] >= 20
 
     def test_near_linear_scaling(self):
         small = measure_point(10, "hw")

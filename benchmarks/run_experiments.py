@@ -6,6 +6,13 @@ recorded in EXPERIMENTS.md.  Usage::
 
     python benchmarks/run_experiments.py            # all experiments
     python benchmarks/run_experiments.py d3 d7      # a subset
+    python benchmarks/run_experiments.py --quick    # CI smoke mode
+
+``--quick`` shrinks every module's workload knobs (sweep sizes, event
+counts, simulated time) to tiny values and checks table *shapes* only —
+every table non-empty, rows are dicts with stable keys — so CI verifies
+the experiment harness end-to-end in seconds without asserting timing
+numbers that jitter on shared runners.
 """
 
 import importlib
@@ -14,6 +21,17 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+#: --quick overrides for the modules' workload-size constants.
+QUICK_KNOBS = {
+    "SIZES": (3, 5),
+    "SWEEP_SIZES": (3, 5),
+    "SEEDS": (0, 1),
+    "EVENTS": 50,
+    "SIM_TIME": 40.0,
+    "VARIANTS": 4,
+    "LOOKUPS": 20,
+}
 
 EXPERIMENTS = {
     "d1": ("bench_d1_abstraction_gap",
@@ -41,7 +59,18 @@ EXPERIMENTS = {
 }
 
 
-def run(selected):
+def _check_shape(key, rows):
+    """Smoke assertions: non-empty, dict rows, stable keys per level."""
+    if not rows:
+        raise SystemExit(f"{key}: table() returned no rows")
+    for row in rows:
+        if not isinstance(row, dict) or not row:
+            raise SystemExit(f"{key}: malformed row {row!r}")
+        if not all(isinstance(name, str) for name in row):
+            raise SystemExit(f"{key}: non-string column names in {row!r}")
+
+
+def run(selected, quick=False):
     import repro
 
     for key in selected:
@@ -49,19 +78,32 @@ def run(selected):
         repro.reset_ids()
         print(f"\n=== {key.upper()} — {title} ===")
         module = importlib.import_module(module_name)
+        if quick:
+            for knob, value in QUICK_KNOBS.items():
+                if hasattr(module, knob):
+                    setattr(module, knob, value)
         start = time.perf_counter()
-        for row in module.table():
+        rows = list(module.table())
+        for row in rows:
             print("  ", row)
+        if quick:
+            _check_shape(key, rows)
         print(f"   ({time.perf_counter() - start:.1f}s)")
+    if quick:
+        print(f"\nquick smoke OK: {len(selected)} experiment(s), "
+              "shapes verified")
 
 
 def main():
-    requested = [a.lower() for a in sys.argv[1:]] or list(EXPERIMENTS)
+    arguments = [a.lower() for a in sys.argv[1:]]
+    quick = "--quick" in arguments
+    requested = [a for a in arguments if a != "--quick"] \
+        or list(EXPERIMENTS)
     unknown = [k for k in requested if k not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}; "
                          f"choose from {list(EXPERIMENTS)}")
-    run(requested)
+    run(requested, quick=quick)
 
 
 if __name__ == "__main__":

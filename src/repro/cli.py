@@ -56,7 +56,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    from .codegen import VALIDATORS, python_gen, systemc, verilog, vhdl
+    from .codegen import (
+        VALIDATORS,
+        generate_all_parallel,
+        python_gen,
+        systemc,
+        verilog,
+        vhdl,
+    )
     from .codegen.testbench import (
         generate_verilog_testbench,
         generate_vhdl_testbench,
@@ -70,29 +77,45 @@ def cmd_generate(args: argparse.Namespace) -> int:
                                  python_gen.generate_module(scope)},
     }
     document = _load(args.model)
-    files = generators[args.backend](document.model)
-    if args.testbench and args.backend in ("vhdl", "verilog"):
+    if args.backend == "all":
+        # every backend, fanned out over the parallel pipeline
+        per_backend = generate_all_parallel(document.model,
+                                            executor=args.executor)
+    else:
+        per_backend = {args.backend: generators[args.backend](
+            document.model)}
+    if args.testbench:
         from .codegen.base import hardware_components
 
-        bench_generator = (generate_vhdl_testbench
-                           if args.backend == "vhdl"
-                           else generate_verilog_testbench)
-        suffix = ".vhd" if args.backend == "vhdl" else ".v"
-        for component in hardware_components(document.model):
-            bench_name = f"{component.name.lower()}_tb{suffix}"
-            files[bench_name] = bench_generator(component)
-    os.makedirs(args.output, exist_ok=True)
+        for backend in per_backend:
+            if backend not in ("vhdl", "verilog"):
+                continue
+            bench_generator = (generate_vhdl_testbench
+                               if backend == "vhdl"
+                               else generate_verilog_testbench)
+            suffix = ".vhd" if backend == "vhdl" else ".v"
+            for component in hardware_components(document.model):
+                bench_name = f"{component.name.lower()}_tb{suffix}"
+                per_backend[backend][bench_name] = \
+                    bench_generator(component)
+    total = 0
     failures = 0
-    for filename, text in sorted(files.items()):
-        issues = VALIDATORS[args.backend](text)
-        target = os.path.join(args.output, filename)
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        status = "ok" if not issues else f"INVALID: {issues}"
-        if issues:
-            failures += 1
-        print(f"  {target}  ({len(text.splitlines())} lines)  {status}")
-    print(f"{len(files)} file(s) generated, {failures} invalid")
+    for backend, files in per_backend.items():
+        directory = (args.output if len(per_backend) == 1
+                     else os.path.join(args.output, backend))
+        os.makedirs(directory, exist_ok=True)
+        for filename, text in sorted(files.items()):
+            issues = VALIDATORS[backend](text)
+            target = os.path.join(directory, filename)
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            status = "ok" if not issues else f"INVALID: {issues}"
+            if issues:
+                failures += 1
+            total += 1
+            print(f"  {target}  ({len(text.splitlines())} lines)  "
+                  f"{status}")
+    print(f"{total} file(s) generated, {failures} invalid")
     return 0 if not failures else 1
 
 
@@ -116,13 +139,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     document = _load(args.model)
     top = document.model.resolve(args.top, mm.Component)
-    simulation = SystemSimulation(top, quantum=args.quantum)
+    simulation = SystemSimulation(top, quantum=args.quantum,
+                                  compile=args.compiled)
     simulation.run(until=args.until)
     print(f"simulated {args.until} time units: "
           f"{simulation.messages_delivered} message(s) delivered, "
           f"{simulation.messages_dropped} dropped")
     for name, states in simulation.state_snapshot().items():
         print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
+    if args.compiled:
+        for name, verdict in sorted(simulation.compile_report.items()):
+            print(f"  {name:20} [{verdict}]")
     return 0
 
 
@@ -157,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="UML 2.0 / SoC model toolchain (validate, "
                     "transform, generate, simulate)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print perf counters (compile times, cache "
+                             "hits, per-backend wall time) after the "
+                             "command")
     commands = parser.add_subparsers(dest="command", required=True)
 
     info = commands.add_parser("info", help="summarize a model file")
@@ -172,7 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("model")
     generate.add_argument("--backend", default="vhdl",
                           choices=("vhdl", "verilog", "systemc",
-                                   "python"))
+                                   "python", "all"))
+    generate.add_argument("--executor", default="auto",
+                          choices=("auto", "thread", "process",
+                                   "sequential"),
+                          help="pool for --backend all (default: size "
+                               "heuristic)")
     generate.add_argument("--testbench", action="store_true",
                           help="also emit a testbench per component "
                                "(vhdl/verilog)")
@@ -194,6 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="qualified name, e.g. design::Top")
     simulate.add_argument("--until", type=float, default=100.0)
     simulate.add_argument("--quantum", type=float, default=1.0)
+    simulate.add_argument("--compiled", action="store_true",
+                          help="compile state machines to dispatch "
+                               "tables (interpreter fallback per part)")
     simulate.set_defaults(handler=cmd_simulate)
 
     diagram = commands.add_parser("diagram",
@@ -211,7 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        status = args.handler(args)
+        if args.stats:
+            from .perf import PERF
+
+            print(PERF.report())
+        return status
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -16,6 +16,11 @@ from typing import Dict
 
 from ..metamodel.element import Element
 from . import python_gen, systemc, testbench, validators, verilog, vhdl
+from .pipeline import (
+    BACKENDS,
+    choose_executor,
+    generate_all_parallel,
+)
 from .base import (
     CodeWriter,
     MachineView,
@@ -63,4 +68,5 @@ __all__ = [
     "VALIDATORS", "check_python", "check_systemc", "check_verilog",
     "check_vhdl",
     "generate_all",
+    "BACKENDS", "choose_executor", "generate_all_parallel",
 ]

@@ -1,0 +1,137 @@
+"""Parallel multi-backend code generation.
+
+The four backends (VHDL, Verilog, SystemC, Python) are independent —
+each reads the model scope and writes its own file set — so they fan
+out over a :mod:`concurrent.futures` pool.  A size heuristic picks the
+executor: big models go to a process pool (real CPU parallelism, worth
+the fork+pickle cost), small models to threads (near-zero startup; the
+backends release little of the GIL, but the pool also costs almost
+nothing).  Scopes that cannot pickle (callable guards/effects close
+over Python objects) transparently drop from processes to threads.
+
+Determinism is a hard guarantee: whatever the executor, completion
+order, or scheduling jitter, the returned mapping lists backends in the
+fixed :data:`BACKENDS` order with byte-identical content to the
+sequential :func:`repro.codegen.generate_all` — the determinism test
+asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import CodegenError
+from ..metamodel.element import Element
+from ..perf import PERF
+from . import python_gen, systemc, verilog, vhdl
+
+#: Fixed backend order — output dicts always iterate in this order.
+BACKENDS: Tuple[str, ...] = ("vhdl", "verilog", "systemc", "python")
+
+#: Models with at least this many owned elements use a process pool.
+PROCESS_POOL_THRESHOLD = 400
+
+_GENERATORS: Dict[str, Callable[[Element], Dict[str, str]]] = {
+    "vhdl": vhdl.generate,
+    "verilog": verilog.generate,
+    "systemc": systemc.generate,
+    "python": lambda scope: {
+        "generated.py": python_gen.generate_module(scope)},
+}
+
+
+def _run_backend(backend: str,
+                 scope: Element) -> Tuple[str, Dict[str, str], float]:
+    """Worker: one backend over the scope (top-level for process pools)."""
+    start = time.perf_counter()
+    files = _GENERATORS[backend](scope)
+    return backend, files, time.perf_counter() - start
+
+
+def _scope_size(scope: Element) -> int:
+    return sum(1 for _ in scope.all_owned())
+
+
+def choose_executor(scope: Element,
+                    size_threshold: int = PROCESS_POOL_THRESHOLD) -> str:
+    """The size heuristic: "process" for big picklable scopes, else
+    "thread"."""
+    if _scope_size(scope) < size_threshold:
+        return "thread"
+    try:
+        pickle.dumps(scope)
+    except Exception:
+        # callable guards/effects etc. cannot cross a process boundary
+        return "thread"
+    return "process"
+
+
+def generate_all_parallel(scope: Element,
+                          backends: Sequence[str] = BACKENDS,
+                          executor: str = "auto",
+                          size_threshold: int = PROCESS_POOL_THRESHOLD,
+                          max_workers: Optional[int] = None
+                          ) -> Dict[str, Dict[str, str]]:
+    """Run the requested backends concurrently.
+
+    ``executor`` is ``"auto"`` (size heuristic), ``"thread"``,
+    ``"process"`` or ``"sequential"``.  Returns ``{backend: {filename:
+    text}}`` in fixed :data:`BACKENDS` order regardless of completion
+    order; content is byte-identical to running the backends one by
+    one.  Per-backend wall time lands in ``PERF`` under
+    ``codegen.<backend>.wall_s``.
+    """
+    unknown = [name for name in backends if name not in _GENERATORS]
+    if unknown:
+        raise CodegenError(f"unknown codegen backends: {unknown!r} "
+                           f"(available: {sorted(_GENERATORS)})")
+    ordered = [name for name in BACKENDS if name in backends]
+    if executor == "auto":
+        executor = choose_executor(scope, size_threshold)
+    if executor not in ("thread", "process", "sequential"):
+        raise CodegenError(
+            f"unknown executor {executor!r} "
+            "(use 'auto', 'thread', 'process' or 'sequential')")
+
+    results: Dict[str, Dict[str, str]] = {}
+    with PERF.timed("codegen.pipeline_s"):
+        if executor == "sequential" or len(ordered) <= 1:
+            for backend in ordered:
+                _, files, elapsed = _run_backend(backend, scope)
+                results[backend] = files
+                PERF.observe(f"codegen.{backend}.wall_s", elapsed)
+        else:
+            results.update(_fan_out(scope, ordered, executor, max_workers))
+    PERF.incr(f"codegen.runs.{executor}")
+    # re-key into the canonical order so iteration is deterministic
+    return {backend: results[backend] for backend in ordered}
+
+
+def _fan_out(scope: Element, ordered: Sequence[str], executor: str,
+             max_workers: Optional[int]) -> Dict[str, Dict[str, str]]:
+    workers = max_workers or len(ordered)
+    if executor == "process":
+        pool_cls = concurrent.futures.ProcessPoolExecutor
+    else:
+        pool_cls = concurrent.futures.ThreadPoolExecutor
+    try:
+        with pool_cls(max_workers=workers) as pool:
+            futures = {backend: pool.submit(_run_backend, backend, scope)
+                       for backend in ordered}
+            results: Dict[str, Dict[str, str]] = {}
+            for backend in ordered:
+                _, files, elapsed = futures[backend].result()
+                results[backend] = files
+                PERF.observe(f"codegen.{backend}.wall_s", elapsed)
+            return results
+    except (pickle.PicklingError, TypeError, AttributeError,
+            concurrent.futures.process.BrokenProcessPool):
+        if executor != "process":
+            raise
+        # scope or results failed to cross the process boundary; the
+        # thread pool shares the address space and always works
+        PERF.incr("codegen.process_fallbacks")
+        return _fan_out(scope, ordered, "thread", max_workers)

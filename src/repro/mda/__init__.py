@@ -17,13 +17,19 @@ from .rules import (
     TransformationResult,
     TransformationRule,
 )
-from .engine import Transformation, clone_model
+from .engine import (
+    DEFAULT_TRANSFORM_CACHE,
+    TransformCache,
+    Transformation,
+    clone_model,
+)
 from .mappings import hardware_transformation, software_transformation
 
 __all__ = [
     "HARDWARE_PLATFORM", "Platform", "PlatformKind", "SOFTWARE_PLATFORM",
     "ModelRule", "TraceLink", "TransformationContext",
     "TransformationResult", "TransformationRule",
+    "DEFAULT_TRANSFORM_CACHE", "TransformCache",
     "Transformation", "clone_model",
     "hardware_transformation", "software_transformation",
 ]

@@ -8,15 +8,25 @@
 2. rules run in priority order over the clone;
 3. the result carries the full trace, per-rule application counts and a
    completeness measure (experiment D6 asserts completeness == 100%).
+
+Memoization: :meth:`Transformation.transform_cached` keys results in a
+:class:`TransformCache` by the transformation's identity plus the
+content fingerprints of the PIM and its profiles
+(:func:`repro.metamodel.model.model_fingerprint`).  A repeat transform
+of an unchanged model is a dict lookup; any element mutation bumps the
+model's generation counter, changes its fingerprint and misses the
+cache naturally — no explicit invalidation API needed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TransformError
 from ..metamodel.element import Element
-from ..metamodel.model import Model
+from ..metamodel.model import Model, model_fingerprint
+from ..perf import PERF
 from ..profiles.core import Profile
 from ..xmi.reader import read_model
 from ..xmi.writer import write_model
@@ -37,6 +47,58 @@ def clone_model(model: Model,
     if document.model is None:
         raise TransformError("clone round-trip lost the model root")
     return document.model
+
+
+class TransformCache:
+    """An LRU cache of transformation results keyed by model content.
+
+    Keys combine the transformation identity (name, platform, rule
+    names) with the content fingerprints of the PIM and every profile,
+    so results are reused exactly when the inputs are byte-equivalent.
+    The cached :class:`TransformationResult` (including its PSM) is
+    returned *shared* — treat cached PSMs as read-only, or clone them
+    with :func:`clone_model` before mutating.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries <= 0:
+            raise TransformError("cache size must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, TransformationResult]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple) -> Optional[TransformationResult]:
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            PERF.incr("mda.cache_hit")
+        else:
+            self.misses += 1
+            PERF.incr("mda.cache_miss")
+        return result
+
+    def store(self, key: Tuple, result: TransformationResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"<TransformCache {len(self._entries)}/{self.max_entries} "
+                f"hits={self.hits} misses={self.misses}>")
+
+
+#: Module-level default cache used by ``transform_cached(cache=None)``.
+DEFAULT_TRANSFORM_CACHE = TransformCache()
 
 
 class Transformation:
@@ -96,6 +158,41 @@ class Transformation:
         return TransformationResult(
             pim=pim, psm=psm, platform=self.platform,
             trace=context.trace, applications=applications)
+
+    def cache_key(self, pim: Model,
+                  profiles: Sequence[Profile] = ()) -> Tuple:
+        """The content-addressed cache key for transforming ``pim``."""
+        return (
+            self.name,
+            self.platform.name,
+            tuple(rule.name for rule in self.rules),
+            model_fingerprint(pim),
+            tuple(model_fingerprint(profile) for profile in profiles),
+        )
+
+    def transform_cached(self, pim: Model,
+                         profiles: Sequence[Profile] = (),
+                         profile: Optional[Profile] = None,
+                         cache: Optional[TransformCache] = None
+                         ) -> TransformationResult:
+        """Like :meth:`transform`, memoized on model content.
+
+        An unchanged (transformation, PIM, profiles) triple returns the
+        previously computed result in O(fingerprint) — a dict lookup
+        when the model's generation counter is unchanged.  Mutating any
+        element of the PIM or a profile invalidates automatically.  The
+        returned result is shared between callers; clone the PSM before
+        mutating it.
+        """
+        if cache is None:
+            cache = DEFAULT_TRANSFORM_CACHE
+        with PERF.timed("mda.transform_cached_s"):
+            key = self.cache_key(pim, profiles)
+            result = cache.lookup(key)
+            if result is None:
+                result = self.transform(pim, profiles, profile)
+                cache.store(key, result)
+            return result
 
     def __repr__(self) -> str:
         return (f"<Transformation {self.name!r} -> {self.platform.name} "

@@ -80,6 +80,12 @@ class Multiplicity:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Multiplicity is immutable")
 
+    def __reduce__(self):
+        # immutability blocks the default slot-state protocol; rebuild
+        # through the constructor (needed to ship models to process
+        # pools in codegen.pipeline)
+        return (Multiplicity, (self.lower, self.upper))
+
     @classmethod
     def parse(cls, text: str) -> "Multiplicity":
         """Parse a UML multiplicity string: ``"1"``, ``"0..1"``, ``"2..*"``, ``"*"``."""
@@ -150,6 +156,45 @@ class Element:
         self._owner: Optional[Element] = None
         self._owned: List[Element] = []
 
+    # -- mutation tracking ----------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        """Set the attribute and bump the owning tree's generation.
+
+        The generation counter lives on the tree root and increments on
+        every attribute assignment anywhere in the tree; the transform
+        cache uses it to invalidate memoized fingerprints in O(1).
+        Writes go through ``__dict__`` directly so the bump itself never
+        re-enters this hook.
+        """
+        object.__setattr__(self, name, value)
+        target: Element = self
+        node = target.__dict__.get("_owner")
+        while node is not None:
+            target = node
+            node = node.__dict__.get("_owner")
+        owner_dict = target.__dict__
+        owner_dict["_generation"] = owner_dict.get("_generation", 0) + 1
+
+    def _note_mutation(self) -> None:
+        """Record a structural mutation invisible to ``__setattr__``.
+
+        List/dict mutations (``_owned.append``, deferrable triggers, …)
+        do not pass through the attribute hook; call this explicitly.
+        """
+        root = self.root()
+        owner_dict = root.__dict__
+        owner_dict["_generation"] = owner_dict.get("_generation", 0) + 1
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter of the tree rooted here (0 when untouched).
+
+        Only meaningful on a tree root: mutations anywhere in a tree bump
+        the *root's* counter.
+        """
+        return self.__dict__.get("_generation", 0)
+
     # -- ownership tree -------------------------------------------------
 
     @property
@@ -184,6 +229,9 @@ class Element:
         """Release ownership of ``child``."""
         if child._owner is not self:
             raise ModelError(f"{child!r} is not owned by {self!r}")
+        # bump the old tree's generation while the child is still
+        # attached — after the unlink the child walks to itself
+        self._note_mutation()
         child._owner = None
         self._owned.remove(child)
         return child

@@ -3,17 +3,108 @@
 A :class:`Model` is the top-level package of a UML model.  It provides
 indexed lookup by ``xmi_id``, typed iteration, and summary statistics
 used by the metrics package and the benchmark workload generators.
+
+Also here: :func:`model_fingerprint`, the content-addressed hash over
+an ownership tree that keys the MDA transform cache.  Two independently
+built but structurally identical models fingerprint the same (the hash
+walks content, not ``xmi_id`` identities), and any mutation changes the
+fingerprint.  Recomputation is O(1) for an unchanged tree: the digest
+is cached per :attr:`Element.generation`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple, Type, TypeVar
+import enum
+import hashlib
+from typing import Any, Dict, Iterator, Optional, Tuple, Type, TypeVar
 
 from ..errors import LookupFailed
-from .element import Element
+from .element import Element, Multiplicity
 from .namespaces import Package
 
 E = TypeVar("E", bound=Element)
+
+#: Attributes excluded from the fingerprint: identity (fresh per run),
+#: tree bookkeeping (covered by the walk itself) and the cache fields.
+_FP_SKIP = frozenset(
+    {"xmi_id", "_owner", "_owned", "_generation", "_fp_cache"})
+
+
+def _encode_value(value: Any, index: Dict[int, int], out: list) -> None:
+    """Append a canonical token stream for one attribute value."""
+    if value is None:
+        out.append("N")
+    elif isinstance(value, bool):
+        out.append(f"b{value}")
+    elif isinstance(value, (int, float)):
+        out.append(f"n{value!r}")
+    elif isinstance(value, str):
+        out.append(f"s{len(value)}:{value}")
+    elif isinstance(value, enum.Enum):
+        out.append(f"e{type(value).__name__}.{value.name}")
+    elif isinstance(value, Element):
+        position = index.get(id(value))
+        if position is not None:
+            out.append(f"@{position}")  # in-tree ref -> walk position
+        else:
+            # reference into another tree: hash by type and name only
+            out.append(f"x{type(value).__name__}:"
+                       f"{getattr(value, 'name', '')}")
+    elif isinstance(value, Multiplicity):
+        out.append(f"m{value}")
+    elif isinstance(value, (list, tuple)):
+        out.append(f"[{len(value)}")
+        for item in value:
+            _encode_value(item, index, out)
+        out.append("]")
+    elif isinstance(value, dict):
+        out.append(f"{{{len(value)}")
+        for key in sorted(value, key=str):
+            out.append(f"k{key}")
+            _encode_value(value[key], index, out)
+        out.append("}")
+    elif isinstance(value, (set, frozenset)):
+        out.append(f"S{sorted(str(item) for item in value)}")
+    elif callable(value):
+        out.append(f"c{getattr(value, '__qualname__', 'callable')}")
+    else:
+        out.append(f"o{type(value).__name__}:{value}")
+
+
+def model_fingerprint(root: Element) -> str:
+    """Stable content hash of the ownership tree rooted at ``root``.
+
+    The digest covers every element's metaclass and attributes in
+    pre-order; in-tree element references hash as walk positions, so
+    the result is independent of ``xmi_id`` allocation.  Cached against
+    :attr:`Element.generation` — repeat calls on an unchanged tree are
+    a dict lookup.
+    """
+    generation = root.__dict__.get("_generation", 0)
+    cached = root.__dict__.get("_fp_cache")
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+
+    elements = [root]
+    elements.extend(root.all_owned())
+    index = {id(element): position
+             for position, element in enumerate(elements)}
+    hasher = hashlib.blake2b(digest_size=16)
+    tokens: list = []
+    for element in elements:
+        tokens.append(f"E{type(element).__name__}")
+        attributes = element.__dict__
+        for name in sorted(attributes):
+            if name in _FP_SKIP:
+                continue
+            tokens.append(f"a{name}")
+            _encode_value(attributes[name], index, tokens)
+    hasher.update("\x1f".join(tokens).encode("utf-8", "surrogatepass"))
+    digest = hasher.hexdigest()
+    # store via __dict__ so the cache write itself does not bump the
+    # generation counter and invalidate what it just computed
+    root.__dict__["_fp_cache"] = (generation, digest)
+    return digest
 
 
 class Model(Package):
@@ -60,6 +151,10 @@ class Model(Package):
     def element_count(self) -> int:
         """Total number of owned elements (excluding the root itself)."""
         return sum(1 for _ in self.all_owned())
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole model (see :func:`model_fingerprint`)."""
+        return model_fingerprint(self)
 
     # -- statistics -----------------------------------------------------------
 

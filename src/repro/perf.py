@@ -1,0 +1,124 @@
+"""Lightweight performance counters for the compiled execution pipeline.
+
+One process-wide registry (:data:`PERF`) collects named counters and
+timing observations from the hot paths added by the compiled pipeline:
+state-machine compilation (``cosim.compiled_parts``, ``sm.compile_s``),
+transform memoization (``mda.cache_hit`` / ``mda.cache_miss``) and the
+parallel code generators (``codegen.<backend>.wall_s``).  The registry
+is deliberately simple — plain dicts behind one lock — so recording a
+counter costs a dict update, not a measurable fraction of the thing
+being measured.
+
+Usage::
+
+    from repro.perf import PERF
+
+    PERF.incr("mda.cache_hit")
+    with PERF.timed("sm.compile_s"):
+        compile_machine(machine)
+    print(PERF.report())
+
+``snapshot()`` returns plain data (safe to serialize), ``reset()``
+clears everything (benchmarks call it between runs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+class PerfRegistry:
+    """Named counters plus min/max/total/count timing observations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._observations: Dict[str, Dict[str, float]] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the named counter (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of a named quantity (e.g. seconds)."""
+        with self._lock:
+            stats = self._observations.get(name)
+            if stats is None:
+                self._observations[name] = {
+                    "count": 1, "total": value, "min": value, "max": value,
+                }
+            else:
+                stats["count"] += 1
+                stats["total"] += value
+                if value < stats["min"]:
+                    stats["min"] = value
+                if value > stats["max"]:
+                    stats["max"] = value
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager observing the wall time of its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stats(self, name: str) -> Optional[Dict[str, float]]:
+        """Copy of the stats dict for an observed quantity, or None."""
+        with self._lock:
+            stats = self._observations.get(name)
+            return dict(stats) if stats else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All counters and observations as plain nested dicts."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "observations": {name: dict(stats) for name, stats
+                                 in self._observations.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop every counter and observation."""
+        with self._lock:
+            self._counters.clear()
+            self._observations.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (CLI ``--stats`` output)."""
+        snap = self.snapshot()
+        lines = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for name in sorted(snap["counters"]):
+                value = snap["counters"][name]
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {name:40} {shown}")
+        if snap["observations"]:
+            lines.append("timings:")
+            for name in sorted(snap["observations"]):
+                stats = snap["observations"][name]
+                mean = stats["total"] / stats["count"]
+                lines.append(
+                    f"  {name:40} n={int(stats['count'])} "
+                    f"total={stats['total']:.6f} mean={mean:.6f} "
+                    f"min={stats['min']:.6f} max={stats['max']:.6f}")
+        return "\n".join(lines) if lines else "(no perf data recorded)"
+
+
+#: The process-wide registry used by the library's instrumented paths.
+PERF = PerfRegistry()

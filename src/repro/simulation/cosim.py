@@ -16,31 +16,54 @@ are treated identically — which is precisely the interchangeability
 argument of Section 4.
 
 Time: state machine *time events* (``after(n)``) advance on a fixed
-quantum: a kernel process wakes every ``quantum`` and advances each
+quantum: a kernel tick wakes every ``quantum`` and advances each
 runtime's local clock.  Deliveries also advance the target runtime to
 the current simulation time first, so local clocks never run ahead of
 the kernel.
+
+Execution modes: with ``compile=True`` each part's state machine is
+compiled once into a dispatch table of precompiled guard/effect
+closures (:func:`repro.statemachines.flatten.compile_machine`) and
+executed by the :class:`~repro.statemachines.flatten.CompiledRuntime`;
+machines outside the compilable subset (deep history, deferral, change
+triggers, ...) transparently fall back to the interpreter per part —
+``compile_report`` says which parts compiled and why the rest did not.
+Both modes are bit-identical in message traffic, states and contexts
+(the lockstep equivalence tests assert this); compiled mode is simply
+several times faster.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import time as _time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..asl import SentSignal
 from ..errors import SimulationError
 from ..metamodel.components import Component, Connector, ConnectorKind
 from ..metamodel.classifiers import UmlClass
+from ..perf import PERF
 from ..statemachines.events import EventOccurrence
 from ..statemachines.kernel import StateMachine
 from ..statemachines.runtime import StateMachineRuntime
+from ..statemachines.flatten import (
+    CompiledRuntime,
+    compile_fallback_reason,
+    compile_machine,
+)
 from .kernel import Simulator
+
+#: Either execution engine for a part's behavior.
+PartRuntime = Union[StateMachineRuntime, CompiledRuntime]
 
 
 class PartInstance:
     """One running part: its model property plus a live runtime."""
 
+    __slots__ = ("name", "part_type", "runtime", "received", "sent")
+
     def __init__(self, name: str, part_type: UmlClass,
-                 runtime: Optional[StateMachineRuntime]):
+                 runtime: Optional[PartRuntime]):
         self.name = name
         self.part_type = part_type
         self.runtime = runtime
@@ -69,7 +92,8 @@ class SystemSimulation:
                  latency_fn: Optional[Callable[[Connector], float]] = None,
                  context: Optional[Dict[str, Dict[str, Any]]] = None,
                  trace: bool = False,
-                 strict_routing: bool = False):
+                 strict_routing: bool = False,
+                 compile: bool = False):
         self.top = top
         self.simulator = Simulator()
         self.quantum = quantum
@@ -77,21 +101,45 @@ class SystemSimulation:
         self.latency_fn = latency_fn
         self.trace_enabled = trace
         self.strict_routing = strict_routing
+        self.compile_enabled = compile
         self.trace: List[Tuple[float, str]] = []
         #: (time, sender, receiver, signal) for every delivered message
         self.message_log: List[Tuple[float, str, str, str]] = []
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.wall_time_s = 0.0
         self.parts: Dict[str, PartInstance] = {}
+        #: part name -> engine choice: "compiled", "interpreter[: reason]",
+        #: or "no behavior"
+        self.compile_report: Dict[str, str] = {}
         self._routes: Dict[Tuple[str, str], List[Route]] = {}
+        #: precompiled per-part port lookup: part -> {port: routes}
+        self._part_routes: Dict[str, Dict[str, List[Route]]] = {}
         self._inward: Dict[str, List[Route]] = {}  # top port -> parts
         self._build_parts(context or {})
         self._build_routes()
-        self._quantum_running = False
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+
+    def _make_runtime(self, part_name: str, behavior: StateMachine,
+                      initial_context: Dict[str, Any]) -> PartRuntime:
+        sink = self._make_sink(part_name)
+        if self.compile_enabled:
+            reason = compile_fallback_reason(behavior)
+            if reason is None:
+                self.compile_report[part_name] = "compiled"
+                PERF.incr("cosim.compiled_parts")
+                return CompiledRuntime(compile_machine(behavior),
+                                       context=initial_context,
+                                       signal_sink=sink)
+            self.compile_report[part_name] = f"interpreter: {reason}"
+            PERF.incr("cosim.interpreted_parts")
+        else:
+            self.compile_report[part_name] = "interpreter"
+        return StateMachineRuntime(behavior, context=initial_context,
+                                   signal_sink=sink)
 
     def _build_parts(self, contexts: Dict[str, Dict[str, Any]]) -> None:
         for part in self.top.parts:
@@ -99,7 +147,7 @@ class SystemSimulation:
             if not isinstance(part_type, UmlClass):
                 continue
             behavior = part_type.classifier_behavior
-            runtime: Optional[StateMachineRuntime] = None
+            runtime: Optional[PartRuntime] = None
             if isinstance(behavior, StateMachine):
                 initial_context = dict(contexts.get(part.name, {}))
                 for attribute in part_type.all_attributes():
@@ -107,9 +155,10 @@ class SystemSimulation:
                             and attribute.default_value is not None:
                         initial_context[attribute.name] = \
                             attribute.default_value
-                runtime = StateMachineRuntime(
-                    behavior, context=initial_context,
-                    signal_sink=self._make_sink(part.name))
+                runtime = self._make_runtime(part.name, behavior,
+                                             initial_context)
+            else:
+                self.compile_report[part.name] = "no behavior"
             self.parts[part.name] = PartInstance(part.name, part_type,
                                                  runtime)
         if not self.parts:
@@ -154,6 +203,12 @@ class SystemSimulation:
                 (name_b, end_b.port.name, latency))
             self._routes.setdefault((name_b, end_b.port.name), []).append(
                 (name_a, end_a.port.name, latency))
+        # flatten into per-part lookup tables: the send hot path then
+        # does two dict gets instead of building a tuple key per signal
+        for (part_name, port_name), routes in self._routes.items():
+            self._part_routes.setdefault(part_name, {})[port_name] = routes
+        for part_name in self.parts:
+            self._part_routes.setdefault(part_name, {})
 
     # ------------------------------------------------------------------
     # signal routing
@@ -169,7 +224,7 @@ class SystemSimulation:
                                         sender=part_name)
                 return
             port_name = str(sent.target)
-            routes = self._routes.get((part_name, port_name))
+            routes = self._part_routes[part_name].get(port_name)
             if not routes:
                 if self.strict_routing:
                     raise SimulationError(
@@ -213,6 +268,10 @@ class SystemSimulation:
         if runtime is not None and runtime.time < self.simulator.now:
             runtime.advance_time(self.simulator.now - runtime.time)
 
+    def _sync_all(self) -> None:
+        for instance in self.parts.values():
+            self._sync_runtime(instance)
+
     # ------------------------------------------------------------------
     # external stimulus + execution
     # ------------------------------------------------------------------
@@ -235,21 +294,22 @@ class SystemSimulation:
             self._schedule_delivery(part_name, signal, arguments,
                                     delay + latency)
 
-    def _quantum_process(self, until: float):
-        while self.simulator.now < until:
-            yield self.quantum
-            for instance in self.parts.values():
-                self._sync_runtime(instance)
-
     def run(self, until: float) -> "SystemSimulation":
         """Run the cosimulation up to simulated time ``until`` (chainable)."""
-        self.simulator.process(self._quantum_process(until), "quantum")
+        start = _time.perf_counter()
+        events_before = self.simulator.events_processed
+        self.simulator.every(self.quantum, self._sync_all, until=until)
         self.simulator.run(until=until)
         for instance in self.parts.values():
             if instance.runtime is not None \
                     and instance.runtime.time < until:
                 instance.runtime.advance_time(
                     until - instance.runtime.time)
+        elapsed = _time.perf_counter() - start
+        self.wall_time_s += elapsed
+        PERF.observe("cosim.run_wall_s", elapsed)
+        PERF.incr("cosim.kernel_events",
+                  self.simulator.events_processed - events_before)
         return self
 
     def state_snapshot(self) -> Dict[str, Tuple[str, ...]]:
@@ -263,6 +323,23 @@ class SystemSimulation:
         if runtime is None:
             raise SimulationError(f"part {part_name!r} has no behavior")
         return runtime.context
+
+    def stats(self) -> Dict[str, Any]:
+        """Execution statistics: engine mix, traffic, and throughput."""
+        compiled = sum(1 for report in self.compile_report.values()
+                       if report == "compiled")
+        events = self.simulator.events_processed
+        return {
+            "mode": "compiled" if self.compile_enabled else "interpreted",
+            "parts": len(self.parts),
+            "compiled_parts": compiled,
+            "kernel_events": events,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "wall_s": self.wall_time_s,
+            "events_per_s": (round(events / self.wall_time_s)
+                             if self.wall_time_s > 0 else 0),
+        }
 
     def __repr__(self) -> str:
         return (f"<SystemSimulation {self.top.name!r} parts="

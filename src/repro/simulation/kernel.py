@@ -51,6 +51,10 @@ class SimEvent:
 
     def succeed(self, value: Any = None) -> "SimEvent":
         """Trigger the event, waking every waiter (chainable)."""
+        if self.simulator._closed:
+            raise SimulationError(
+                "cannot succeed an event on a closed simulator; "
+                "the event wheel has been torn down")
         if self.triggered:
             raise SimulationError("event already triggered")
         self.triggered = True
@@ -85,6 +89,47 @@ class ProcessHandle:
         return f"<Process {self.name} ({status})>"
 
 
+class _RecurringTick:
+    """A fixed-interval callback that re-arms itself without per-tick
+    generator frames or lambda allocation (the clock fast path).
+
+    Semantics match a ``while now < until: yield interval; action()``
+    process exactly: the first firing at the creation time is a no-op
+    that only arms the next tick, every later firing runs the action
+    and then re-arms while ``now < until``.
+    """
+
+    __slots__ = ("simulator", "interval", "action", "until", "primed",
+                 "stopped")
+
+    def __init__(self, simulator: "Simulator", interval: float,
+                 action: Callable[[], None], until: Optional[float]):
+        self.simulator = simulator
+        self.interval = interval
+        self.action = action
+        self.until = until
+        self.primed = False
+        self.stopped = False
+
+    def stop(self) -> None:
+        """Permanently disarm the tick (pending firing becomes a no-op)."""
+        self.stopped = True
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        if self.primed:
+            self.action()
+        else:
+            self.primed = True
+        simulator = self.simulator
+        if self.until is None or simulator.now < self.until:
+            heapq.heappush(
+                simulator._queue,
+                (simulator.now + self.interval, next(simulator._sequence),
+                 self._fire, None))
+
+
 class Simulator:
     """The event-wheel scheduler."""
 
@@ -94,15 +139,37 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable, Any]] = []
         self._sequence = itertools.count()
         self._processes: List[ProcessHandle] = []
+        self._closed = False
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action()`` after ``delay`` simulated time."""
+        if self._closed:
+            raise SimulationError("cannot schedule on a closed simulator")
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
         heapq.heappush(self._queue,
                        (self.now + delay, next(self._sequence), action, None))
+
+    def every(self, interval: float, action: Callable[[], None],
+              until: Optional[float] = None) -> _RecurringTick:
+        """Run ``action()`` every ``interval`` without process overhead.
+
+        Returns the tick handle (call ``.stop()`` to disarm).  The first
+        action runs at ``now + interval``; with ``until`` given, ticks
+        stop re-arming once ``now >= until`` (the action still runs at a
+        tick landing exactly on ``until`` — the same inclusive boundary
+        as :meth:`run`).
+        """
+        if self._closed:
+            raise SimulationError("cannot schedule on a closed simulator")
+        if interval <= 0:
+            raise SimulationError("recurring interval must be positive")
+        tick = _RecurringTick(self, interval, action, until)
+        heapq.heappush(self._queue,
+                       (self.now, next(self._sequence), tick._fire, None))
+        return tick
 
     def event(self) -> SimEvent:
         """Create a fresh one-shot event bound to this simulator."""
@@ -111,6 +178,9 @@ class Simulator:
     def process(self, generator: Generator,
                 name: str = "") -> ProcessHandle:
         """Start a generator as a process (resumed immediately at t=now)."""
+        if self._closed:
+            raise SimulationError(
+                "cannot start a process on a closed simulator")
         handle = ProcessHandle(generator, name or f"p{len(self._processes)}",
                                self)
         self._processes.append(handle)
@@ -165,8 +235,18 @@ class Simulator:
             max_events: int = 10_000_000) -> float:
         """Run until quiescence or simulated time ``until``.
 
+        Boundary contract: events scheduled *exactly at* ``until`` are
+        processed (the horizon is inclusive), events strictly later stay
+        queued, and ``now == until`` on return even when the queue
+        drained earlier.  ``until`` must not lie in the past — time
+        never moves backwards.
+
         Returns the simulation time reached.
         """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until t={until}: simulation time is already "
+                f"t={self.now} (time never moves backwards)")
         processed = 0
         while self._queue:
             if until is not None and self._queue[0][0] > until:
@@ -180,6 +260,21 @@ class Simulator:
         if until is not None:
             self.now = max(self.now, until)
         return self.now
+
+    def close(self) -> None:
+        """Tear down the wheel: drop queued work, refuse new scheduling.
+
+        After ``close()`` any :meth:`schedule`, :meth:`every` or
+        :meth:`SimEvent.succeed` raises :class:`SimulationError` —
+        nothing silently schedules into a dead wheel.  Idempotent.
+        """
+        self._closed = True
+        self._queue.clear()
+
+    @property
+    def is_closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
 
     @property
     def is_quiescent(self) -> bool:

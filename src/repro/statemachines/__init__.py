@@ -28,7 +28,15 @@ from .kernel import (
     Vertex,
 )
 from .runtime import ELSE_GUARD, StateMachineRuntime
-from .flatten import FlatStateMachine, default_alphabet, flatten
+from .flatten import (
+    CompiledMachine,
+    CompiledRuntime,
+    FlatStateMachine,
+    compile_fallback_reason,
+    compile_machine,
+    default_alphabet,
+    flatten,
+)
 from .compose import clone_machine, connection_point, inline_submachine
 from . import analysis
 
@@ -38,7 +46,9 @@ __all__ = [
     "FinalState", "Pseudostate", "PseudostateKind", "Region", "State",
     "StateMachine", "Transition", "TransitionKind", "Vertex",
     "ELSE_GUARD", "StateMachineRuntime",
-    "FlatStateMachine", "default_alphabet", "flatten",
+    "CompiledMachine", "CompiledRuntime", "FlatStateMachine",
+    "compile_fallback_reason", "compile_machine",
+    "default_alphabet", "flatten",
     "clone_machine", "connection_point", "inline_submachine",
     "analysis",
 ]

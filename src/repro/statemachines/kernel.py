@@ -159,6 +159,7 @@ class State(Vertex, Namespace):
         """Mark occurrences of ``event_name`` as deferrable here (chainable)."""
         if event_name not in self.deferrable:
             self.deferrable.append(event_name)
+            self._note_mutation()
         return self
 
     def __repr__(self) -> str:

@@ -1,0 +1,83 @@
+"""Parallel codegen: byte-identical to sequential, deterministic order."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.codegen import (
+    BACKENDS,
+    choose_executor,
+    generate_all,
+    generate_all_parallel,
+)
+from repro.codegen.pipeline import PROCESS_POOL_THRESHOLD
+from repro.errors import CodegenError
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.metamodel import Model
+
+
+def soc_model():
+    model = Model("pipeline_test")
+    cpu = make_traffic_generator("Cpu", period=2.0, address_range=0x400)
+    ram = make_memory("Ram", size_bytes=0x400)
+    make_soc("Soc", masters=[cpu], slaves=[(ram, "bus", 0, 0x400)],
+             package=model)
+    return model
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("executor",
+                             ("thread", "process", "sequential", "auto"))
+    def test_byte_identical_to_sequential(self, executor):
+        model = soc_model()
+        sequential = generate_all(model)
+        parallel = generate_all_parallel(model, executor=executor)
+        assert parallel == sequential
+        assert list(parallel) == list(BACKENDS)
+
+    def test_repeated_runs_identical(self):
+        model = soc_model()
+        first = generate_all_parallel(model, executor="thread")
+        second = generate_all_parallel(model, executor="thread")
+        assert first == second
+
+    def test_backend_subset_keeps_canonical_order(self):
+        model = soc_model()
+        result = generate_all_parallel(
+            model, backends=("python", "vhdl"), executor="thread")
+        assert list(result) == ["vhdl", "python"]
+
+
+class TestHeuristic:
+    def test_small_model_uses_threads(self):
+        assert choose_executor(soc_model()) == "thread"
+
+    def test_large_model_uses_processes(self):
+        assert choose_executor(soc_model(), size_threshold=1) == "process"
+
+    def test_unpicklable_scope_falls_back_to_threads(self):
+        model = soc_model()
+        cls = model.add(mm.UmlClass("Hook"))
+        cls.hook = lambda: None  # lambdas cannot pickle
+        assert choose_executor(model, size_threshold=1) == "thread"
+
+
+class TestErrors:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_all_parallel(soc_model(), backends=("fortran",))
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_all_parallel(soc_model(), executor="fibers")
+
+
+class TestPerfCounters:
+    def test_per_backend_wall_time_recorded(self):
+        from repro.perf import PERF
+
+        PERF.reset()
+        generate_all_parallel(soc_model(), executor="thread")
+        for backend in BACKENDS:
+            stats = PERF.stats(f"codegen.{backend}.wall_s")
+            assert stats is not None and stats["count"] == 1
+        assert PERF.counter("codegen.runs.thread") == 1

@@ -1,0 +1,311 @@
+"""Lockstep equivalence: compiled dispatch tables vs the interpreter.
+
+The compiled fast path (``repro.statemachines.flatten.compile_machine``
++ ``CompiledRuntime``, and ``SystemSimulation(compile=True)``) promises
+*bit-identical* behaviour to ``StateMachineRuntime``: same states, same
+contexts (including ASL temporary leakage), same emitted signals in the
+same order, same simulated clocks.  These tests drive both engines in
+lockstep over crafted semantic corner cases, randomized machines and
+whole randomized SoC assemblies.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StateMachineError
+from repro.hw import (
+    make_memory,
+    make_soc,
+    make_traffic_generator,
+    make_uart_tx,
+)
+from repro.metamodel.components import Component, PortDirection
+from repro.simulation import SystemSimulation
+from repro.statemachines import (
+    CompiledRuntime,
+    StateMachine,
+    StateMachineRuntime,
+    TransitionKind,
+    compile_fallback_reason,
+    compile_machine,
+)
+
+
+def lockstep(machine, script, context=None):
+    """Run both engines over the same script; assert equality throughout.
+
+    ``script`` is a list of ("send", name, kwargs) / ("advance", dt)
+    steps.  Returns the (identical) signal logs.
+    """
+    logs = ([], [])
+    runtimes = []
+    for log in logs:
+        sink = (lambda entries: lambda s: entries.append(
+            (s.signal, s.target, tuple(sorted(s.arguments.items())))))(log)
+        runtimes.append((StateMachineRuntime if len(runtimes) == 0
+                         else None, sink))
+    interp = StateMachineRuntime(machine, context=dict(context or {}),
+                                 signal_sink=runtimes[0][1]).start()
+    compiled = CompiledRuntime(compile_machine(machine),
+                               context=dict(context or {}),
+                               signal_sink=runtimes[1][1])
+    compiled.start()
+    for step in script:
+        if step[0] == "send":
+            _, name, kwargs = step
+            interp.send(name, **kwargs)
+            compiled.send(name, **kwargs)
+        else:
+            _, delta = step
+            interp.advance_time(delta)
+            compiled.advance_time(delta)
+        assert interp.active_leaf_names() == compiled.active_leaf_names()
+        assert interp.context == compiled.context
+        assert interp.time == compiled.time
+        assert logs[0] == logs[1]
+    return logs[0]
+
+
+class TestRtcSemantics:
+    """Crafted machines hitting run-to-completion corner cases."""
+
+    def test_guards_evaluated_upfront(self):
+        """The first effect must not disable an already-enabled guard."""
+        machine = StateMachine("Upfront")
+        region = machine.region
+        init = region.add_initial()
+        s = region.add_state("S")
+        region.add_transition(init, s)
+        region.add_transition(s, s, trigger="Go", guard="x == 0",
+                              effect="x = 1;", kind=TransitionKind.INTERNAL)
+        region.add_transition(s, s, trigger="Go", guard="x == 0",
+                              effect="y = 5;", kind=TransitionKind.INTERNAL)
+        lockstep(machine, [("send", "Go", {})], context={"x": 0})
+
+    def test_external_fire_stops_later_candidates(self):
+        machine = StateMachine("Stops")
+        region = machine.region
+        init = region.add_initial()
+        s = region.add_state("S")
+        region.add_transition(init, s)
+        region.add_transition(s, s, trigger="Go", effect="a = 1;")
+        region.add_transition(s, s, trigger="Go", effect="b = 1;",
+                              kind=TransitionKind.INTERNAL)
+        log = lockstep(machine, [("send", "Go", {})])
+        assert log == []
+
+    def test_timer_ordering_and_reset_on_exit(self):
+        machine = StateMachine("Timers")
+        region = machine.region
+        init = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(init, a)
+        region.add_transition(a, b, after=3.0, effect="path = 1;")
+        region.add_transition(a, a, after=5.0, effect="path = 2;")
+        region.add_transition(b, a, after=2.0, effect="cycles = cycles + 1;")
+        lockstep(machine, [("advance", 1.0)] * 20, context={"cycles": 0})
+
+    def test_event_parameters_and_temporary_leakage(self):
+        """ASL temporaries leak into the context in both engines."""
+        machine = StateMachine("Leak")
+        region = machine.region
+        init = region.add_initial()
+        s = region.add_state("S")
+        region.add_transition(init, s)
+        region.add_transition(
+            s, s, trigger="Acc", guard="event.v > 0",
+            effect="tmp = event.v * 2; total = total + tmp;",
+            kind=TransitionKind.INTERNAL)
+        log_context = {"total": 0}
+        machine2 = machine
+        lockstep(machine2,
+                 [("send", "Acc", {"v": 3}), ("send", "Acc", {"v": 0}),
+                  ("send", "Acc", {"v": 7})],
+                 context=log_context)
+
+    def test_entry_exit_actions_and_sends(self):
+        machine = StateMachine("EntryExit")
+        region = machine.region
+        init = region.add_initial()
+        idle = region.add_state("Idle", entry="n = n + 1;",
+                                exit='send Bye(n=n) to "p";')
+        busy = region.add_state("Busy", entry='send Hi(n=n) to "p";')
+        region.add_transition(init, idle)
+        region.add_transition(idle, busy, trigger="Go")
+        region.add_transition(busy, idle, trigger="Stop")
+        log = lockstep(machine,
+                       [("send", "Go", {}), ("send", "Stop", {}),
+                        ("send", "Go", {})],
+                       context={"n": 0})
+        assert [entry[0] for entry in log] == ["Bye", "Hi", "Bye", "Hi"]
+
+
+class TestRandomizedMachines:
+    """Random flat machines in the compilable subset, driven in lockstep."""
+
+    SIGNALS = ("A", "B", "C")
+    GUARDS = (None, "x < 5", "x >= 2", "event.v > 0", "x == y")
+    EFFECTS = (None, "x = x + 1;", "y = y + x;",
+               'send Out(v=x) to "p";', "x = x - 1; y = event.v;")
+    # time-triggered firings carry no parameters: no ``event.`` access
+    TIME_EFFECTS = (None, "x = x + 1;", "y = y + x;",
+                    'send Out(v=x) to "p";')
+
+    def build(self, seed):
+        rng = random.Random(seed)
+        machine = StateMachine(f"Rnd{seed}")
+        region = machine.region
+        init = region.add_initial()
+        states = [region.add_state(f"S{i}") for i in range(4)]
+        region.add_transition(init, states[0])
+        for state in states:
+            for signal in self.SIGNALS:
+                if rng.random() < 0.4:
+                    continue
+                kind = (TransitionKind.INTERNAL if rng.random() < 0.3
+                        else TransitionKind.EXTERNAL)
+                region.add_transition(
+                    state,
+                    state if kind is TransitionKind.INTERNAL
+                    else rng.choice(states),
+                    trigger=signal,
+                    guard=rng.choice(self.GUARDS),
+                    effect=rng.choice(self.EFFECTS),
+                    kind=kind)
+            if rng.random() < 0.5:
+                region.add_transition(state, rng.choice(states),
+                                      after=float(rng.randint(1, 4)),
+                                      effect=rng.choice(self.TIME_EFFECTS))
+        return machine
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_walk_equivalence(self, seed):
+        machine = self.build(seed)
+        rng = random.Random(1000 + seed)
+        script = []
+        for _ in range(60):
+            if rng.random() < 0.6:
+                script.append(("send", rng.choice(self.SIGNALS),
+                               {"v": rng.randint(-2, 5)}))
+            else:
+                script.append(("advance", rng.choice((0.5, 1.0, 2.0))))
+        lockstep(machine, script, context={"x": 0, "y": 0})
+
+
+class TestFallbackDetection:
+    def test_deferral_is_not_compilable(self):
+        uart = make_uart_tx("U")
+        reason = compile_fallback_reason(uart.classifier_behavior)
+        assert reason is not None and "defer" in reason
+        with pytest.raises(StateMachineError):
+            compile_machine(uart.classifier_behavior)
+
+    def test_composite_state_is_not_compilable(self):
+        machine = StateMachine("Deep")
+        region = machine.region
+        init = region.add_initial()
+        outer = region.add_state("Outer")
+        region.add_transition(init, outer)
+        inner_region = outer.add_region("r")
+        inner_init = inner_region.add_initial()
+        inner = inner_region.add_state("Inner")
+        inner_region.add_transition(inner_init, inner)
+        assert compile_fallback_reason(machine) is not None
+
+    def test_stock_ip_machines_compile(self):
+        for component in (make_traffic_generator("T", period=2.0),
+                          make_memory("M")):
+            assert compile_fallback_reason(
+                component.classifier_behavior) is None
+
+
+def run_pair(top_factory, until=200.0, contexts=None):
+    """Run interpreted and compiled cosimulations of the same factory."""
+    runs = []
+    for compiled in (False, True):
+        simulation = SystemSimulation(top_factory(), quantum=1.0,
+                                      context=contexts,
+                                      compile=compiled)
+        simulation.run(until=until)
+        runs.append(simulation)
+    return runs
+
+
+class TestCosimLockstep:
+    def test_stock_d8_system_identical(self):
+        def factory():
+            cpu = make_traffic_generator("Cpu", period=2.0,
+                                         address_range=0x800)
+            memory = make_memory("Ram", size_bytes=0x800)
+            return make_soc("Bench", masters=[cpu],
+                            slaves=[(memory, "bus", 0, 0x800)])
+
+        interpreted, compiled = run_pair(factory)
+        assert all(verdict == "compiled"
+                   for verdict in compiled.compile_report.values())
+        assert interpreted.message_log == compiled.message_log
+        assert interpreted.state_snapshot() == compiled.state_snapshot()
+        for part in interpreted.parts:
+            assert interpreted.context_of(part) == \
+                compiled.context_of(part)
+        assert compiled.stats()["compiled_parts"] == 3
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_assemblies_identical(self, seed):
+        rng = random.Random(seed)
+        n_masters = rng.randint(1, 3)
+        n_slaves = rng.randint(1, 2)
+        periods = [float(rng.choice((2, 3, 5))) for _ in range(n_masters)]
+
+        def factory():
+            masters = [
+                make_traffic_generator(f"Cpu{i}", period=periods[i],
+                                       address_range=0x400 * n_slaves)
+                for i in range(n_masters)]
+            slaves = [
+                (make_memory(f"Ram{j}", size_bytes=0x400),
+                 "bus", j * 0x400, 0x400)
+                for j in range(n_slaves)]
+            return make_soc(f"Rnd{seed}", masters=masters, slaves=slaves)
+
+        interpreted, compiled = run_pair(factory, until=120.0)
+        assert interpreted.message_log == compiled.message_log
+        assert interpreted.state_snapshot() == compiled.state_snapshot()
+        for part in interpreted.parts:
+            assert interpreted.context_of(part) == \
+                compiled.context_of(part)
+
+    def test_mixed_engine_system_with_uart_fallback(self):
+        """A part outside the subset interprets; the rest compile."""
+        def factory():
+            top = Component("Mix")
+            sender = Component("Sender")
+            sender.add_port("out", direction=PortDirection.OUT)
+            machine = StateMachine("SenderBehavior")
+            region = machine.region
+            init = region.add_initial()
+            loop = region.add_state("Loop")
+            region.add_transition(init, loop)
+            region.add_transition(
+                loop, loop, after=30.0,
+                effect='n = n + 1; send Send(byte=n) to "out";')
+            sender.add_behavior(machine, as_classifier_behavior=True)
+            sender.add_attribute("n", default=0)
+            uart = make_uart_tx("Uart", bit_time=2.0)
+            sender_part = top.add_part("tx_source", sender)
+            uart_part = top.add_part("uart", uart)
+            top.connect(sender.port("out"), uart.port("data"),
+                        sender_part, uart_part, check=False)
+            return top
+
+        interpreted, compiled = run_pair(factory, until=300.0)
+        assert compiled.compile_report["tx_source"] == "compiled"
+        assert compiled.compile_report["uart"].startswith("interpreter:")
+        assert interpreted.message_log == compiled.message_log
+        assert interpreted.state_snapshot() == compiled.state_snapshot()
+        for part in interpreted.parts:
+            assert interpreted.context_of(part) == \
+                compiled.context_of(part)
+        assert interpreted.messages_delivered > 0

@@ -1,0 +1,135 @@
+"""Model fingerprint + generation counter (the transform-cache keys).
+
+Property under test: structurally equal models fingerprint equal (even
+with different ``xmi_id`` allocations), and *any* mutation — attribute
+write, element addition/removal, deferrable-list change — produces a
+new fingerprint.  The generation counter makes recomputation O(1) on
+unchanged trees.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.metamodel as mm
+from repro.metamodel import Model, model_fingerprint
+from repro.statemachines import StateMachine
+
+
+NAMES = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+CLASS_SPECS = st.lists(
+    st.tuples(
+        NAMES,                                    # class name
+        st.lists(st.tuples(NAMES,                 # attribute name
+                           st.integers(-5, 5)),   # default value
+                 max_size=3, unique_by=lambda t: t[0]),
+        st.booleans(),                            # is_abstract
+    ),
+    min_size=1, max_size=4, unique_by=lambda t: t[0])
+
+
+def build_model(specs):
+    model = Model("m")
+    for class_name, attributes, is_abstract in specs:
+        cls = model.add(mm.UmlClass(class_name, is_abstract=is_abstract))
+        for attribute_name, default in attributes:
+            cls.add_attribute(attribute_name, default=default)
+    return model
+
+
+class TestFingerprintProperties:
+    @given(CLASS_SPECS)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_construction_equal_hash(self, specs):
+        assert build_model(specs).fingerprint() == \
+            build_model(specs).fingerprint()
+
+    @given(CLASS_SPECS, NAMES)
+    @settings(max_examples=40, deadline=None)
+    def test_any_mutation_changes_hash(self, specs, fresh_name):
+        model = build_model(specs)
+        baseline = model.fingerprint()
+
+        mutated = build_model(specs)
+        mutated.add_comment("nudge")
+        assert mutated.fingerprint() != baseline
+
+        renamed = build_model(specs)
+        target = renamed.owned_of_type(mm.UmlClass)[0]
+        target.name = target.name + "_x"
+        assert renamed.fingerprint() != baseline
+
+    @given(CLASS_SPECS)
+    @settings(max_examples=20, deadline=None)
+    def test_attribute_default_change_changes_hash(self, specs):
+        model = build_model(specs)
+        baseline = model.fingerprint()
+        cls = model.owned_of_type(mm.UmlClass)[0]
+        if not cls.attributes:
+            cls.add_attribute("fresh", default=1)
+        else:
+            cls.attributes[0].set_default(99)
+        assert model.fingerprint() != baseline
+
+
+class TestGenerationCounter:
+    def test_attribute_write_bumps_root(self):
+        model = Model("m")
+        cls = model.add(mm.UmlClass("A"))
+        before = model.generation
+        cls.is_abstract = True
+        assert model.generation > before
+
+    def test_unchanged_tree_reuses_cached_digest(self):
+        model = Model("m")
+        model.add(mm.UmlClass("A"))
+        first = model.fingerprint()
+        generation = model.generation
+        assert model.fingerprint() == first
+        assert model.generation == generation  # fingerprinting is pure
+
+    def test_touch_invalidates_cache_but_not_content(self):
+        """A content-neutral write recomputes to the same digest."""
+        model = Model("m")
+        cls = model.add(mm.UmlClass("A"))
+        first = model.fingerprint()
+        cls.name = "A"  # same value, still a write
+        assert model.generation > 0
+        assert model.fingerprint() == first
+
+    def test_disown_bumps_old_root(self):
+        model = Model("m")
+        cls = model.add(mm.UmlClass("A"))
+        comment = cls.add_comment("note")
+        model.fingerprint()
+        before = model.generation
+        cls._disown(comment)
+        assert model.generation > before
+
+    def test_defer_bumps_generation(self):
+        machine = StateMachine("M")
+        state = machine.region.add_state("S")
+        before = machine.generation
+        state.defer("Evt")
+        assert machine.generation > before
+
+    def test_xmi_id_never_hashed(self):
+        a, b = Model("m"), Model("m")
+        a.add(mm.UmlClass("C"))
+        b.add(mm.UmlClass("C"))
+        assert a.xmi_id != b.xmi_id
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_statemachine_content_hashed(self):
+        def build(guard):
+            model = Model("m")
+            machine = model.add(StateMachine("B"))
+            region = machine.region
+            init = region.add_initial()
+            state = region.add_state("S")
+            region.add_transition(init, state)
+            region.add_transition(state, state, trigger="Go", guard=guard)
+            return model
+
+        assert build("x > 1").fingerprint() == build("x > 1").fingerprint()
+        assert build("x > 1").fingerprint() != build("x > 2").fingerprint()

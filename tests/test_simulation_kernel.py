@@ -204,3 +204,116 @@ class TestClockAndWaveform:
         assert wave.value_at(0.5) == 0
         assert wave.value_at(2.0) == 1
         assert wave.value_at(10.0) == 2
+
+
+class TestRunUntilBoundary:
+    def test_event_exactly_at_until_is_processed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("at"))
+        sim.schedule(5.0 + 1e-9, lambda: fired.append("after"))
+        sim.run(until=5.0)
+        assert fired == ["at"]
+        assert sim.now == 5.0
+
+    def test_now_reaches_until_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_run_into_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=10.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_run_until_now_is_a_noop(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.run(until=3.0) == 3.0
+
+
+class TestRecurringTick:
+    def test_every_matches_generator_process_ordering(self):
+        """every() and a yield-loop process interleave identically."""
+        def run(use_every):
+            sim = Simulator()
+            order = []
+            if use_every:
+                sim.every(2.0, lambda: order.append(("tick", sim.now)),
+                          until=6.0)
+            else:
+                def proc():
+                    while sim.now < 6.0:
+                        yield 2.0
+                        order.append(("tick", sim.now))
+                sim.process(proc())
+            for at in (2.0, 3.0, 4.0, 6.0):
+                sim.schedule(at, lambda at=at: order.append(("evt", at)))
+            sim.run(until=6.0)
+            return order
+
+        assert run(True) == run(False)
+
+    def test_tick_fires_at_inclusive_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), until=6.0)
+        sim.run(until=6.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_unbounded_tick_runs_until_horizon(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=4.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        handle.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+class TestClosedSimulator:
+    def test_close_is_idempotent_and_observable(self):
+        sim = Simulator()
+        assert not sim.is_closed
+        sim.close()
+        sim.close()
+        assert sim.is_closed
+        assert sim.is_quiescent
+
+    def test_succeed_after_close_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        sim.close()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_schedule_after_close_raises(self):
+        sim = Simulator()
+        sim.close()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.process(iter(()))
+
+    def test_close_drops_queued_work(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(True))
+        sim.close()
+        sim.run()
+        assert not fired

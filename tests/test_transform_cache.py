@@ -1,0 +1,109 @@
+"""Memoized MDA transforms: hits, content invalidation, LRU eviction."""
+
+import pytest
+
+import repro.metamodel as mm
+from repro.errors import TransformError
+from repro.mda import (
+    TransformCache,
+    hardware_transformation,
+    software_transformation,
+)
+from repro.metamodel import Model
+from repro.profiles import create_soc_profile
+from repro.profiles.core import apply_stereotype
+
+
+def small_pim(name="pim", classes=3):
+    profile = create_soc_profile()
+    model = Model(name)
+    for index in range(classes):
+        cls = model.add(mm.UmlClass(f"Ip{index}"))
+        cls.add_attribute("reg", default=index)
+        apply_stereotype(cls, profile.stereotype("IpCore"), vendor="t")
+    return model, profile
+
+
+class TestTransformCache:
+    def test_repeat_transform_is_a_hit(self):
+        pim, profile = small_pim()
+        transformation = hardware_transformation()
+        cache = TransformCache()
+        first = transformation.transform_cached(pim, [profile],
+                                                cache=cache)
+        second = transformation.transform_cached(pim, [profile],
+                                                 cache=cache)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_mutation_invalidates(self):
+        pim, profile = small_pim()
+        transformation = hardware_transformation()
+        cache = TransformCache()
+        first = transformation.transform_cached(pim, [profile],
+                                                cache=cache)
+        pim.add(mm.UmlClass("Extra"))
+        second = transformation.transform_cached(pim, [profile],
+                                                 cache=cache)
+        assert second is not first
+        assert cache.misses == 2
+
+    def test_content_equal_touch_still_hits(self):
+        """A write that leaves content unchanged re-fingerprints to the
+        same key — the cache still hits."""
+        pim, profile = small_pim()
+        transformation = hardware_transformation()
+        cache = TransformCache()
+        first = transformation.transform_cached(pim, [profile],
+                                                cache=cache)
+        pim.name = pim.name + ""  # generation bump, same content
+        assert transformation.transform_cached(
+            pim, [profile], cache=cache) is first
+
+    def test_different_transformations_do_not_collide(self):
+        pim, profile = small_pim()
+        cache = TransformCache()
+        hw = hardware_transformation().transform_cached(pim, [profile],
+                                                        cache=cache)
+        sw = software_transformation().transform_cached(pim, [profile],
+                                                        cache=cache)
+        assert hw is not sw
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_lru_eviction(self):
+        transformation = hardware_transformation()
+        cache = TransformCache(max_entries=2)
+        pims = [small_pim(name=f"pim{i}") for i in range(3)]
+        results = [transformation.transform_cached(p, [pr], cache=cache)
+                   for p, pr in pims]
+        assert len(cache) == 2
+        # pim0 was evicted: transforming it again misses
+        again = transformation.transform_cached(pims[0][0], [pims[0][1]],
+                                                cache=cache)
+        assert again is not results[0]
+        # pim2 is still cached
+        assert transformation.transform_cached(
+            pims[2][0], [pims[2][1]], cache=cache) is results[2]
+
+    def test_result_matches_uncached_transform(self):
+        pim, profile = small_pim()
+        transformation = hardware_transformation()
+        cached = transformation.transform_cached(pim, [profile],
+                                                 cache=TransformCache())
+        plain = transformation.transform(pim, profiles=[profile])
+        assert cached.psm.summary() == plain.psm.summary()
+        assert cached.applications == plain.applications
+        assert cached.completeness() == plain.completeness()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(TransformError):
+            TransformCache(max_entries=0)
+
+    def test_default_cache_used_when_none_given(self):
+        from repro.mda import DEFAULT_TRANSFORM_CACHE
+
+        pim, profile = small_pim(name="default_cache_probe")
+        transformation = hardware_transformation()
+        before = DEFAULT_TRANSFORM_CACHE.misses
+        transformation.transform_cached(pim, [profile])
+        assert DEFAULT_TRANSFORM_CACHE.misses == before + 1
