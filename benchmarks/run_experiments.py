@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D10).
+"""Regenerate every derived-experiment table (D1-D11).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -54,6 +54,8 @@ EXPERIMENTS = {
            "IP reuse ratio & mismatch detection"),
     "d10": ("bench_d10_xmi_roundtrip",
             "XMI round-trip fidelity & cost"),
+    "d11": ("bench_d11_faults",
+            "fault injection & resilience"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

@@ -7,6 +7,8 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
     python -m repro generate  model.xmi --backend vhdl -o build/
     python -m repro transform model.xmi --platform hw -o psm.xmi
     python -m repro simulate  model.xmi --top design::Top --until 100
+    python -m repro simulate  model.xmi --top design::Top \
+                              --faults campaign.json --seed 7
     python -m repro diagram   model.xmi --kind class --scope design
 
 Every command exits non-zero on failure, so the CLI slots into build
@@ -135,21 +137,31 @@ def cmd_transform(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from .faults import FaultCampaign
     from .simulation import SystemSimulation
 
     document = _load(args.model)
     top = document.model.resolve(args.top, mm.Component)
-    simulation = SystemSimulation(top, quantum=args.quantum,
-                                  compile=args.compiled)
-    simulation.run(until=args.until)
-    print(f"simulated {args.until} time units: "
-          f"{simulation.messages_delivered} message(s) delivered, "
-          f"{simulation.messages_dropped} dropped")
-    for name, states in simulation.state_snapshot().items():
-        print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
-    if args.compiled:
-        for name, verdict in sorted(simulation.compile_report.items()):
-            print(f"  {name:20} [{verdict}]")
+    campaign = None
+    if args.faults:
+        campaign = FaultCampaign.from_file(args.faults)
+    with SystemSimulation(top, quantum=args.quantum,
+                          compile=args.compiled,
+                          faults=campaign, fault_seed=args.seed,
+                          on_part_error=args.on_part_error) as simulation:
+        simulation.run(until=args.until, timeout=args.timeout)
+        print(f"simulated {args.until} time units: "
+              f"{simulation.messages_delivered} message(s) delivered, "
+              f"{simulation.messages_dropped} dropped")
+        for name, states in simulation.state_snapshot().items():
+            print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
+        if args.compiled:
+            for name, verdict in sorted(simulation.compile_report.items()):
+                print(f"  {name:20} [{verdict}]")
+        if campaign is not None or simulation.resilience.part_failures \
+                or simulation.resilience.kernel_incidents:
+            print("resilience report:")
+            print(simulation.resilience.to_json())
     return 0
 
 
@@ -233,6 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--compiled", action="store_true",
                           help="compile state machines to dispatch "
                                "tables (interpreter fallback per part)")
+    simulate.add_argument("--faults", default="",
+                          help="fault campaign JSON file to inject "
+                               "(see docs/FAULTS.md)")
+    simulate.add_argument("--seed", type=int, default=None,
+                          help="override the campaign's RNG seed")
+    simulate.add_argument("--on-part-error", default="raise",
+                          choices=("raise", "quarantine", "restart"),
+                          dest="on_part_error",
+                          help="policy when a part's behavior raises")
+    simulate.add_argument("--timeout", type=float, default=None,
+                          help="wall-clock watchdog in seconds")
     simulate.set_defaults(handler=cmd_simulate)
 
     diagram = commands.add_parser("diagram",

@@ -85,3 +85,51 @@ class CodegenError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an invalid state."""
+
+
+class WatchdogTimeout(SimulationError):
+    """The wall-clock watchdog expired before the simulation finished.
+
+    Raised by ``Simulator.run(timeout=...)`` when real elapsed time
+    exceeds the budget — the defense against hung IP cores and runaway
+    models that make progress in simulated time but never terminate.
+    """
+
+
+class LivelockError(SimulationError):
+    """Too many events were processed without simulated time advancing.
+
+    The no-progress heuristic of ``Simulator.run``: an unbounded chain
+    of zero-delay events (an event storm or a self-rescheduling loop)
+    keeps the kernel busy at one instant forever.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while live processes were still blocked.
+
+    With ``detect_deadlock=True``, quiescence while generator processes
+    wait on events that can no longer fire is reported instead of being
+    silently returned as a finished run.
+    """
+
+
+class QueueOverflowError(SimulationError):
+    """The bounded event queue overflowed under the ``raise`` policy."""
+
+
+class BusError(SimulationError):
+    """A bus transaction could not be decoded or completed.
+
+    Carries the offending ``address`` and the requesting ``master``
+    (when known) so fault reports can name the exact transaction.
+    """
+
+    def __init__(self, message: str, address=None, master=None):
+        super().__init__(message)
+        self.address = address
+        self.master = master
+
+
+class FaultError(SimulationError):
+    """A fault-campaign specification is invalid or cannot be applied."""

@@ -1,0 +1,116 @@
+"""Structured resilience reporting.
+
+Every :class:`~repro.simulation.cosim.SystemSimulation` owns a
+:class:`ResilienceReport` that accumulates what went wrong — injected
+faults, part failures and the policy's answer (quarantine/restart),
+kernel-level incidents (watchdog, livelock, deadlock, queue overflow) —
+in a fully deterministic form: the same seeded campaign produces a
+byte-identical :meth:`to_json` on every run, which is what the D11
+determinism check asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+class ResilienceReport:
+    """Deterministic record of faults injected and failures survived."""
+
+    __slots__ = ("injections", "part_failures", "quarantined", "restarts",
+                 "kernel_incidents", "counts")
+
+    def __init__(self) -> None:
+        #: one record per injected fault, in injection order
+        self.injections: List[Dict[str, Any]] = []
+        #: one record per part effect/guard failure, in failure order
+        self.part_failures: List[Dict[str, Any]] = []
+        #: part name -> simulated time of quarantine
+        self.quarantined: Dict[str, float] = {}
+        #: part name -> number of restarts performed
+        self.restarts: Dict[str, int] = {}
+        #: kernel-level events (watchdog, livelock, deadlock, overflow)
+        self.kernel_incidents: List[Dict[str, Any]] = []
+        #: aggregate counters per fault kind / policy action
+        self.counts: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment an aggregate counter."""
+        self.counts[counter] = self.counts.get(counter, 0) + amount
+
+    def record_injection(self, time: float, spec_name: str, kind: str,
+                         site: str, signal: str, detail: str = "") -> None:
+        record = {"t": time, "spec": spec_name, "kind": kind,
+                  "site": site, "signal": signal}
+        if detail:
+            record["detail"] = detail
+        self.injections.append(record)
+        self.bump(kind)
+
+    def record_part_failure(self, time: float, part: str, error: str,
+                            action: str) -> None:
+        self.part_failures.append(
+            {"t": time, "part": part, "error": error, "action": action})
+        self.bump(f"part_{action}")
+
+    def record_quarantine(self, time: float, part: str) -> None:
+        if part not in self.quarantined:
+            self.quarantined[part] = time
+
+    def record_restart(self, part: str) -> None:
+        self.restarts[part] = self.restarts.get(part, 0) + 1
+
+    def record_kernel_incident(self, time: float, kind: str,
+                               detail: str) -> None:
+        self.kernel_incidents.append(
+            {"t": time, "kind": kind, "detail": detail})
+        self.bump("kernel_incident")
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def total_injections(self) -> int:
+        return len(self.injections)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A deterministic, JSON-ready summary (no wall-clock data)."""
+        return {
+            "injections": list(self.injections),
+            "part_failures": list(self.part_failures),
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "restarts": dict(sorted(self.restarts.items())),
+            "kernel_incidents": list(self.kernel_incidents),
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the report for checkpoint/restore round-trips."""
+        return {
+            "injections": list(self.injections),
+            "part_failures": list(self.part_failures),
+            "quarantined": dict(self.quarantined),
+            "restarts": dict(self.restarts),
+            "kernel_incidents": list(self.kernel_incidents),
+            "counts": dict(self.counts),
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        self.injections = list(snap["injections"])
+        self.part_failures = list(snap["part_failures"])
+        self.quarantined = dict(snap["quarantined"])
+        self.restarts = dict(snap["restarts"])
+        self.kernel_incidents = list(snap["kernel_incidents"])
+        self.counts = dict(snap["counts"])
+
+    def __repr__(self) -> str:
+        return (f"<ResilienceReport injections={len(self.injections)} "
+                f"failures={len(self.part_failures)} "
+                f"quarantined={len(self.quarantined)}>")

@@ -14,12 +14,12 @@ from .ip import (
     make_traffic_generator,
     make_uart_tx,
 )
-from .bus import AddressMap, Region, make_bus, make_soc
+from .bus import AddressMap, Region, make_bus, make_retry_master, make_soc
 from .irq import make_interrupt_controller
 
 __all__ = [
     "ip_library", "make_arbiter", "make_dma", "make_fifo", "make_memory",
     "make_timer", "make_traffic_generator", "make_uart_tx",
     "make_interrupt_controller",
-    "AddressMap", "Region", "make_bus", "make_soc",
+    "AddressMap", "Region", "make_bus", "make_retry_master", "make_soc",
 ]

@@ -6,6 +6,17 @@ the request to the owning slave port, routing responses back to the
 requesting master.  :func:`make_soc` assembles a full system — traffic
 generators, the bus, and memory-mapped slaves — into one top component
 ready for :class:`~repro.simulation.cosim.SystemSimulation`.
+
+Error protocol (PR 2): host-side decoding
+(:meth:`AddressMap.decode_strict`) raises
+:class:`~repro.errors.BusError` with the offending address and master;
+*modeled* decode failures — an unmapped address on the simulated bus,
+or an out-of-range access at a slave — answer with a ``Nak(addr=..)``
+signal back to the requesting master instead of silently dropping the
+transaction.  :func:`make_retry_master` is a bus master that speaks
+this protocol: every request is guarded by a response timeout, and a
+``Nak`` or timeout triggers an exponential-backoff retry chain before
+the master gives up and raises a ``Fault`` on its ``irq`` port.
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import repro.metamodel as mm
-from ..errors import ModelError
+from ..errors import BusError, ModelError
 from ..metamodel.components import Component, PortDirection
 from ..profiles.core import Profile, apply_stereotype
 from ..statemachines.kernel import StateMachine, TransitionKind
@@ -66,6 +77,20 @@ class AddressMap:
                 return region
         return None
 
+    def decode_strict(self, address: int,
+                      master: Optional[str] = None) -> Region:
+        """Like :meth:`decode`, but unmapped addresses raise
+        :class:`~repro.errors.BusError` carrying the offending address
+        and requesting master."""
+        region = self.decode(address)
+        if region is None:
+            who = f" from master {master!r}" if master else ""
+            raise BusError(
+                f"address {address:#x}{who} matches no mapped region "
+                f"({len(self.regions)} regions)",
+                address=address, master=master)
+        return region
+
     def __len__(self) -> int:
         return len(self.regions)
 
@@ -97,7 +122,7 @@ def make_bus(name: str, address_map: AddressMap, width: int = 32,
         for index, (guard, body) in enumerate(branches):
             keyword = "if" if index == 0 else "elif"
             code += f"{keyword} ({guard}) {{ {body} }} "
-        code += 'else { send BusError(addr=event.addr) to "m"; }'
+        code += 'else { send Nak(addr=event.addr) to "m"; }'
         return code
 
     machine = StateMachine(f"{name}Behavior")
@@ -121,14 +146,76 @@ def make_bus(name: str, address_map: AddressMap, width: int = 32,
         effect='send WriteAck(addr=event.addr) to "m";',
         kind=TransitionKind.INTERNAL)
     region_.add_transition(
-        active, active, trigger="BusError",
-        effect='send BusError(addr=event.addr) to "m";',
+        active, active, trigger="Nak",
+        effect='send Nak(addr=event.addr) to "m";',
         kind=TransitionKind.INTERNAL)
     bus.add_behavior(machine, as_classifier_behavior=True)
 
     if profile is not None:
         apply_stereotype(bus, profile.stereotype("HwBus"), width=width)
     return bus
+
+
+def make_retry_master(name: str = "RetryMaster", address: int = 0,
+                      period: float = 10.0, timeout: float = 4.0,
+                      backoff: float = 1.0, max_retries: int = 3,
+                      profile: Optional[Profile] = None) -> Component:
+    """A bus master with retry-with-backoff over the Timeout/Nak protocol.
+
+    Every ``period`` it issues ``Read(addr=address)`` on ``bus`` and
+    waits for a response.  A ``Nak`` (unmapped/out-of-range) or a
+    response timeout of ``timeout`` retries the request after an
+    exponential backoff (``backoff * 2**attempt``); after
+    ``max_retries`` failed attempts it gives up, counts a fault, and
+    raises ``Fault(addr=..)`` on its ``irq`` port.  ``served`` /
+    ``retries`` / ``faults`` count outcomes.  The machine is flat
+    (signal + time triggers only), so it stays in the compilable subset.
+    """
+    if max_retries < 0:
+        raise ModelError(f"max_retries cannot be negative: {max_retries}")
+    master = Component(name)
+    master.add_attribute("served", mm.INTEGER, default=0)
+    master.add_attribute("retries", mm.INTEGER, default=0)
+    master.add_attribute("faults", mm.INTEGER, default=0)
+    master.add_port("bus", direction=PortDirection.INOUT)
+    master.add_port("irq", direction=PortDirection.OUT)
+
+    issue = f'send Read(addr={address}) to "bus";'
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    idle = region.add_state("Idle")
+    region.add_transition(init, idle)
+    waits = [region.add_state(f"Wait{attempt}")
+             for attempt in range(max_retries + 1)]
+    region.add_transition(idle, waits[0], after=period, effect=issue)
+    for attempt, wait in enumerate(waits):
+        for response in ("ReadResp", "WriteAck"):
+            region.add_transition(
+                wait, idle, trigger=response,
+                effect="served = served + 1;")
+        if attempt < max_retries:
+            hold = region.add_state(f"Backoff{attempt + 1}")
+            region.add_transition(wait, hold, trigger="Nak",
+                                  effect="retries = retries + 1;")
+            region.add_transition(wait, hold, after=timeout,
+                                  effect="retries = retries + 1;")
+            region.add_transition(hold, waits[attempt + 1],
+                                  after=backoff * (2 ** attempt),
+                                  effect=issue)
+        else:
+            give_up = (f'faults = faults + 1; '
+                       f'send Fault(addr={address}) to "irq";')
+            region.add_transition(wait, idle, trigger="Nak",
+                                  effect=give_up)
+            region.add_transition(wait, idle, after=timeout,
+                                  effect=give_up)
+    master.add_behavior(machine, as_classifier_behavior=True)
+
+    if profile is not None:
+        apply_stereotype(master, profile.stereotype("Processor"),
+                         isa="retry")
+    return master
 
 
 def make_soc(name: str,

@@ -74,7 +74,8 @@ def make_memory(name: str = "Sram", size_bytes: int = 4096,
                 latency_cycles: int = 1,
                 profile: Optional[Profile] = None) -> Component:
     """A single-port memory: ``Read(addr)``/``Write(addr, value)`` on
-    ``bus``; replies ``ReadResp(addr, value)`` / ``WriteAck(addr)``."""
+    ``bus``; replies ``ReadResp(addr, value)`` / ``WriteAck(addr)``;
+    out-of-range accesses answer ``Nak(addr)``."""
     memory = Component(name)
     memory.add_attribute("size_bytes", mm.INTEGER, default=size_bytes)
     memory.add_attribute("store", mm.STRING, default=None)  # dict at runtime
@@ -101,12 +102,12 @@ def make_memory(name: str = "Sram", size_bytes: int = 4096,
     region.add_transition(
         ready, ready, trigger="Read",
         guard=f"event.addr < 0 or event.addr >= {size_bytes}",
-        effect='send BusError(addr=event.addr) to "bus";',
+        effect='send Nak(addr=event.addr) to "bus";',
         kind=TransitionKind.INTERNAL)
     region.add_transition(
         ready, ready, trigger="Write",
         guard=f"event.addr < 0 or event.addr >= {size_bytes}",
-        effect='send BusError(addr=event.addr) to "bus";',
+        effect='send Nak(addr=event.addr) to "bus";',
         kind=TransitionKind.INTERNAL)
     _attach_machine(memory, machine)
 
@@ -269,6 +270,7 @@ def make_traffic_generator(name: str = "TrafficGen", period: float = 10.0,
     generator = Component(name)
     generator.add_attribute("issued", mm.INTEGER, default=0)
     generator.add_attribute("responses", mm.INTEGER, default=0)
+    generator.add_attribute("naks", mm.INTEGER, default=0)
     generator.add_attribute("seed", mm.INTEGER, default=1)
     generator.add_port("bus", direction=PortDirection.INOUT)
 
@@ -291,7 +293,8 @@ def make_traffic_generator(name: str = "TrafficGen", period: float = 10.0,
             active, active, trigger=response,
             effect="responses = responses + 1;",
             kind=TransitionKind.INTERNAL)
-    region.add_transition(active, active, trigger="BusError",
+    region.add_transition(active, active, trigger="Nak",
+                          effect="naks = naks + 1;",
                           kind=TransitionKind.INTERNAL)
     _attach_machine(generator, machine)
 

@@ -19,6 +19,7 @@ from ..statemachines.kernel import StateMachine, TransitionKind
 
 
 def make_interrupt_controller(name: str = "Pic", lines: int = 8,
+                              storm_threshold: Optional[int] = None,
                               profile: Optional[Profile] = None
                               ) -> Component:
     """Build the interrupt controller component.
@@ -30,10 +31,21 @@ def make_interrupt_controller(name: str = "Pic", lines: int = 8,
     Context variables: ``pending`` (list of line numbers, sorted =
     priority order, lowest line wins), ``mask`` (list of masked lines),
     ``inflight`` (line awaiting ack, or -1).
+
+    ``storm_threshold`` arms IRQ-storm shedding: when the pending queue
+    reaches the threshold, the controller sheds the whole backlog,
+    counts the incident in ``storms``, and raises
+    ``Storm(dropped=..)`` on ``cpu`` instead of dispatching — the
+    livelock-avoidance counterpart to the kernel's event-storm guard.
     """
+    if storm_threshold is not None and storm_threshold <= 0:
+        raise ValueError(
+            f"storm_threshold must be positive, got {storm_threshold}")
     controller = Component(name)
     controller.add_attribute("lines", mm.INTEGER, default=lines)
     controller.add_attribute("dispatched", mm.INTEGER, default=0)
+    if storm_threshold is not None:
+        controller.add_attribute("storms", mm.INTEGER, default=0)
     controller.add_port("irq_in", direction=PortDirection.IN)
     controller.add_port("cpu", direction=PortDirection.INOUT)
     controller.add_port("ctrl", direction=PortDirection.IN)
@@ -65,13 +77,21 @@ def make_interrupt_controller(name: str = "Pic", lines: int = 8,
     active = region.add_state(
         "Active", entry="pending = []; mask = []; inflight = -1;")
     region.add_transition(init, active)
+    irq_effect = ('if (not contains(pending, event.line) '
+                  'and inflight != event.line) '
+                  '{ pending = pending + [event.line]; } ')
+    if storm_threshold is not None:
+        irq_effect += (
+            f'if (len(pending) >= {storm_threshold}) {{ '
+            f'storms = storms + 1; '
+            f'send Storm(dropped=len(pending)) to "cpu"; '
+            f'pending = []; }} else {{ {dispatch_next} }}')
+    else:
+        irq_effect += dispatch_next
     region.add_transition(
         active, active, trigger="Irq",
         guard=f"event.line >= 0 and event.line < {lines}",
-        effect=('if (not contains(pending, event.line) '
-                'and inflight != event.line) '
-                '{ pending = pending + [event.line]; } '
-                + dispatch_next),
+        effect=irq_effect,
         kind=TransitionKind.INTERNAL)
     region.add_transition(
         active, active, trigger="Ack",

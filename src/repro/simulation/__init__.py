@@ -5,14 +5,20 @@ signals/clocks/waveforms, and the cosimulation harness that executes a
 component assembly's state machines over one scheduler.
 """
 
-from .kernel import ProcessHandle, SimEvent, Simulator, Timeout
+from .kernel import (
+    OVERFLOW_POLICIES,
+    ProcessHandle,
+    SimEvent,
+    Simulator,
+    Timeout,
+)
 from .signals import Clock, SimSignal, Waveform
-from .cosim import PartInstance, SystemSimulation
+from .cosim import PART_ERROR_POLICIES, PartInstance, SystemSimulation
 from .vcd import dump_vcd, write_vcd
 
 __all__ = [
-    "ProcessHandle", "SimEvent", "Simulator", "Timeout",
+    "OVERFLOW_POLICIES", "ProcessHandle", "SimEvent", "Simulator", "Timeout",
     "Clock", "SimSignal", "Waveform",
-    "PartInstance", "SystemSimulation",
+    "PART_ERROR_POLICIES", "PartInstance", "SystemSimulation",
     "dump_vcd", "write_vcd",
 ]

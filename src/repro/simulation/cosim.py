@@ -31,6 +31,22 @@ triggers, ...) transparently fall back to the interpreter per part —
 Both modes are bit-identical in message traffic, states and contexts
 (the lockstep equivalence tests assert this); compiled mode is simply
 several times faster.
+
+Resilience (PR 2): a seeded
+:class:`~repro.faults.FaultCampaign` attached via ``faults=`` wraps
+every connector hop in a deterministic
+:class:`~repro.faults.FaultInjector`; ``on_part_error`` selects what
+happens when a part's guard/effect raises (``"raise"`` propagates,
+``"quarantine"`` isolates the part, ``"restart"`` rebuilds its runtime
+up to ``max_restarts`` times, then quarantines); everything that
+happened is recorded in :attr:`resilience`
+(:class:`~repro.faults.ResilienceReport`).  :meth:`checkpoint` /
+:meth:`restore` round-trip the *entire* simulation state — kernel
+clock and queue, every part's state configuration and context for both
+interpreted and compiled runtimes — so campaigns can snapshot, inject
+and roll back.  The harness is also a context manager: leaving the
+``with`` block closes the kernel so no campaign leaks scheduled work
+into the next run.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..asl import SentSignal
 from ..errors import SimulationError
+from ..faults import FaultCampaign, FaultInjector, ResilienceReport
 from ..metamodel.components import Component, Connector, ConnectorKind
 from ..metamodel.classifiers import UmlClass
 from ..perf import PERF
@@ -55,6 +72,9 @@ from .kernel import Simulator
 
 #: Either execution engine for a part's behavior.
 PartRuntime = Union[StateMachineRuntime, CompiledRuntime]
+
+#: Valid part-error policies.
+PART_ERROR_POLICIES = ("raise", "quarantine", "restart")
 
 
 class PartInstance:
@@ -80,7 +100,7 @@ class PartInstance:
         return f"<PartInstance {self.name}: {self.part_type.name}>"
 
 
-Route = Tuple[str, str, float]  # (peer part, peer port, latency)
+Route = Tuple[str, str, float, str]  # (peer part, peer port, latency, conn)
 
 
 class SystemSimulation:
@@ -93,15 +113,28 @@ class SystemSimulation:
                  context: Optional[Dict[str, Dict[str, Any]]] = None,
                  trace: bool = False,
                  strict_routing: bool = False,
-                 compile: bool = False):
+                 compile: bool = False,
+                 faults: Optional[FaultCampaign] = None,
+                 fault_seed: Optional[int] = None,
+                 on_part_error: str = "raise",
+                 max_restarts: int = 3,
+                 max_queue: Optional[int] = None,
+                 overflow_policy: str = "raise"):
+        if on_part_error not in PART_ERROR_POLICIES:
+            raise SimulationError(
+                f"unknown on_part_error policy {on_part_error!r}; "
+                f"choose from {PART_ERROR_POLICIES}")
         self.top = top
-        self.simulator = Simulator()
+        self.simulator = Simulator(max_queue=max_queue,
+                                   overflow_policy=overflow_policy)
         self.quantum = quantum
         self.default_latency = default_latency
         self.latency_fn = latency_fn
         self.trace_enabled = trace
         self.strict_routing = strict_routing
         self.compile_enabled = compile
+        self.on_part_error = on_part_error
+        self.max_restarts = max_restarts
         self.trace: List[Tuple[float, str]] = []
         #: (time, sender, receiver, signal) for every delivered message
         self.message_log: List[Tuple[float, str, str, str]] = []
@@ -112,12 +145,21 @@ class SystemSimulation:
         #: part name -> engine choice: "compiled", "interpreter[: reason]",
         #: or "no behavior"
         self.compile_report: Dict[str, str] = {}
+        #: structured record of faults injected and failures survived
+        self.resilience = ResilienceReport()
+        self._injector: Optional[FaultInjector] = None
+        self._quarantined: set = set()
+        self._restart_counts: Dict[str, int] = {}
+        #: part name -> zero-arg factory rebuilding a fresh runtime
+        self._part_factories: Dict[str, Callable[[], PartRuntime]] = {}
         self._routes: Dict[Tuple[str, str], List[Route]] = {}
         #: precompiled per-part port lookup: part -> {port: routes}
         self._part_routes: Dict[str, Dict[str, List[Route]]] = {}
         self._inward: Dict[str, List[Route]] = {}  # top port -> parts
         self._build_parts(context or {})
         self._build_routes()
+        if faults is not None:
+            self.attach_faults(faults, seed=fault_seed)
 
     # ------------------------------------------------------------------
     # construction
@@ -126,20 +168,31 @@ class SystemSimulation:
     def _make_runtime(self, part_name: str, behavior: StateMachine,
                       initial_context: Dict[str, Any]) -> PartRuntime:
         sink = self._make_sink(part_name)
+        factory: Callable[[], PartRuntime]
         if self.compile_enabled:
             reason = compile_fallback_reason(behavior)
             if reason is None:
                 self.compile_report[part_name] = "compiled"
                 PERF.incr("cosim.compiled_parts")
-                return CompiledRuntime(compile_machine(behavior),
-                                       context=initial_context,
-                                       signal_sink=sink)
+                compiled = compile_machine(behavior)
+
+                def factory(_compiled=compiled, _ctx=initial_context,
+                            _sink=sink) -> PartRuntime:
+                    return CompiledRuntime(_compiled, context=dict(_ctx),
+                                           signal_sink=_sink)
+                self._part_factories[part_name] = factory
+                return factory()
             self.compile_report[part_name] = f"interpreter: {reason}"
             PERF.incr("cosim.interpreted_parts")
         else:
             self.compile_report[part_name] = "interpreter"
-        return StateMachineRuntime(behavior, context=initial_context,
-                                   signal_sink=sink)
+
+        def factory(_behavior=behavior, _ctx=initial_context,
+                    _sink=sink) -> PartRuntime:
+            return StateMachineRuntime(_behavior, context=dict(_ctx),
+                                       signal_sink=_sink)
+        self._part_factories[part_name] = factory
+        return factory()
 
     def _build_parts(self, contexts: Dict[str, Dict[str, Any]]) -> None:
         for part in self.top.parts:
@@ -183,6 +236,7 @@ class SystemSimulation:
 
         for connector in self.top.connectors:
             latency = self._connector_latency(connector)
+            conn_name = connector.name
             end_a, end_b = connector.ends
             name_a = end_a.part.name if end_a.part is not None else None
             name_b = end_b.part.name if end_b.part is not None else None
@@ -194,21 +248,90 @@ class SystemSimulation:
                     raise SimulationError(
                         f"delegation connector {connector!r} has no part end")
                 self._inward.setdefault(outer.port.name, []).append(
-                    (inner.part.name, inner.port.name, latency))
+                    (inner.part.name, inner.port.name, latency, conn_name))
                 continue
             if name_a is None or name_b is None:
                 raise SimulationError(
                     f"assembly connector {connector!r} must reference parts")
             self._routes.setdefault((name_a, end_a.port.name), []).append(
-                (name_b, end_b.port.name, latency))
+                (name_b, end_b.port.name, latency, conn_name))
             self._routes.setdefault((name_b, end_b.port.name), []).append(
-                (name_a, end_a.port.name, latency))
+                (name_a, end_a.port.name, latency, conn_name))
         # flatten into per-part lookup tables: the send hot path then
         # does two dict gets instead of building a tuple key per signal
         for (part_name, port_name), routes in self._routes.items():
             self._part_routes.setdefault(part_name, {})[port_name] = routes
         for part_name in self.parts:
             self._part_routes.setdefault(part_name, {})
+
+    # ------------------------------------------------------------------
+    # fault injection & degradation
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, campaign: FaultCampaign,
+                      seed: Optional[int] = None) -> FaultInjector:
+        """Attach a seeded fault campaign to the routing layer.
+
+        Replaces any previously attached campaign.  Returns the
+        injector (its report is this simulation's :attr:`resilience`).
+        """
+        if not isinstance(campaign, FaultCampaign):
+            raise SimulationError(
+                f"faults must be a FaultCampaign, got {campaign!r}")
+        self._injector = FaultInjector(self, campaign, seed=seed,
+                                       report=self.resilience)
+        return self._injector
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The attached fault injector, if any."""
+        return self._injector
+
+    @property
+    def quarantined_parts(self) -> Tuple[str, ...]:
+        """Names of quarantined parts, sorted."""
+        return tuple(sorted(self._quarantined))
+
+    def _part_failed(self, part_name: str, error: BaseException) -> None:
+        """Apply the ``on_part_error`` policy to a part failure."""
+        if self.on_part_error == "raise":
+            raise error
+        now = self.simulator.now
+        detail = f"{type(error).__name__}: {error}"
+        if self.on_part_error == "restart" \
+                and self._restart_counts.get(part_name, 0) \
+                < self.max_restarts:
+            self._restart_counts[part_name] = \
+                self._restart_counts.get(part_name, 0) + 1
+            self.resilience.record_part_failure(now, part_name, detail,
+                                                "restart")
+            self.resilience.record_restart(part_name)
+            self._restart_part(part_name)
+            return
+        action = "quarantine"
+        if self.on_part_error == "restart":
+            action = "quarantine (restart budget exhausted)"
+        self.resilience.record_part_failure(now, part_name, detail, action)
+        self.resilience.record_quarantine(now, part_name)
+        self._quarantined.add(part_name)
+        if self.trace_enabled:
+            self.trace.append(
+                (now, f"{part_name} quarantined after {detail}"))
+
+    def _restart_part(self, part_name: str) -> None:
+        """Rebuild a part's runtime in its initial configuration.
+
+        The fresh runtime's clock starts at the current simulation time
+        so it does not replay a burst of catch-up time triggers.
+        """
+        instance = self.parts[part_name]
+        runtime = self._part_factories[part_name]()
+        runtime.time = self.simulator.now
+        runtime.start()
+        instance.runtime = runtime
+        if self.trace_enabled:
+            self.trace.append(
+                (self.simulator.now, f"{part_name} restarted"))
 
     # ------------------------------------------------------------------
     # signal routing
@@ -237,10 +360,16 @@ class SystemSimulation:
                         (self.simulator.now,
                          f"{sent.signal} dropped at {part_name}.{port_name}"))
                 return
-            for peer_part, _peer_port, latency in routes:
-                self._schedule_delivery(peer_part, sent.signal,
-                                        sent.arguments, latency,
-                                        sender=part_name)
+            injector = self._injector
+            if injector is None:
+                for peer_part, _peer_port, latency, _conn in routes:
+                    self._schedule_delivery(peer_part, sent.signal,
+                                            sent.arguments, latency,
+                                            sender=part_name)
+            else:
+                for peer_part, _peer_port, latency, conn in routes:
+                    injector.route(part_name, port_name, peer_part, conn,
+                                   sent.signal, sent.arguments, latency)
         return sink
 
     def _schedule_delivery(self, part_name: str, signal: str,
@@ -251,7 +380,18 @@ class SystemSimulation:
             instance = self.parts[part_name]
             if instance.runtime is None:
                 return
+            if part_name in self._quarantined:
+                self.resilience.bump("quarantine_dropped")
+                if self.trace_enabled:
+                    self.trace.append(
+                        (self.simulator.now,
+                         f"{signal} dropped at quarantined {part_name}"))
+                return
             self._sync_runtime(instance)
+            if part_name in self._quarantined:
+                # the time sync itself failed the part
+                self.resilience.bump("quarantine_dropped")
+                return
             instance.received += 1
             self.messages_delivered += 1
             self.message_log.append(
@@ -259,14 +399,21 @@ class SystemSimulation:
             if self.trace_enabled:
                 self.trace.append(
                     (self.simulator.now, f"{signal} -> {part_name}"))
-            instance.runtime.dispatch(
-                EventOccurrence.signal(signal, **arguments))
+            try:
+                instance.runtime.dispatch(
+                    EventOccurrence.signal(signal, **arguments))
+            except Exception as error:  # noqa: BLE001 - policy decides
+                self._part_failed(part_name, error)
         self.simulator.schedule(latency, deliver)
 
     def _sync_runtime(self, instance: PartInstance) -> None:
         runtime = instance.runtime
-        if runtime is not None and runtime.time < self.simulator.now:
-            runtime.advance_time(self.simulator.now - runtime.time)
+        if runtime is not None and runtime.time < self.simulator.now \
+                and instance.name not in self._quarantined:
+            try:
+                runtime.advance_time(self.simulator.now - runtime.time)
+            except Exception as error:  # noqa: BLE001 - policy decides
+                self._part_failed(instance.name, error)
 
     def _sync_all(self) -> None:
         for instance in self.parts.values():
@@ -290,27 +437,136 @@ class SystemSimulation:
         if not routes:
             raise SimulationError(
                 f"top component has no delegated port {port_name!r}")
-        for part_name, _inner_port, latency in routes:
+        for part_name, _inner_port, latency, _conn in routes:
             self._schedule_delivery(part_name, signal, arguments,
                                     delay + latency)
 
-    def run(self, until: float) -> "SystemSimulation":
-        """Run the cosimulation up to simulated time ``until`` (chainable)."""
+    def run(self, until: float,
+            timeout: Optional[float] = None,
+            max_events: int = 10_000_000,
+            max_events_at_instant: Optional[int] = None,
+            detect_deadlock: bool = False) -> "SystemSimulation":
+        """Run the cosimulation up to simulated time ``until`` (chainable).
+
+        ``timeout`` arms the kernel's wall-clock watchdog;
+        ``max_events_at_instant`` arms the livelock (zero-delay storm)
+        heuristic.  Kernel incidents are recorded in :attr:`resilience`
+        before the exception propagates.
+        """
         start = _time.perf_counter()
         events_before = self.simulator.events_processed
         self.simulator.every(self.quantum, self._sync_all, until=until)
-        self.simulator.run(until=until)
-        for instance in self.parts.values():
-            if instance.runtime is not None \
-                    and instance.runtime.time < until:
-                instance.runtime.advance_time(
-                    until - instance.runtime.time)
-        elapsed = _time.perf_counter() - start
-        self.wall_time_s += elapsed
-        PERF.observe("cosim.run_wall_s", elapsed)
-        PERF.incr("cosim.kernel_events",
-                  self.simulator.events_processed - events_before)
+        try:
+            self.simulator.run(until=until, max_events=max_events,
+                               timeout=timeout,
+                               max_events_at_instant=max_events_at_instant,
+                               detect_deadlock=detect_deadlock)
+            if self._injector is not None:
+                # deliver reorder-held messages that never found a partner
+                leftovers = self._injector.flush()
+                if leftovers:
+                    for peer, signal, arguments in leftovers:
+                        self._schedule_delivery(peer, signal, arguments,
+                                                0.0, sender="fault-flush")
+                    self.simulator.run(until=until)
+            for instance in self.parts.values():
+                if instance.runtime is not None \
+                        and instance.runtime.time < until:
+                    self._final_advance(instance, until)
+        except SimulationError as error:
+            self.resilience.record_kernel_incident(
+                self.simulator.now, type(error).__name__, str(error))
+            raise
+        finally:
+            elapsed = _time.perf_counter() - start
+            self.wall_time_s += elapsed
+            PERF.observe("cosim.run_wall_s", elapsed)
+            PERF.incr("cosim.kernel_events",
+                      self.simulator.events_processed - events_before)
         return self
+
+    def _final_advance(self, instance: PartInstance, until: float) -> None:
+        if instance.name in self._quarantined:
+            instance.runtime.time = until
+            return
+        try:
+            instance.runtime.advance_time(until - instance.runtime.time)
+        except Exception as error:  # noqa: BLE001 - policy decides
+            self._part_failed(instance.name, error)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture the complete simulation state.
+
+        Kernel clock and event queue, every part's runtime snapshot
+        (state configuration, context, timers — interpreted *and*
+        compiled engines), message/trace logs, degradation state, the
+        resilience report and, when attached, the fault injector's RNG
+        and budgets.  Restore with :meth:`restore`; a checkpoint →
+        inject → restore cycle returns to the exact pre-injection state.
+        """
+        parts: Dict[str, Any] = {}
+        for name, instance in self.parts.items():
+            parts[name] = {
+                "runtime": (instance.runtime.snapshot()
+                            if instance.runtime is not None else None),
+                "received": instance.received,
+                "sent": instance.sent,
+            }
+        return {
+            "kernel": self.simulator.checkpoint(),
+            "parts": parts,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "message_log_len": len(self.message_log),
+            "trace_len": len(self.trace),
+            "quarantined": set(self._quarantined),
+            "restart_counts": dict(self._restart_counts),
+            "resilience": self.resilience.snapshot(),
+            "injector": (self._injector.snapshot()
+                         if self._injector is not None else None),
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Return to a state captured by :meth:`checkpoint`."""
+        self.simulator.restore(snap["kernel"])
+        for name, part_snap in snap["parts"].items():
+            instance = self.parts[name]
+            if part_snap["runtime"] is not None:
+                instance.runtime.restore(part_snap["runtime"])
+            instance.received = part_snap["received"]
+            instance.sent = part_snap["sent"]
+        self.messages_delivered = snap["messages_delivered"]
+        self.messages_dropped = snap["messages_dropped"]
+        del self.message_log[snap["message_log_len"]:]
+        del self.trace[snap["trace_len"]:]
+        self._quarantined = set(snap["quarantined"])
+        self._restart_counts = dict(snap["restart_counts"])
+        self.resilience.restore(snap["resilience"])
+        if self._injector is not None and snap["injector"] is not None:
+            self._injector.restore(snap["injector"])
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the kernel (cancels recurrences; idempotent)."""
+        self.simulator.close()
+
+    def __enter__(self) -> "SystemSimulation":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
 
     def state_snapshot(self) -> Dict[str, Tuple[str, ...]]:
         """Active leaf states of every part."""
@@ -336,6 +592,10 @@ class SystemSimulation:
             "kernel_events": events,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
+            "faults_injected": self.resilience.total_injections,
+            "quarantined_parts": len(self._quarantined),
+            "restarts": sum(self._restart_counts.values()),
+            "kernel_events_dropped": self.simulator.events_dropped,
             "wall_s": self.wall_time_s,
             "events_per_s": (round(events / self.wall_time_s)
                              if self.wall_time_s > 0 else 0),

@@ -12,15 +12,31 @@ A process is a Python generator that yields:
   simulated time;
 * a :class:`SimEvent` — resume when the event succeeds (with its value
   sent into the generator).
+
+Robustness controls (PR 2): :meth:`Simulator.run` accepts a wall-clock
+``timeout`` watchdog, a ``max_events_at_instant`` livelock heuristic
+and ``detect_deadlock``; the queue can be bounded
+(``max_queue``/``overflow_policy``); and the whole wheel state is
+checkpointable via :meth:`Simulator.checkpoint` / :meth:`restore` so
+fault campaigns can snapshot, inject and roll back.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, List, Optional, Tuple
+import time as _time
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import (
+    DeadlockError,
+    LivelockError,
+    QueueOverflowError,
+    SimulationError,
+    WatchdogTimeout,
+)
+
+#: Queue overflow policies for a bounded simulator.
+OVERFLOW_POLICIES = ("raise", "drop-newest", "drop-latest")
 
 
 class Timeout:
@@ -124,21 +140,45 @@ class _RecurringTick:
             self.primed = True
         simulator = self.simulator
         if self.until is None or simulator.now < self.until:
+            simulator._seq = seq = simulator._seq + 1
             heapq.heappush(
                 simulator._queue,
-                (simulator.now + self.interval, next(simulator._sequence),
-                 self._fire, None))
+                (simulator.now + self.interval, seq, self._fire, None))
+        else:
+            # expired: mark stopped so the tick registry can be pruned
+            self.stopped = True
 
 
 class Simulator:
-    """The event-wheel scheduler."""
+    """The event-wheel scheduler.
 
-    def __init__(self) -> None:
+    ``max_queue``/``overflow_policy`` bound the event queue: once
+    ``len(queue) >= max_queue``, a :meth:`schedule` call is resolved by
+    the policy — ``"raise"`` (:class:`QueueOverflowError`),
+    ``"drop-newest"`` (the incoming event is discarded and counted) or
+    ``"drop-latest"`` (the queued event furthest in the future is
+    evicted to admit the incoming one).  Internal process resumes and
+    recurring ticks bypass backpressure — dropping those would corrupt
+    coroutine state.
+    """
+
+    def __init__(self, max_queue: Optional[int] = None,
+                 overflow_policy: str = "raise") -> None:
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise SimulationError(
+                f"unknown overflow policy {overflow_policy!r}; "
+                f"choose from {OVERFLOW_POLICIES}")
+        if max_queue is not None and max_queue <= 0:
+            raise SimulationError("max_queue must be positive")
         self.now: float = 0.0
         self.events_processed = 0
+        self.events_dropped = 0
+        self.max_queue = max_queue
+        self.overflow_policy = overflow_policy
         self._queue: List[Tuple[float, int, Callable, Any]] = []
-        self._sequence = itertools.count()
+        self._seq = 0
         self._processes: List[ProcessHandle] = []
+        self._ticks: List[_RecurringTick] = []
         self._closed = False
 
     # -- scheduling ---------------------------------------------------------
@@ -149,8 +189,30 @@ class Simulator:
             raise SimulationError("cannot schedule on a closed simulator")
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
-        heapq.heappush(self._queue,
-                       (self.now + delay, next(self._sequence), action, None))
+        if self.max_queue is not None \
+                and len(self._queue) >= self.max_queue \
+                and not self._admit_over_capacity():
+            return
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, action, None))
+
+    def _admit_over_capacity(self) -> bool:
+        """Apply the overflow policy; True when the new event may enter."""
+        policy = self.overflow_policy
+        if policy == "raise":
+            raise QueueOverflowError(
+                f"event queue overflowed its bound of {self.max_queue} "
+                f"at t={self.now}")
+        if policy == "drop-newest":
+            self.events_dropped += 1
+            return False
+        # drop-latest: evict the entry furthest in the future (O(n), but
+        # only ever paid under overflow)
+        victim = max(self._queue)
+        self._queue.remove(victim)
+        heapq.heapify(self._queue)
+        self.events_dropped += 1
+        return True
 
     def every(self, interval: float, action: Callable[[], None],
               until: Optional[float] = None) -> _RecurringTick:
@@ -160,15 +222,19 @@ class Simulator:
         action runs at ``now + interval``; with ``until`` given, ticks
         stop re-arming once ``now >= until`` (the action still runs at a
         tick landing exactly on ``until`` — the same inclusive boundary
-        as :meth:`run`).
+        as :meth:`run`).  Outstanding ticks are cancelled by
+        :meth:`close`.
         """
         if self._closed:
             raise SimulationError("cannot schedule on a closed simulator")
         if interval <= 0:
             raise SimulationError("recurring interval must be positive")
+        if self._ticks and any(t.stopped for t in self._ticks):
+            self._ticks = [t for t in self._ticks if not t.stopped]
         tick = _RecurringTick(self, interval, action, until)
-        heapq.heappush(self._queue,
-                       (self.now, next(self._sequence), tick._fire, None))
+        self._ticks.append(tick)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now, seq, tick._fire, None))
         return tick
 
     def event(self) -> SimEvent:
@@ -189,9 +255,10 @@ class Simulator:
 
     def _schedule_resume(self, handle: ProcessHandle, delay: float,
                          value: Any) -> None:
+        self._seq = seq = self._seq + 1
         heapq.heappush(
             self._queue,
-            (self.now + delay, next(self._sequence),
+            (self.now + delay, seq,
              lambda: self._resume(handle, value), None))
 
     def _resume(self, handle: ProcessHandle, value: Any) -> None:
@@ -232,7 +299,10 @@ class Simulator:
         return True
 
     def run(self, until: Optional[float] = None,
-            max_events: int = 10_000_000) -> float:
+            max_events: int = 10_000_000,
+            timeout: Optional[float] = None,
+            max_events_at_instant: Optional[int] = None,
+            detect_deadlock: bool = False) -> float:
         """Run until quiescence or simulated time ``until``.
 
         Boundary contract: events scheduled *exactly at* ``until`` are
@@ -241,12 +311,28 @@ class Simulator:
         drained earlier.  ``until`` must not lie in the past — time
         never moves backwards.
 
+        Robustness knobs (all off by default):
+
+        * ``timeout`` — wall-clock watchdog in real seconds; raises
+          :class:`WatchdogTimeout` when exceeded (checked every 256
+          events to keep the hot loop tight).
+        * ``max_events_at_instant`` — livelock heuristic; raises
+          :class:`LivelockError` when more than this many events fire
+          without simulated time advancing (zero-delay storms).
+        * ``detect_deadlock`` — on quiescence, raises
+          :class:`DeadlockError` if generator processes are still alive
+          (blocked on events nothing can trigger anymore).
+
         Returns the simulation time reached.
         """
         if until is not None and until < self.now:
             raise SimulationError(
                 f"cannot run until t={until}: simulation time is already "
                 f"t={self.now} (time never moves backwards)")
+        deadline = None if timeout is None \
+            else _time.perf_counter() + timeout
+        instant_events = 0
+        last_now = self.now
         processed = 0
         while self._queue:
             if until is not None and self._queue[0][0] > until:
@@ -257,18 +343,93 @@ class Simulator:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events")
             self.step()
+            if max_events_at_instant is not None:
+                if self.now == last_now:
+                    instant_events += 1
+                    if instant_events > max_events_at_instant:
+                        raise LivelockError(
+                            f"{instant_events} events fired at t={self.now} "
+                            f"without time advancing (limit "
+                            f"{max_events_at_instant}); suspected "
+                            "zero-delay event storm")
+                else:
+                    last_now = self.now
+                    instant_events = 0
+            if deadline is not None and not (processed & 255) \
+                    and _time.perf_counter() > deadline:
+                raise WatchdogTimeout(
+                    f"wall-clock watchdog expired after {timeout}s at "
+                    f"t={self.now} ({processed} events this run); "
+                    "simulation appears hung")
+        if detect_deadlock:
+            blocked = sorted(p.name for p in self._processes if p.alive)
+            if blocked:
+                raise DeadlockError(
+                    f"event queue drained at t={self.now} with "
+                    f"{len(blocked)} process(es) still blocked: "
+                    f"{', '.join(blocked)}")
         if until is not None:
             self.now = max(self.now, until)
         return self.now
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture the wheel state (clock, queue, tick arms, counters).
+
+        The queue holds plain action closures, which are re-runnable; a
+        live *generator* process cannot be rolled back, so checkpointing
+        with one alive raises :class:`SimulationError`.  Restore with
+        :meth:`restore`.
+        """
+        alive = [p.name for p in self._processes if p.alive]
+        if alive:
+            raise SimulationError(
+                "cannot checkpoint a simulator with live generator "
+                f"processes ({', '.join(sorted(alive))}); generator frames "
+                "are not restorable")
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "events_dropped": self.events_dropped,
+            "seq": self._seq,
+            "queue": list(self._queue),
+            "ticks": [(tick, tick.primed, tick.stopped)
+                      for tick in self._ticks],
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Return to a state captured by :meth:`checkpoint`.
+
+        Recurring ticks created *after* the checkpoint are discarded
+        together with their queued firings.
+        """
+        if self._closed:
+            raise SimulationError("cannot restore a closed simulator")
+        self.now = snap["now"]
+        self.events_processed = snap["events_processed"]
+        self.events_dropped = snap["events_dropped"]
+        self._seq = snap["seq"]
+        self._queue = list(snap["queue"])
+        self._ticks = [tick for tick, _primed, _stopped in snap["ticks"]]
+        for tick, primed, stopped in snap["ticks"]:
+            tick.primed = primed
+            tick.stopped = stopped
 
     def close(self) -> None:
         """Tear down the wheel: drop queued work, refuse new scheduling.
 
         After ``close()`` any :meth:`schedule`, :meth:`every` or
         :meth:`SimEvent.succeed` raises :class:`SimulationError` —
-        nothing silently schedules into a dead wheel.  Idempotent.
+        nothing silently schedules into a dead wheel.  Outstanding
+        :meth:`every` recurrences are cancelled.  Idempotent.
         """
+        if self._closed:
+            return
         self._closed = True
+        for tick in self._ticks:
+            tick.stop()
+        self._ticks.clear()
         self._queue.clear()
 
     @property

@@ -630,6 +630,34 @@ class CompiledRuntime:
         self.time = deadline
         return self
 
+    # -- snapshot / restore (checkpointing, parity with the interpreter) --
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the full execution state (configuration, timers,
+        context, clock).  Restore with :meth:`restore`."""
+        return {
+            "state": self._state.name if self._state is not None else None,
+            "timers": list(self._timers),
+            "timer_seq": self._timer_seq,
+            "time": self.time,
+            "terminated": self.is_terminated,
+            "context": dict(self.context),
+            "started": self._started,
+            "queue": list(self._queue),
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        name = snap["state"]
+        self._state = self.compiled.states[name] if name is not None else None
+        self._timers = list(snap["timers"])
+        self._timer_seq = snap["timer_seq"]
+        self.time = snap["time"]
+        self.is_terminated = snap["terminated"]
+        self.context = dict(snap["context"])
+        self._started = snap["started"]
+        self._queue = deque(snap.get("queue", ()))
+
     def active_leaf_names(self) -> Tuple[str, ...]:
         """Names of active leaf states (one for a flat machine)."""
         return (self._state.name,) if self._state is not None else ()

@@ -205,6 +205,7 @@ class StateMachineRuntime:
             "terminated": self.is_terminated,
             "context": dict(self.context),
             "started": self._started,
+            "queue": list(self._queue),
         }
 
     def restore(self, snap: Dict[str, Any]) -> None:
@@ -223,7 +224,7 @@ class StateMachineRuntime:
         self.is_terminated = snap["terminated"]
         self.context = dict(snap["context"])
         self._started = snap["started"]
-        self._queue.clear()
+        self._queue = deque(snap.get("queue", ()))
 
     # ------------------------------------------------------------------
     # run-to-completion machinery

@@ -68,7 +68,18 @@ def read_model(text: str) -> XmiDocument:
     for element in built:
         spec = spec_for(element)
         if spec.fixup is not None:
-            spec.fixup(element)
+            # fixups rebuild derived structure from restored fields; on
+            # a corrupt document they can trip over missing pieces, and
+            # the caller should still see a located XmiError
+            try:
+                spec.fixup(element)
+            except XmiError:
+                raise
+            except Exception as exc:
+                raise XmiError(
+                    f"element {element.xmi_id!r} "
+                    f"({type(element).__name__}): inconsistent document "
+                    f"structure: {type(exc).__name__}: {exc}") from exc
 
     applications_node = root.find("applications")
     if applications_node is not None:
@@ -106,7 +117,9 @@ def _build(xml_element: ET.Element, owner: Optional[Element],
     element._owner = None
     element._owned = []
     if xmi_id in index:
-        raise XmiError(f"duplicate xmi:id {xmi_id!r}")
+        raise XmiError(
+            f"duplicate xmi:id {xmi_id!r}: already used by "
+            f"{type(index[xmi_id]).__name__}, redefined as {type_name}")
     index[xmi_id] = element
     built.append(element)
 
@@ -132,24 +145,41 @@ def _restore_field(element: Element, field: Field,
     raw = xml_element.get(attr)
     kind = field.kind
 
+    def convert(factory: Any, what: str) -> Any:
+        # every conversion of document text answers with a *located*
+        # XmiError; a corrupt attribute must never surface as a bare
+        # ValueError/KeyError from the converter
+        try:
+            return factory(raw)
+        except XmiError:
+            raise
+        except Exception as exc:
+            raise XmiError(
+                f"element {element.xmi_id!r} "
+                f"({type(element).__name__}): field {attr!r}: "
+                f"bad {what} {raw!r}: {exc}") from exc
+
     if kind == "str":
         setattr(element, field.name, raw if raw is not None else field.default)
     elif kind == "int":
         setattr(element, field.name,
-                int(raw) if raw is not None else field.default)
+                convert(int, "integer") if raw is not None
+                else field.default)
     elif kind == "float":
         setattr(element, field.name,
-                float(raw) if raw is not None else field.default)
+                convert(float, "number") if raw is not None
+                else field.default)
     elif kind == "bool":
         setattr(element, field.name,
                 raw == "true" if raw is not None else field.default)
     elif kind == "enum":
         enum_type = ENUMS[field.enum_type]
         setattr(element, field.name,
-                enum_type(raw) if raw is not None else field.default)
+                convert(enum_type, f"{field.enum_type} value")
+                if raw is not None else field.default)
     elif kind == "json":
         if raw is not None:
-            setattr(element, field.name, json.loads(raw))
+            setattr(element, field.name, convert(json.loads, "JSON"))
         else:
             default = field.default
             if isinstance(default, (list, dict)):
@@ -157,7 +187,8 @@ def _restore_field(element: Element, field: Field,
             setattr(element, field.name, default)
     elif kind == "multiplicity":
         setattr(element, field.name,
-                Multiplicity.parse(raw) if raw is not None else ONE)
+                convert(Multiplicity.parse, "multiplicity")
+                if raw is not None else ONE)
     elif kind == "action":
         setattr(element, field.name, raw)
     elif kind == "ref":
@@ -170,7 +201,9 @@ def _restore_field(element: Element, field: Field,
             pending_refs.append((element, field, raw))
     elif kind == "tagtype":
         if raw is None or raw not in TAG_TYPES:
-            raise XmiError(f"bad tag type {raw!r} on {element.xmi_id}")
+            raise XmiError(
+                f"element {element.xmi_id!r} "
+                f"({type(element).__name__}): bad tag type {raw!r}")
         setattr(element, field.name, TAG_TYPES[raw])
     else:
         raise XmiError(f"unknown field kind {kind!r}")
@@ -196,11 +229,17 @@ def _lookup(reference: str, index: Dict[str, Element]) -> Element:
 def _resolve(index: Dict[str, Element],
              pending_refs: List[Tuple[Element, Field, str]]) -> None:
     for element, field, raw in pending_refs:
-        if field.kind == "ref":
-            setattr(element, field.name, _lookup(raw, index))
-        else:
-            targets = [_lookup(ref, index) for ref in raw.split()]
-            setattr(element, field.name, targets)
+        try:
+            if field.kind == "ref":
+                setattr(element, field.name, _lookup(raw, index))
+            else:
+                targets = [_lookup(ref, index) for ref in raw.split()]
+                setattr(element, field.name, targets)
+        except XmiError as exc:
+            raise XmiError(
+                f"element {element.xmi_id!r} "
+                f"({type(element).__name__}): field "
+                f"{field.name.lstrip('_')!r}: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -219,7 +258,12 @@ def _apply_applications(applications_node: ET.Element,
                 f"application references unknown stereotype/element: "
                 f"{xml_app.attrib}")
         raw_values = xml_app.get("values")
-        values = json.loads(raw_values) if raw_values else {}
+        try:
+            values = json.loads(raw_values) if raw_values else {}
+        except json.JSONDecodeError as exc:
+            raise XmiError(
+                f"application of {stereotype.name!r} to "
+                f"{target.xmi_id!r}: bad values JSON: {exc}") from exc
         from ..profiles.core import apply_stereotype
 
         apply_stereotype(target, stereotype, **values)

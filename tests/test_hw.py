@@ -89,7 +89,7 @@ class TestIpCores:
         assert sink[-1].signal == "ReadResp"
         assert sink[-1].arguments["value"] == 99
         runtime.send("Read", addr=999)
-        assert sink[-1].signal == "BusError"
+        assert sink[-1].signal == "Nak"
         runtime.send("Read", addr=8)  # never written -> 0
         assert sink[-1].arguments["value"] == 0
 
@@ -147,7 +147,7 @@ class TestBusAndSoc:
         assert sink[-1].target == "s1"
         assert sink[-1].arguments["addr"] == 0x20
         runtime.send("Read", addr=0x999)
-        assert sink[-1].signal == "BusError"
+        assert sink[-1].signal == "Nak"
         assert sink[-1].target == "m"
 
     def test_soc_end_to_end_traffic(self):

@@ -1,0 +1,202 @@
+"""Kernel robustness: watchdog, livelock/deadlock, backpressure,
+checkpoint/restore and lifecycle (PR 2)."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    LivelockError,
+    QueueOverflowError,
+    SimulationError,
+    WatchdogTimeout,
+)
+from repro.simulation import Simulator
+
+
+class TestWatchdog:
+    def test_expired_deadline_raises(self):
+        sim = Simulator()
+
+        def storm():
+            # zero-delay self-perpetuating load so the run never drains
+            sim.schedule(0.0, storm)
+        sim.schedule(0.0, storm)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run(timeout=0.0)
+        assert "watchdog" in str(excinfo.value)
+
+    def test_generous_deadline_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        for delay in range(10):
+            sim.schedule(float(delay), lambda: hits.append(1))
+        assert sim.run(timeout=60.0) == 9.0
+        assert len(hits) == 10
+
+
+class TestLivelock:
+    def test_zero_delay_storm_detected(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+        sim.schedule(0.0, storm)
+        with pytest.raises(LivelockError) as excinfo:
+            sim.run(max_events_at_instant=100)
+        assert "t=0.0" in str(excinfo.value)
+
+    def test_advancing_time_resets_counter(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 500:
+                sim.schedule(1.0, tick)  # time advances every event
+        sim.schedule(1.0, tick)
+        sim.run(max_events_at_instant=10)
+        assert count[0] == 500
+
+
+class TestDeadlock:
+    def test_blocked_process_detected_at_quiescence(self):
+        sim = Simulator()
+        never = sim.event()
+
+        def waiter():
+            yield never  # nothing ever succeeds this
+        sim.process(waiter(), name="stuck")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(detect_deadlock=True)
+        assert "stuck" in str(excinfo.value)
+
+    def test_completed_processes_are_fine(self):
+        sim = Simulator()
+
+        def worker():
+            yield 5.0
+        sim.process(worker())
+        assert sim.run(detect_deadlock=True) == 5.0
+
+
+class TestBackpressure:
+    def test_raise_policy(self):
+        sim = Simulator(max_queue=2)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(QueueOverflowError):
+            sim.schedule(3.0, lambda: None)
+
+    def test_drop_newest_policy(self):
+        sim = Simulator(max_queue=2, overflow_policy="drop-newest")
+        hits = []
+        sim.schedule(1.0, lambda: hits.append("a"))
+        sim.schedule(2.0, lambda: hits.append("b"))
+        sim.schedule(3.0, lambda: hits.append("c"))  # silently shed
+        sim.run()
+        assert hits == ["a", "b"]
+        assert sim.events_dropped == 1
+
+    def test_drop_latest_evicts_furthest_future(self):
+        sim = Simulator(max_queue=2, overflow_policy="drop-latest")
+        hits = []
+        sim.schedule(1.0, lambda: hits.append("a"))
+        sim.schedule(9.0, lambda: hits.append("far"))
+        sim.schedule(2.0, lambda: hits.append("b"))  # evicts "far"
+        sim.run()
+        assert hits == ["a", "b"]
+        assert sim.events_dropped == 1
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(overflow_policy="explode")
+        with pytest.raises(SimulationError):
+            Simulator(max_queue=0)
+
+
+class TestCheckpoint:
+    def test_round_trip_replays_identically(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for delay in (1.0, 2.0, 3.0, 4.0):
+                sim.schedule(delay, lambda d=delay: log.append(d))
+            return sim, log
+
+        sim, log = build()
+        sim.run(until=2.0)
+        snap = sim.checkpoint()
+        sim.run(until=4.0)
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        sim.restore(snap)
+        assert sim.now == 2.0
+        del log[2:]
+        sim.run(until=4.0)
+        assert log == [1.0, 2.0, 3.0, 4.0]
+
+    def test_recurring_tick_survives_round_trip(self):
+        sim = Simulator()
+        hits = []
+        sim.every(1.0, lambda: hits.append(sim.now), until=10.0)
+        sim.run(until=3.0)
+        snap = sim.checkpoint()
+        before = list(hits)
+        sim.run(until=10.0)
+        sim.restore(snap)
+        del hits[len(before):]
+        sim.run(until=10.0)
+        assert hits == [float(t) for t in range(1, 11)]
+
+    def test_live_process_refuses_checkpoint(self):
+        sim = Simulator()
+
+        def worker():
+            yield 100.0
+        sim.process(worker())
+        sim.run(until=1.0)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.checkpoint()
+        assert "generator" in str(excinfo.value)
+
+    def test_counters_restored(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        snap = sim.checkpoint()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+        sim.restore(snap)
+        assert sim.events_processed == 1
+        assert sim.now == 1.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        sim = Simulator()
+        sim.close()
+        sim.close()
+        assert sim.is_closed
+
+    def test_close_cancels_recurrences(self):
+        sim = Simulator()
+        hits = []
+        sim.every(1.0, lambda: hits.append(1))
+        sim.close()
+        assert sim.is_quiescent
+        assert not hits
+
+    def test_closed_simulator_refuses_work(self):
+        sim = Simulator()
+        event = sim.event()
+        sim.close()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.process(iter(()))
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            sim.restore({})

@@ -1,0 +1,162 @@
+"""Corrupt-document regression tests for the XMI reader (PR 2).
+
+Every way a document can be broken — truncation, duplicate ids,
+dangling references, unparseable attribute values — must surface as an
+:class:`XmiError` carrying location information, never as a bare
+``KeyError``/``AttributeError``/``ValueError`` from the reader's
+internals.
+"""
+
+import pytest
+
+import repro.metamodel as mm
+from repro import xmi
+from repro.errors import XmiError
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.profiles import create_soc_profile
+
+
+@pytest.fixture
+def document_text():
+    profile = create_soc_profile()
+    model = mm.Model("corrupttest")
+    pkg = model.create_package("design")
+    make_soc("Top",
+             masters=[make_traffic_generator("Cpu", period=5.0,
+                                             profile=profile)],
+             slaves=[(make_memory("Ram", size_bytes=256,
+                                  profile=profile), "bus", 0, 256)],
+             profile=profile, package=pkg)
+    return xmi.write_model(model, profiles=[profile])
+
+
+def corrupt(text: str, needle: str, replacement: str) -> str:
+    assert needle in text, f"fixture lost its {needle!r} marker"
+    return text.replace(needle, replacement, 1)
+
+
+class TestTruncation:
+    def test_truncated_document(self, document_text):
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(document_text[: len(document_text) // 2])
+        assert "malformed" in str(excinfo.value)
+
+    def test_empty_document(self):
+        with pytest.raises(XmiError):
+            xmi.read_model("")
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model("<notxmi/>")
+        assert "not an XMI document" in str(excinfo.value)
+
+
+class TestDuplicateIds:
+    def test_duplicate_id_reports_both_types(self, document_text):
+        # reuse the first Port id on the second Port of the bus
+        first = document_text.index('xmi:id="Port_')
+        end = document_text.index('"', first + len('xmi:id="'))
+        first_id = document_text[first:end + 1]
+        second = document_text.index('xmi:id="Port_', end)
+        second_end = document_text.index('"', second + len('xmi:id="'))
+        broken = (document_text[:second] + first_id
+                  + document_text[second_end + 1:])
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        message = str(excinfo.value)
+        assert "duplicate xmi:id" in message
+        assert "Port" in message
+
+
+class TestDanglingReferences:
+    def test_dangling_ref_names_element_and_field(self, document_text):
+        broken = corrupt(document_text, 'source="Pseudostate_',
+                         'source="Ghost_9999" data-junk="Pseudostate_')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        message = str(excinfo.value)
+        assert "dangling reference 'Ghost_9999'" in message
+        assert "Transition" in message  # the element that held the ref
+        assert "source" in message  # the field
+
+    def test_dangling_reflist_entry(self, document_text):
+        broken = corrupt(document_text, 'triggers="SignalEvent_',
+                         'triggers="Missing_1 SignalEvent_')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "Missing_1" in str(excinfo.value)
+
+    def test_unknown_builtin(self, document_text):
+        broken = corrupt(document_text, 'type="builtin:Integer"',
+                         'type="builtin:Quaternion"')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "Quaternion" in str(excinfo.value)
+
+
+class TestBadAttributeValues:
+    def test_bad_float_is_located(self, document_text):
+        broken = corrupt(document_text, 'after="5.0"',
+                         'after="half-past-nine"')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        message = str(excinfo.value)
+        assert "after" in message and "half-past-nine" in message
+        assert "TimeEvent" in message
+
+    def test_bad_int_is_located(self, document_text):
+        broken = corrupt(document_text, 'literal="',
+                         'literal="zero" data-old="')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        message = str(excinfo.value)
+        assert "literal" in message and "zero" in message
+
+    def test_bad_enum_lists_element(self, document_text):
+        broken = corrupt(document_text, 'kind="initial"',
+                         'kind="sideways"')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        message = str(excinfo.value)
+        assert "sideways" in message
+        assert "Pseudostate" in message
+
+    def test_unknown_element_type(self, document_text):
+        broken = corrupt(document_text, 'xmi:type="Port"',
+                         'xmi:type="FluxCapacitor"')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "FluxCapacitor" in str(excinfo.value)
+
+    def test_missing_id(self, document_text):
+        broken = corrupt(document_text, 'xmi:id="Port_', 'data-id="Port_')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "xmi:id" in str(excinfo.value)
+
+
+class TestBadApplications:
+    def test_bad_values_json(self, document_text):
+        assert 'values="' in document_text
+        start = document_text.index('values="')
+        end = document_text.index('"', start + len('values="'))
+        broken = (document_text[:start] + 'values="{not json"'
+                  + document_text[end + 1:])
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "values JSON" in str(excinfo.value)
+
+    def test_application_to_missing_element(self, document_text):
+        broken = corrupt(document_text, ' element="',
+                         ' element="Ghost_1" data-old="')
+        with pytest.raises(XmiError) as excinfo:
+            xmi.read_model(broken)
+        assert "application" in str(excinfo.value)
+
+
+class TestGoodDocumentStillReads:
+    def test_round_trip_unaffected(self, document_text):
+        document = xmi.read_model(document_text)
+        assert document.model is not None
+        assert document.model.name == "corrupttest"
+        assert document.profiles
