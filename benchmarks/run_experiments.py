@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D11).
+"""Regenerate every derived-experiment table (D1-D12).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -7,15 +7,19 @@ recorded in EXPERIMENTS.md.  Usage::
     python benchmarks/run_experiments.py            # all experiments
     python benchmarks/run_experiments.py d3 d7      # a subset
     python benchmarks/run_experiments.py --quick    # CI smoke mode
+    python benchmarks/run_experiments.py --quick --json report.json
 
 ``--quick`` shrinks every module's workload knobs (sweep sizes, event
 counts, simulated time) to tiny values and checks table *shapes* only —
 every table non-empty, rows are dicts with stable keys — so CI verifies
 the experiment harness end-to-end in seconds without asserting timing
-numbers that jitter on shared runners.
+numbers that jitter on shared runners.  ``--json PATH`` additionally
+writes every table (plus per-experiment wall time) as one JSON report —
+CI uploads it as a build artifact.
 """
 
 import importlib
+import json
 import sys
 import time
 from pathlib import Path
@@ -56,6 +60,8 @@ EXPERIMENTS = {
             "XMI round-trip fidelity & cost"),
     "d11": ("bench_d11_faults",
             "fault injection & resilience"),
+    "d12": ("bench_d12_trace_overhead",
+            "trace-bus observation overhead"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }
@@ -75,6 +81,7 @@ def _check_shape(key, rows):
 def run(selected, quick=False):
     import repro
 
+    report = {}
     for key in selected:
         module_name, title = EXPERIMENTS[key]
         repro.reset_ids()
@@ -86,18 +93,31 @@ def run(selected, quick=False):
                     setattr(module, knob, value)
         start = time.perf_counter()
         rows = list(module.table())
+        elapsed = time.perf_counter() - start
         for row in rows:
             print("  ", row)
         if quick:
             _check_shape(key, rows)
-        print(f"   ({time.perf_counter() - start:.1f}s)")
+        print(f"   ({elapsed:.1f}s)")
+        report[key] = {"title": title, "wall_s": round(elapsed, 3),
+                       "rows": rows}
     if quick:
         print(f"\nquick smoke OK: {len(selected)} experiment(s), "
               "shapes verified")
+    return report
 
 
 def main():
-    arguments = [a.lower() for a in sys.argv[1:]]
+    arguments = sys.argv[1:]
+    json_path = None
+    if "--json" in arguments:
+        index = arguments.index("--json")
+        try:
+            json_path = arguments[index + 1]
+        except IndexError:
+            raise SystemExit("--json requires a path argument")
+        del arguments[index:index + 2]
+    arguments = [a.lower() for a in arguments]
     quick = "--quick" in arguments
     requested = [a for a in arguments if a != "--quick"] \
         or list(EXPERIMENTS)
@@ -105,7 +125,12 @@ def main():
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}; "
                          f"choose from {list(EXPERIMENTS)}")
-    run(requested, quick=quick)
+    report = run(requested, quick=quick)
+    if json_path is not None:
+        payload = {"quick": quick, "experiments": report}
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"JSON report written to {json_path}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from .nodes import (
 )
 from .graph import Activity, ActivityEdge, ControlFlow, ObjectFlow
 from .engine import CONTROL, Firing, TokenEngine, explore
+from .runtime import ActivityRuntime
 from .petri import (
     DONE_PLACE,
     PetriNet,
@@ -43,7 +44,7 @@ __all__ = [
     "InitialNode", "InputPin", "JoinNode", "MergeNode", "ObjectNode",
     "OutputPin", "Pin", "SendSignalAction",
     "Activity", "ActivityEdge", "ControlFlow", "ObjectFlow",
-    "CONTROL", "Firing", "TokenEngine", "explore",
+    "CONTROL", "Firing", "TokenEngine", "explore", "ActivityRuntime",
     "DONE_PLACE", "PetriNet", "PetriTransition", "activity_to_petri",
     "engine_marking_to_net",
 ]

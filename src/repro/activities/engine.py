@@ -79,6 +79,12 @@ class TokenEngine:
         self.steps = 0
         self.fired_nodes: List[str] = []
         self.outputs: Dict[str, List[Any]] = {}
+        # Trace plumbing (set by the cosim harness / ActivityRuntime).
+        # Kinds are literal strings so this module never imports
+        # repro.engine; test_trace_bus pins them to the constants.
+        self.trace_bus = None
+        self.trace_part = ""
+        self.time = 0.0
         self._rng = random.Random(seed) if seed is not None else None
         self._edge_tokens: Dict[str, deque] = {
             edge.xmi_id: deque() for edge in activity.edges}
@@ -279,6 +285,10 @@ class TokenEngine:
         node, variant = firing.node, firing.variant
         self.steps += 1
         self.fired_nodes.append(node.name)
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("token", self.time, self.trace_part,
+                     {"node": node.name, "variant": variant})
 
         if isinstance(node, InitialNode):
             self._pool[node.xmi_id].popleft()
@@ -344,7 +354,8 @@ class TokenEngine:
         if isinstance(action, SendSignalAction) and self.signal_sink is not None:
             from ..asl import SentSignal
 
-            self.signal_sink(SentSignal(action.signal, dict(consumed), None))
+            self.signal_sink(SentSignal(action.signal, dict(consumed),
+                                        action.target or None))
 
         for edge in self._outgoing(action):
             self._emit(edge, CONTROL)
@@ -434,6 +445,60 @@ class TokenEngine:
     def is_quiescent(self) -> bool:
         """True when no firing is enabled."""
         return not self.enabled_firings()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the complete token-game state (in-process snapshot).
+
+        Token values are kept by reference (the :data:`CONTROL` marker
+        included), so a snapshot round-trips exactly but is not a JSON
+        document — same contract as the state-machine runtimes.
+        """
+        return {
+            "edges": {edge_id: list(tokens)
+                      for edge_id, tokens in self._edge_tokens.items()
+                      if tokens},
+            "pool": {node_id: list(tokens)
+                     for node_id, tokens in self._pool.items() if tokens},
+            "env": dict(self.env),
+            "events": [(name, dict(payload))
+                       for name, payload in self._events],
+            "steps": self.steps,
+            "fired_nodes": list(self.fired_nodes),
+            "outputs": {name: list(values)
+                        for name, values in self.outputs.items()},
+            "finished": self.finished,
+            "time": self.time,
+            "rng": self._rng.getstate() if self._rng is not None else None,
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Reinstate a state captured by :meth:`snapshot` (exact replay)."""
+        for tokens in self._edge_tokens.values():
+            tokens.clear()
+        for edge_id, tokens in snap["edges"].items():
+            self._edge_tokens[edge_id].extend(tokens)
+        for tokens in self._pool.values():
+            tokens.clear()
+        for node_id, tokens in snap["pool"].items():
+            self._pool.setdefault(node_id, deque()).extend(tokens)
+        self.env.clear()
+        self.env.update(snap["env"])
+        self._events = [(name, dict(payload))
+                        for name, payload in snap["events"]]
+        self.steps = snap["steps"]
+        self.fired_nodes = list(snap["fired_nodes"])
+        self.outputs = {name: list(values)
+                        for name, values in snap["outputs"].items()}
+        self.finished = snap["finished"]
+        self.time = snap["time"]
+        if snap["rng"] is not None:
+            if self._rng is None:
+                self._rng = random.Random()
+            self._rng.setstate(snap["rng"])
 
 
 def explore(activity: Activity, max_markings: int = 50_000,

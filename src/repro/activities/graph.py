@@ -132,9 +132,10 @@ class Activity(PackageableElement):
         """Add an opaque action."""
         return self._add_node(Action(name, behavior))  # type: ignore[return-value]
 
-    def add_send_signal(self, name: str, signal: str = "") -> SendSignalAction:
-        """Add a send-signal action."""
-        return self._add_node(SendSignalAction(name, signal))  # type: ignore[return-value]
+    def add_send_signal(self, name: str, signal: str = "",
+                        target: str = "") -> SendSignalAction:
+        """Add a send-signal action (``target`` = outbound port name)."""
+        return self._add_node(SendSignalAction(name, signal, target))  # type: ignore[return-value]
 
     def add_accept_event(self, name: str, event: str = "") -> AcceptEventAction:
         """Add an accept-event action."""

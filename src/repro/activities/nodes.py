@@ -106,13 +106,18 @@ class Action(ExecutableNode):
 
 
 class SendSignalAction(Action):
-    """Fires a signal (routed to the engine's signal sink)."""
+    """Fires a signal (routed to the engine's signal sink).
+
+    ``target`` names the port the signal leaves through when the
+    activity runs as a part behavior; empty means a self-send.
+    """
 
     _id_tag = "SendSignalAction"
 
-    def __init__(self, name: str = "", signal: str = ""):
+    def __init__(self, name: str = "", signal: str = "", target: str = ""):
         super().__init__(name)
         self.signal = signal or name
+        self.target = target
 
 
 class AcceptEventAction(Action):

@@ -1,0 +1,176 @@
+"""ActivityRuntime: an activity as a part behavior (ExecutionEngine face).
+
+Wraps the :class:`~repro.activities.engine.TokenEngine` in the calling
+convention the cosimulation harness speaks (see
+:mod:`repro.engine.protocol` — this module deliberately does *not*
+import it): ``start`` plays the token game to quiescence, ``send``
+delivers a signal occurrence to the activity's accept-event actions and
+again runs to quiescence (the activity's run-to-completion step),
+``step`` advances the local clock (the token game has no time triggers
+yet, so no firings are due), and ``active_configuration`` names the
+current marking canonically — by node/flow *names*, not XMI ids, so two
+separately-built copies of the same model report identical
+configurations (the lockstep fingerprint relies on this).
+
+The idiomatic shape for a reactive part is a server loop::
+
+    initial -> merge -> accept(ev) -> work -> send(sig) -> merge
+
+which quiesces at the accept-event action between deliveries, exactly
+like a state machine waiting in a state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .engine import TokenEngine
+from .graph import Activity
+
+
+class ActivityRuntime:
+    """Executes an :class:`Activity` under the ExecutionEngine convention."""
+
+    def __init__(self, activity: Activity,
+                 context: Optional[Dict[str, Any]] = None,
+                 signal_sink=None,
+                 inputs: Optional[Dict[str, Any]] = None,
+                 seed: Optional[int] = None,
+                 max_steps: int = 100_000):
+        self.activity = activity
+        self.max_steps = max_steps
+        self.is_terminated = False
+        self._started = False
+        self._engine = TokenEngine(activity, env=context,
+                                   signal_sink=signal_sink,
+                                   inputs=inputs, seed=seed)
+        # Canonical labels for marking locations: flows are named by
+        # endpoint names (disambiguated by declaration order), pools by
+        # node name — stable across separately-built model copies.
+        self._labels: Dict[str, str] = {}
+        seen: Dict[str, int] = {}
+        for edge in activity.edges:
+            label = f"{edge.name or ''}" or (
+                f"{edge.source.name}->{edge.target.name}")
+            count = seen.get(label, 0)
+            seen[label] = count + 1
+            if count:
+                label = f"{label}#{count}"
+            self._labels[edge.xmi_id] = label
+        for node in activity.all_nodes:
+            self._labels[node.xmi_id] = node.name
+
+    # -- attributes shared with the inner engine ---------------------------
+
+    @property
+    def time(self) -> float:
+        """Engine-local simulated clock (shared with the token engine)."""
+        return self._engine.time
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self._engine.time = value
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        """The activity's variable environment (the token engine's env)."""
+        return self._engine.env
+
+    @property
+    def signal_sink(self):
+        """Outbound signal receiver (forwarded to the token engine)."""
+        return self._engine.signal_sink
+
+    @signal_sink.setter
+    def signal_sink(self, sink) -> None:
+        self._engine.signal_sink = sink
+
+    @property
+    def trace_bus(self):
+        """Trace bus (forwarded so TOKEN firings are stamped correctly)."""
+        return self._engine.trace_bus
+
+    @trace_bus.setter
+    def trace_bus(self, bus) -> None:
+        self._engine.trace_bus = bus
+
+    @property
+    def trace_part(self) -> str:
+        """Part name used in emitted trace events."""
+        return self._engine.trace_part
+
+    @trace_part.setter
+    def trace_part(self, part: str) -> None:
+        self._engine.trace_part = part
+
+    @property
+    def engine(self) -> TokenEngine:
+        """The wrapped token engine (marking inspection, outputs, ...)."""
+        return self._engine
+
+    # -- ExecutionEngine surface -------------------------------------------
+
+    def start(self) -> "ActivityRuntime":
+        """Play the token game to quiescence from the initial marking."""
+        if self._started:
+            return self
+        self._started = True
+        self._engine.run(self.max_steps)
+        self.is_terminated = self._engine.finished
+        return self
+
+    def send(self, name: str, **parameters: Any) -> "ActivityRuntime":
+        """Deliver one signal occurrence and run to quiescence."""
+        if self.is_terminated:
+            return self
+        bus = self._engine.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("event", self._engine.time, self._engine.trace_part,
+                     {"event": name})
+        self._engine.deliver(name, **parameters)
+        self._engine.run(self.max_steps)
+        self.is_terminated = self._engine.finished
+        return self
+
+    def step(self, until: float) -> "ActivityRuntime":
+        """Advance the local clock (token games have no time triggers)."""
+        if until > self._engine.time:
+            self._engine.time = until
+        return self
+
+    def active_configuration(self) -> Tuple[str, ...]:
+        """The current marking as sorted ``label:count`` strings."""
+        if self.is_terminated:
+            return ("<final>",)
+        return tuple(sorted(
+            f"{self._labels[location]}:{count}"
+            for location, count in self._engine.marking_counts()))
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture the complete execution state (exact replay)."""
+        return {
+            "engine": "token-engine",
+            "started": self._started,
+            "terminated": self.is_terminated,
+            "tokens": self._engine.snapshot(),
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Reinstate a state captured by :meth:`checkpoint`."""
+        self._started = snap["started"]
+        self.is_terminated = snap["terminated"]
+        self._engine.restore(snap["tokens"])
+
+    # Interop aliases: the state-machine runtimes historically expose
+    # snapshot()/restore(); keep the same spelling working here.
+    snapshot = checkpoint
+
+    # -- introspection ------------------------------------------------------
+
+    def active_leaf_names(self) -> Tuple[str, ...]:
+        """Alias for :meth:`active_configuration` (SM-runtime spelling)."""
+        return self.active_configuration()
+
+    def __repr__(self) -> str:
+        return (f"<ActivityRuntime {self.activity.name!r} "
+                f"marking={self.active_configuration()!r}>")

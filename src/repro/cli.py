@@ -9,6 +9,9 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
     python -m repro simulate  model.xmi --top design::Top --until 100
     python -m repro simulate  model.xmi --top design::Top \
                               --faults campaign.json --seed 7
+    python -m repro simulate  model.xmi --top design::Top \
+                              --trace out.jsonl
+    python -m repro trace-to-sequence out.jsonl --name observed
     python -m repro diagram   model.xmi --kind class --scope design
 
 Every command exits non-zero on failure, so the CLI slots into build
@@ -137,6 +140,11 @@ def cmd_transform(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from .engine import (
+        JsonlTraceWriter,
+        TraceBus,
+        attach_perf_counters,
+    )
     from .faults import FaultCampaign
     from .simulation import SystemSimulation
 
@@ -145,23 +153,69 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     campaign = None
     if args.faults:
         campaign = FaultCampaign.from_file(args.faults)
-    with SystemSimulation(top, quantum=args.quantum,
-                          compile=args.compiled,
-                          faults=campaign, fault_seed=args.seed,
-                          on_part_error=args.on_part_error) as simulation:
-        simulation.run(until=args.until, timeout=args.timeout)
-        print(f"simulated {args.until} time units: "
-              f"{simulation.messages_delivered} message(s) delivered, "
-              f"{simulation.messages_dropped} dropped")
-        for name, states in simulation.state_snapshot().items():
-            print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
-        if args.compiled:
-            for name, verdict in sorted(simulation.compile_report.items()):
-                print(f"  {name:20} [{verdict}]")
-        if campaign is not None or simulation.resilience.part_failures \
-                or simulation.resilience.kernel_incidents:
-            print("resilience report:")
-            print(simulation.resilience.to_json())
+    # Subscribers attach to a pre-made bus so events fired during
+    # construction (a part's initial run-to-completion step may already
+    # send) land in the stream too.
+    bus = TraceBus()
+    trace_stream = None
+    writer = None
+    if args.trace_file:
+        trace_stream = open(args.trace_file, "w", encoding="utf-8")
+        writer = JsonlTraceWriter(trace_stream, bus=bus)
+    if args.stats:
+        # the PERF cosim counters are just one more subscriber
+        attach_perf_counters(bus, prefix="trace")
+    try:
+        with SystemSimulation(top, quantum=args.quantum,
+                              compile=args.compiled,
+                              faults=campaign, fault_seed=args.seed,
+                              on_part_error=args.on_part_error,
+                              bus=bus) as simulation:
+            simulation.run(until=args.until, timeout=args.timeout)
+            print(f"simulated {args.until} time units: "
+                  f"{simulation.messages_delivered} message(s) delivered, "
+                  f"{simulation.messages_dropped} dropped")
+            for name, states in simulation.state_snapshot().items():
+                print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
+            if args.compiled:
+                for name, verdict in sorted(
+                        simulation.compile_report.items()):
+                    print(f"  {name:20} [{verdict}]")
+            if campaign is not None or simulation.resilience.part_failures \
+                    or simulation.resilience.kernel_incidents:
+                print("resilience report:")
+                print(simulation.resilience.to_json())
+    finally:
+        if trace_stream is not None:
+            trace_stream.close()
+    if writer is not None:
+        print(f"trace: {writer.lines_written} event(s) -> "
+              f"{args.trace_file}")
+    return 0
+
+
+def cmd_trace_to_sequence(args: argparse.Namespace) -> int:
+    import json
+
+    from .diagrams import render_interaction
+    from .interactions import interaction_from_trace
+
+    events = []
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as error:
+                raise ReproError(
+                    f"{args.trace}:{line_number}: not a JSON trace "
+                    f"record: {error}") from error
+    interaction = interaction_from_trace(args.name, events,
+                                         include_env=args.include_env,
+                                         limit=args.limit)
+    print(render_interaction(interaction))
     return 0
 
 
@@ -256,7 +310,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="policy when a part's behavior raises")
     simulate.add_argument("--timeout", type=float, default=None,
                           help="wall-clock watchdog in seconds")
+    simulate.add_argument("--trace", default="", dest="trace_file",
+                          metavar="PATH",
+                          help="stream every TraceEvent as JSON Lines "
+                               "into PATH (see docs/TRACING.md)")
     simulate.set_defaults(handler=cmd_simulate)
+
+    trace_to_sequence = commands.add_parser(
+        "trace-to-sequence",
+        help="turn a simulate --trace file into a PlantUML sequence "
+             "diagram")
+    trace_to_sequence.add_argument("trace",
+                                   help="JSON Lines trace file written "
+                                        "by simulate --trace")
+    trace_to_sequence.add_argument("--name", default="observed",
+                                   help="interaction name (diagram title)")
+    trace_to_sequence.add_argument("--include-env", action="store_true",
+                                   dest="include_env",
+                                   help="keep external stimuli (sender "
+                                        "'env') in the diagram")
+    trace_to_sequence.add_argument("--limit", type=int, default=None,
+                                   help="stop after N messages")
+    trace_to_sequence.set_defaults(handler=cmd_trace_to_sequence)
 
     diagram = commands.add_parser("diagram",
                                   help="export PlantUML diagrams")

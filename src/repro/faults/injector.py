@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..engine import FAULT
 from ..perf import PERF
 from .campaign import FaultCampaign, FaultSpec
 from .report import ResilienceReport
@@ -65,6 +66,13 @@ class FaultInjector:
         self._fired[index] += 1
         PERF.incr("faults.injected")
         kind = spec.kind
+        # Report writes stay direct (deterministic even with the bus
+        # off); the trace event is observation only.
+        bus = getattr(simulation, "bus", None)
+        if bus is not None and FAULT in bus.active_kinds:
+            bus.emit(FAULT, now, part,
+                     {"fault": spec.name, "kind": kind, "signal": signal,
+                      "peer": peer, "connector": connector})
         if kind == "drop":
             self.report.record_injection(now, spec.name, kind, spec.site(),
                                          signal)

@@ -18,6 +18,7 @@ from .traces import conforms, interleaving_count, trace_count, traces
 from .observe import (
     interaction_from_messages,
     interaction_from_simulation,
+    interaction_from_trace,
     observed_trace,
 )
 
@@ -26,5 +27,5 @@ __all__ = [
     "InteractionOperator", "Lifeline", "Message", "MessageSort",
     "conforms", "interleaving_count", "trace_count", "traces",
     "interaction_from_messages", "interaction_from_simulation",
-    "observed_trace",
+    "interaction_from_trace", "observed_trace",
 ]

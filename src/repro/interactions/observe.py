@@ -9,8 +9,9 @@ answered mechanically.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine import MESSAGE_DELIVERED
 from .model import Interaction, Lifeline, Message, MessageSort
 
 #: One observed message: (sender, receiver, signal name).
@@ -50,6 +51,40 @@ def interaction_from_simulation(name: str, simulation,
     """
     observed: List[ObservedMessage] = []
     for _time, sender, receiver, signal in simulation.message_log:
+        if sender == "env" and not include_env:
+            continue
+        observed.append((sender, receiver, signal))
+        if limit is not None and len(observed) >= limit:
+            break
+    return interaction_from_messages(name, observed)
+
+
+def interaction_from_trace(name: str, events: Iterable[Any],
+                           include_env: bool = False,
+                           limit: Optional[int] = None) -> Interaction:
+    """Build the observed interaction from a trace-event stream.
+
+    ``events`` is an iterable of :class:`~repro.engine.TraceEvent`
+    records *or* plain dicts (one parsed JSON line of a ``simulate
+    --trace`` file each).  Only ``message_delivered`` records
+    contribute: the sender comes from the payload, the receiver is the
+    event's part.  Environment stimuli (sender ``"env"``) are skipped
+    unless ``include_env``.
+    """
+    observed: List[ObservedMessage] = []
+    for event in events:
+        if isinstance(event, dict):
+            kind = event.get("kind")
+            receiver = event.get("part", "")
+            sender = event.get("sender", "env")
+            signal = event.get("signal", "")
+        else:
+            kind = event.kind
+            receiver = event.part
+            sender = event.data.get("sender", "env")
+            signal = event.data.get("signal", "")
+        if kind != MESSAGE_DELIVERED:
+            continue
         if sender == "env" and not include_env:
             continue
         observed.append((sender, receiver, signal))

@@ -45,6 +45,37 @@ class PerfRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def incr_many(self, amounts: Dict[str, float]) -> None:
+        """Apply a batch of counter increments under one lock acquisition.
+
+        The atomic flush half of per-thread aggregation: workers
+        accumulate into a private dict (or use :meth:`batch`) and apply
+        the whole batch at once, so N increments cost one lock
+        round-trip instead of N and no update can be lost to
+        interleaving.
+        """
+        with self._lock:
+            counters = self._counters
+            for name, amount in amounts.items():
+                counters[name] = counters.get(name, 0) + amount
+
+    @contextmanager
+    def batch(self) -> Iterator[Dict[str, float]]:
+        """Context manager yielding a private increment accumulator.
+
+        Increment into the yielded dict (``acc["x"] = acc.get("x", 0) + 1``
+        or via ``collections.Counter`` semantics) without touching the
+        shared registry; on exit the batch is flushed atomically with
+        :meth:`incr_many`.  Intended for worker threads on hot paths —
+        ``generate_all_parallel`` workers and high-frequency trace
+        subscribers."""
+        accumulator: Dict[str, float] = {}
+        try:
+            yield accumulator
+        finally:
+            if accumulator:
+                self.incr_many(accumulator)
+
     def observe(self, name: str, value: float) -> None:
         """Record one observation of a named quantity (e.g. seconds)."""
         with self._lock:

@@ -2,88 +2,103 @@
 
 This is the paper's "early prototyping and inherent software
 simulation" made concrete: a :class:`SystemSimulation` takes a top
-component (whose parts are classes/components with state machine
-classifier behaviors), wires the parts' ports along the model's
-connectors, and executes everything over one
+component (whose parts are classes/components with classifier
+behaviors), wires the parts' ports along the model's connectors, and
+executes everything over one
 :class:`~repro.simulation.kernel.Simulator`.
 
-Communication model: a state machine effect executes the ASL statement
-``send Sig(arg=..) to "port";`` — the harness routes the signal through
-the connector attached to that part's port, delivering it to the peer
-part's state machine after the connector latency.  A ``send`` without a
-target is a self-send (internal event).  Hardware and software parts
-are treated identically — which is precisely the interchangeability
-argument of Section 4.
+Execution core (PR 3): the harness speaks only the
+:class:`~repro.engine.ExecutionEngine` protocol —
+``start``/``send``/``step``/``active_configuration``/``checkpoint``/
+``restore`` — and resolves each part's classifier behavior to an engine
+through the :mod:`repro.engine.registry`.  A part whose behavior is a
+state machine runs on the interpreter (or, with ``compile=True``, the
+dispatch-table :class:`~repro.statemachines.flatten.CompiledRuntime`
+when the machine is in the compilable subset); a part whose behavior is
+an :class:`~repro.activities.Activity` runs on the token-game
+:class:`~repro.activities.ActivityRuntime` — under the *same*
+scheduler, fault injector, degradation policies and
+checkpoint/restore.  There is no engine-type dispatch here.
 
-Time: state machine *time events* (``after(n)``) advance on a fixed
-quantum: a kernel tick wakes every ``quantum`` and advances each
-runtime's local clock.  Deliveries also advance the target runtime to
-the current simulation time first, so local clocks never run ahead of
-the kernel.
+Observation: every routed/delivered/dropped message, every fault
+injection and every quarantine/restart is emitted as a typed
+:class:`~repro.engine.TraceEvent` on the simulation's
+:class:`~repro.engine.TraceBus` (``bus`` attribute).  The message log
+and the resilience quarantine accounting are plain bus subscribers;
+engine-level events (RTC steps, transitions, state entries/exits,
+token firings) flow on the same bus when a subscriber asks for them.
+``bus=False`` disables the bus entirely (benchmark mode: no message
+log, no quarantine-drop accounting); passing a
+:class:`~repro.engine.TraceBus` shares one stream across observers
+(note: the harness's own subscribers then see every event on that bus,
+so avoid sharing one bus between concurrently running simulations).
 
-Execution modes: with ``compile=True`` each part's state machine is
-compiled once into a dispatch table of precompiled guard/effect
-closures (:func:`repro.statemachines.flatten.compile_machine`) and
-executed by the :class:`~repro.statemachines.flatten.CompiledRuntime`;
-machines outside the compilable subset (deep history, deferral, change
-triggers, ...) transparently fall back to the interpreter per part —
-``compile_report`` says which parts compiled and why the rest did not.
-Both modes are bit-identical in message traffic, states and contexts
-(the lockstep equivalence tests assert this); compiled mode is simply
-several times faster.
+Communication model: a behavior executes ``send Sig(arg=..) to
+"port";`` (state machines) or fires a
+:class:`~repro.activities.SendSignalAction` with a ``target`` port
+(activities) — the harness routes the signal through the connector
+attached to that part's port, delivering it to the peer part's engine
+after the connector latency.  A ``send`` without a target is a
+self-send (internal event).  Hardware and software parts are treated
+identically — which is precisely the interchangeability argument of
+Section 4.
+
+Time: engine time triggers advance on a fixed quantum: a kernel tick
+wakes every ``quantum`` and steps each engine's local clock to the
+kernel's absolute time.  Deliveries also advance the target engine
+first, so local clocks never run ahead of the kernel.
 
 Resilience (PR 2): a seeded
 :class:`~repro.faults.FaultCampaign` attached via ``faults=`` wraps
 every connector hop in a deterministic
 :class:`~repro.faults.FaultInjector`; ``on_part_error`` selects what
-happens when a part's guard/effect raises (``"raise"`` propagates,
-``"quarantine"`` isolates the part, ``"restart"`` rebuilds its runtime
+happens when a part's behavior raises (``"raise"`` propagates,
+``"quarantine"`` isolates the part, ``"restart"`` rebuilds its engine
 up to ``max_restarts`` times, then quarantines); everything that
 happened is recorded in :attr:`resilience`
 (:class:`~repro.faults.ResilienceReport`).  :meth:`checkpoint` /
 :meth:`restore` round-trip the *entire* simulation state — kernel
-clock and queue, every part's state configuration and context for both
-interpreted and compiled runtimes — so campaigns can snapshot, inject
-and roll back.  The harness is also a context manager: leaving the
-``with`` block closes the kernel so no campaign leaks scheduled work
-into the next run.
+clock and queue, every part's engine checkpoint, the trace-bus ordinal
+— so campaigns can snapshot, inject and roll back.  The harness is
+also a context manager: leaving the ``with`` block closes the kernel
+so no campaign leaks scheduled work into the next run.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..asl import SentSignal
+from ..engine import (
+    MESSAGE_DELIVERED,
+    MESSAGE_DROPPED,
+    MESSAGE_ROUTED,
+    PART_QUARANTINED,
+    PART_RESTARTED,
+    ExecutionEngine,
+    TraceBus,
+    TraceEvent,
+    build_engine_factory,
+)
 from ..errors import SimulationError
 from ..faults import FaultCampaign, FaultInjector, ResilienceReport
 from ..metamodel.components import Component, Connector, ConnectorKind
 from ..metamodel.classifiers import UmlClass
 from ..perf import PERF
-from ..statemachines.events import EventOccurrence
-from ..statemachines.kernel import StateMachine
-from ..statemachines.runtime import StateMachineRuntime
-from ..statemachines.flatten import (
-    CompiledRuntime,
-    compile_fallback_reason,
-    compile_machine,
-)
 from .kernel import Simulator
-
-#: Either execution engine for a part's behavior.
-PartRuntime = Union[StateMachineRuntime, CompiledRuntime]
 
 #: Valid part-error policies.
 PART_ERROR_POLICIES = ("raise", "quarantine", "restart")
 
 
 class PartInstance:
-    """One running part: its model property plus a live runtime."""
+    """One running part: its model property plus a live engine."""
 
     __slots__ = ("name", "part_type", "runtime", "received", "sent")
 
     def __init__(self, name: str, part_type: UmlClass,
-                 runtime: Optional[PartRuntime]):
+                 runtime: Optional[ExecutionEngine]):
         self.name = name
         self.part_type = part_type
         self.runtime = runtime
@@ -91,10 +106,10 @@ class PartInstance:
         self.sent = 0
 
     def state(self) -> Tuple[str, ...]:
-        """The active leaf state names (empty for behavior-less parts)."""
+        """The active configuration (empty for behavior-less parts)."""
         if self.runtime is None:
             return ()
-        return self.runtime.active_leaf_names()
+        return self.runtime.active_configuration()
 
     def __repr__(self) -> str:
         return f"<PartInstance {self.name}: {self.part_type.name}>"
@@ -119,7 +134,8 @@ class SystemSimulation:
                  on_part_error: str = "raise",
                  max_restarts: int = 3,
                  max_queue: Optional[int] = None,
-                 overflow_policy: str = "raise"):
+                 overflow_policy: str = "raise",
+                 bus: Any = None):
         if on_part_error not in PART_ERROR_POLICIES:
             raise SimulationError(
                 f"unknown on_part_error policy {on_part_error!r}; "
@@ -137,60 +153,99 @@ class SystemSimulation:
         self.max_restarts = max_restarts
         self.trace: List[Tuple[float, str]] = []
         #: (time, sender, receiver, signal) for every delivered message
+        #: (maintained by a bus subscriber; empty with ``bus=False``)
         self.message_log: List[Tuple[float, str, str, str]] = []
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.wall_time_s = 0.0
         self.parts: Dict[str, PartInstance] = {}
         #: part name -> engine choice: "compiled", "interpreter[: reason]",
-        #: or "no behavior"
+        #: "token-engine", or "no behavior"
         self.compile_report: Dict[str, str] = {}
         #: structured record of faults injected and failures survived
         self.resilience = ResilienceReport()
+        # bus=None -> fresh bus; bus=False -> disabled; else shared bus.
+        if bus is False:
+            self._bus: Optional[TraceBus] = None
+        elif bus is None:
+            self._bus = TraceBus()
+        elif isinstance(bus, TraceBus):
+            self._bus = bus
+        else:
+            raise SimulationError(
+                f"bus must be None, False or a TraceBus, got {bus!r}")
+        #: the harness's own subscriptions (cancellable, e.g. to measure
+        #: the cost of a bus with zero subscribers)
+        self._builtin_subscriptions: Tuple[Any, ...] = ()
+        if self._bus is not None:
+            self._builtin_subscriptions = (
+                self._bus.subscribe(self._record_delivery,
+                                    kinds=(MESSAGE_DELIVERED,)),
+                self._bus.subscribe(self._record_drop,
+                                    kinds=(MESSAGE_DROPPED,)),
+            )
         self._injector: Optional[FaultInjector] = None
         self._quarantined: set = set()
         self._restart_counts: Dict[str, int] = {}
-        #: part name -> zero-arg factory rebuilding a fresh runtime
-        self._part_factories: Dict[str, Callable[[], PartRuntime]] = {}
+        #: part name -> zero-arg factory rebuilding a fresh engine
+        self._part_factories: Dict[str, Callable[[], ExecutionEngine]] = {}
         self._routes: Dict[Tuple[str, str], List[Route]] = {}
         #: precompiled per-part port lookup: part -> {port: routes}
         self._part_routes: Dict[str, Dict[str, List[Route]]] = {}
         self._inward: Dict[str, List[Route]] = {}  # top port -> parts
+        # Order matters: build every part's engine, wire the routes,
+        # attach faults, and only then start the engines — a behavior
+        # may send from its initial step (an activity's first token run,
+        # a state entry action) and that send must route and be subject
+        # to the campaign like any other.
         self._build_parts(context or {})
         self._build_routes()
         if faults is not None:
             self.attach_faults(faults, seed=fault_seed)
+        self._start_parts()
+
+    # ------------------------------------------------------------------
+    # bus + built-in subscribers
+    # ------------------------------------------------------------------
+
+    @property
+    def bus(self) -> Optional[TraceBus]:
+        """The simulation's trace bus (None when disabled)."""
+        return self._bus
+
+    def _record_delivery(self, event: TraceEvent) -> None:
+        self.message_log.append((event.t, event.data["sender"], event.part,
+                                 event.data["signal"]))
+
+    def _record_drop(self, event: TraceEvent) -> None:
+        if event.data.get("reason") == "quarantined":
+            self.resilience.bump("quarantine_dropped")
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
-    def _make_runtime(self, part_name: str, behavior: StateMachine,
-                      initial_context: Dict[str, Any]) -> PartRuntime:
-        sink = self._make_sink(part_name)
-        factory: Callable[[], PartRuntime]
-        if self.compile_enabled:
-            reason = compile_fallback_reason(behavior)
-            if reason is None:
-                self.compile_report[part_name] = "compiled"
-                PERF.incr("cosim.compiled_parts")
-                compiled = compile_machine(behavior)
+    def _make_runtime(self, part_name: str, behavior: Any,
+                      initial_context: Dict[str, Any]
+                      ) -> Optional[ExecutionEngine]:
+        """Resolve a behavior to an engine via the registry; None when
+        no registered engine executes it."""
+        binding = build_engine_factory(
+            behavior, context=initial_context,
+            signal_sink=self._make_sink(part_name),
+            prefer_compiled=self.compile_enabled)
+        if binding is None:
+            return None
+        label, build = binding
+        self.compile_report[part_name] = label
+        bus = self._bus
 
-                def factory(_compiled=compiled, _ctx=initial_context,
-                            _sink=sink) -> PartRuntime:
-                    return CompiledRuntime(_compiled, context=dict(_ctx),
-                                           signal_sink=_sink)
-                self._part_factories[part_name] = factory
-                return factory()
-            self.compile_report[part_name] = f"interpreter: {reason}"
-            PERF.incr("cosim.interpreted_parts")
-        else:
-            self.compile_report[part_name] = "interpreter"
-
-        def factory(_behavior=behavior, _ctx=initial_context,
-                    _sink=sink) -> PartRuntime:
-            return StateMachineRuntime(_behavior, context=dict(_ctx),
-                                       signal_sink=_sink)
+        def factory(_build=build, _name=part_name,
+                    _bus=bus) -> ExecutionEngine:
+            runtime = _build()
+            runtime.trace_bus = _bus
+            runtime.trace_part = _name
+            return runtime
         self._part_factories[part_name] = factory
         return factory()
 
@@ -200,23 +255,21 @@ class SystemSimulation:
             if not isinstance(part_type, UmlClass):
                 continue
             behavior = part_type.classifier_behavior
-            runtime: Optional[PartRuntime] = None
-            if isinstance(behavior, StateMachine):
-                initial_context = dict(contexts.get(part.name, {}))
-                for attribute in part_type.all_attributes():
-                    if attribute.name not in initial_context \
-                            and attribute.default_value is not None:
-                        initial_context[attribute.name] = \
-                            attribute.default_value
-                runtime = self._make_runtime(part.name, behavior,
-                                             initial_context)
-            else:
+            initial_context = dict(contexts.get(part.name, {}))
+            for attribute in part_type.all_attributes():
+                if attribute.name not in initial_context \
+                        and attribute.default_value is not None:
+                    initial_context[attribute.name] = attribute.default_value
+            runtime = self._make_runtime(part.name, behavior, initial_context)
+            if runtime is None:
                 self.compile_report[part.name] = "no behavior"
             self.parts[part.name] = PartInstance(part.name, part_type,
                                                  runtime)
         if not self.parts:
             raise SimulationError(
                 f"component {self.top.name!r} has no executable parts")
+
+    def _start_parts(self) -> None:
         for instance in self.parts.values():
             if instance.runtime is not None:
                 instance.runtime.start()
@@ -306,7 +359,7 @@ class SystemSimulation:
             self.resilience.record_part_failure(now, part_name, detail,
                                                 "restart")
             self.resilience.record_restart(part_name)
-            self._restart_part(part_name)
+            self._restart_part(part_name, detail)
             return
         action = "quarantine"
         if self.on_part_error == "restart":
@@ -314,14 +367,17 @@ class SystemSimulation:
         self.resilience.record_part_failure(now, part_name, detail, action)
         self.resilience.record_quarantine(now, part_name)
         self._quarantined.add(part_name)
+        if self._bus is not None:
+            self._bus.emit(PART_QUARANTINED, now, part_name,
+                           {"reason": detail})
         if self.trace_enabled:
             self.trace.append(
                 (now, f"{part_name} quarantined after {detail}"))
 
-    def _restart_part(self, part_name: str) -> None:
-        """Rebuild a part's runtime in its initial configuration.
+    def _restart_part(self, part_name: str, detail: str = "") -> None:
+        """Rebuild a part's engine in its initial configuration.
 
-        The fresh runtime's clock starts at the current simulation time
+        The fresh engine's clock starts at the current simulation time
         so it does not replay a burst of catch-up time triggers.
         """
         instance = self.parts[part_name]
@@ -329,6 +385,9 @@ class SystemSimulation:
         runtime.time = self.simulator.now
         runtime.start()
         instance.runtime = runtime
+        if self._bus is not None:
+            self._bus.emit(PART_RESTARTED, self.simulator.now, part_name,
+                           {"reason": detail})
         if self.trace_enabled:
             self.trace.append(
                 (self.simulator.now, f"{part_name} restarted"))
@@ -355,19 +414,39 @@ class SystemSimulation:
                         f"{port_name!r}, but no connector is attached")
                 # dangling output: drop (counted), like an unconnected pin
                 self.messages_dropped += 1
+                if self._bus is not None \
+                        and MESSAGE_DROPPED in self._bus.active_kinds:
+                    self._bus.emit(MESSAGE_DROPPED, self.simulator.now,
+                                   part_name, {"signal": sent.signal,
+                                               "port": port_name,
+                                               "reason": "unrouted"})
                 if self.trace_enabled:
                     self.trace.append(
                         (self.simulator.now,
                          f"{sent.signal} dropped at {part_name}.{port_name}"))
                 return
+            bus = self._bus
+            routed = bus is not None and MESSAGE_ROUTED in bus.active_kinds
             injector = self._injector
             if injector is None:
-                for peer_part, _peer_port, latency, _conn in routes:
+                for peer_part, _peer_port, latency, conn in routes:
+                    if routed:
+                        bus.emit(MESSAGE_ROUTED, self.simulator.now,
+                                 part_name, {"signal": sent.signal,
+                                             "port": port_name,
+                                             "peer": peer_part,
+                                             "connector": conn})
                     self._schedule_delivery(peer_part, sent.signal,
                                             sent.arguments, latency,
                                             sender=part_name)
             else:
                 for peer_part, _peer_port, latency, conn in routes:
+                    if routed:
+                        bus.emit(MESSAGE_ROUTED, self.simulator.now,
+                                 part_name, {"signal": sent.signal,
+                                             "port": port_name,
+                                             "peer": peer_part,
+                                             "connector": conn})
                     injector.route(part_name, port_name, peer_part, conn,
                                    sent.signal, sent.arguments, latency)
         return sink
@@ -381,37 +460,50 @@ class SystemSimulation:
             if instance.runtime is None:
                 return
             if part_name in self._quarantined:
-                self.resilience.bump("quarantine_dropped")
-                if self.trace_enabled:
-                    self.trace.append(
-                        (self.simulator.now,
-                         f"{signal} dropped at quarantined {part_name}"))
+                self._drop_quarantined(part_name, signal, sender)
                 return
             self._sync_runtime(instance)
             if part_name in self._quarantined:
                 # the time sync itself failed the part
-                self.resilience.bump("quarantine_dropped")
+                self._drop_quarantined(part_name, signal, sender)
                 return
             instance.received += 1
             self.messages_delivered += 1
-            self.message_log.append(
-                (self.simulator.now, sender, part_name, signal))
+            bus = self._bus
+            if bus is not None and MESSAGE_DELIVERED in bus.active_kinds:
+                bus.emit(MESSAGE_DELIVERED, self.simulator.now,
+                         part_name, {"signal": signal, "sender": sender})
             if self.trace_enabled:
                 self.trace.append(
                     (self.simulator.now, f"{signal} -> {part_name}"))
             try:
-                instance.runtime.dispatch(
-                    EventOccurrence.signal(signal, **arguments))
+                instance.runtime.send(signal, **arguments)
             except Exception as error:  # noqa: BLE001 - policy decides
                 self._part_failed(part_name, error)
         self.simulator.schedule(latency, deliver)
+
+    def _drop_quarantined(self, part_name: str, signal: str,
+                          sender: str) -> None:
+        if self._bus is not None \
+                and MESSAGE_DROPPED in self._bus.active_kinds:
+            self._bus.emit(MESSAGE_DROPPED, self.simulator.now, part_name,
+                           {"signal": signal, "sender": sender,
+                            "reason": "quarantined"})
+        else:
+            # keep the resilience count deterministic even with the bus
+            # off or unobserved (the subscriber normally does this)
+            self.resilience.bump("quarantine_dropped")
+        if self.trace_enabled:
+            self.trace.append(
+                (self.simulator.now,
+                 f"{signal} dropped at quarantined {part_name}"))
 
     def _sync_runtime(self, instance: PartInstance) -> None:
         runtime = instance.runtime
         if runtime is not None and runtime.time < self.simulator.now \
                 and instance.name not in self._quarantined:
             try:
-                runtime.advance_time(self.simulator.now - runtime.time)
+                runtime.step(self.simulator.now)
             except Exception as error:  # noqa: BLE001 - policy decides
                 self._part_failed(instance.name, error)
 
@@ -490,7 +582,7 @@ class SystemSimulation:
             instance.runtime.time = until
             return
         try:
-            instance.runtime.advance_time(until - instance.runtime.time)
+            instance.runtime.step(until)
         except Exception as error:  # noqa: BLE001 - policy decides
             self._part_failed(instance.name, error)
 
@@ -501,17 +593,17 @@ class SystemSimulation:
     def checkpoint(self) -> Dict[str, Any]:
         """Capture the complete simulation state.
 
-        Kernel clock and event queue, every part's runtime snapshot
-        (state configuration, context, timers — interpreted *and*
-        compiled engines), message/trace logs, degradation state, the
-        resilience report and, when attached, the fault injector's RNG
-        and budgets.  Restore with :meth:`restore`; a checkpoint →
+        Kernel clock and event queue, every part's engine checkpoint
+        (configuration, context, timers/markings — every engine kind),
+        message/trace logs, the trace-bus ordinal, degradation state,
+        the resilience report and, when attached, the fault injector's
+        RNG and budgets.  Restore with :meth:`restore`; a checkpoint →
         inject → restore cycle returns to the exact pre-injection state.
         """
         parts: Dict[str, Any] = {}
         for name, instance in self.parts.items():
             parts[name] = {
-                "runtime": (instance.runtime.snapshot()
+                "runtime": (instance.runtime.checkpoint()
                             if instance.runtime is not None else None),
                 "received": instance.received,
                 "sent": instance.sent,
@@ -523,6 +615,7 @@ class SystemSimulation:
             "messages_dropped": self.messages_dropped,
             "message_log_len": len(self.message_log),
             "trace_len": len(self.trace),
+            "bus": self._bus.checkpoint() if self._bus is not None else None,
             "quarantined": set(self._quarantined),
             "restart_counts": dict(self._restart_counts),
             "resilience": self.resilience.snapshot(),
@@ -543,6 +636,8 @@ class SystemSimulation:
         self.messages_dropped = snap["messages_dropped"]
         del self.message_log[snap["message_log_len"]:]
         del self.trace[snap["trace_len"]:]
+        if self._bus is not None and snap.get("bus") is not None:
+            self._bus.restore(snap["bus"])
         self._quarantined = set(snap["quarantined"])
         self._restart_counts = dict(snap["restart_counts"])
         self.resilience.restore(snap["resilience"])
@@ -569,12 +664,12 @@ class SystemSimulation:
     # ------------------------------------------------------------------
 
     def state_snapshot(self) -> Dict[str, Tuple[str, ...]]:
-        """Active leaf states of every part."""
+        """Active configuration of every part."""
         return {name: instance.state()
                 for name, instance in sorted(self.parts.items())}
 
     def context_of(self, part_name: str) -> Dict[str, Any]:
-        """The variable context of a part's state machine."""
+        """The variable context of a part's engine."""
         runtime = self.parts[part_name].runtime
         if runtime is None:
             raise SimulationError(f"part {part_name!r} has no behavior")
@@ -596,6 +691,8 @@ class SystemSimulation:
             "quarantined_parts": len(self._quarantined),
             "restarts": sum(self._restart_counts.values()),
             "kernel_events_dropped": self.simulator.events_dropped,
+            "trace_events": (self._bus.events_emitted
+                             if self._bus is not None else 0),
             "wall_s": self.wall_time_s,
             "events_per_s": (round(events / self.wall_time_s)
                              if self.wall_time_s > 0 else 0),

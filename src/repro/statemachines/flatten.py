@@ -552,8 +552,9 @@ class CompiledRuntime:
     """
 
     __slots__ = ("compiled", "context", "time", "is_terminated",
-                 "signal_sink", "_state", "_timers", "_timer_seq",
-                 "_queue", "_draining", "_globals", "_started")
+                 "signal_sink", "trace_bus", "trace_part", "_state",
+                 "_timers", "_timer_seq", "_queue", "_draining",
+                 "_globals", "_started")
 
     def __init__(self, compiled: CompiledMachine,
                  context: Optional[Dict[str, Any]] = None,
@@ -563,6 +564,12 @@ class CompiledRuntime:
         self.time: float = 0.0
         self.is_terminated = False
         self.signal_sink = signal_sink
+        # Trace-bus plumbing (set by the cosim harness); emit sites
+        # mirror StateMachineRuntime exactly so interpreted and compiled
+        # runs produce byte-identical trace streams.  Kinds are literal
+        # strings: this module never imports repro.engine.
+        self.trace_bus = None
+        self.trace_part = ""
         self._state: Optional[CompiledState] = None
         #: live timers: (due, seq, TimeEvent) — all owned by _state
         self._timers: List[Tuple[float, int, TimeEvent]] = []
@@ -630,7 +637,20 @@ class CompiledRuntime:
         self.time = deadline
         return self
 
+    def step(self, until: float) -> "CompiledRuntime":
+        """Advance to *absolute* time ``until`` (ExecutionEngine surface).
+
+        Idempotent when the clock is already at or past ``until``.
+        """
+        if until > self.time:
+            self.advance_time(until - self.time)
+        return self
+
     # -- snapshot / restore (checkpointing, parity with the interpreter) --
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Alias of :meth:`snapshot` (ExecutionEngine surface)."""
+        return self.snapshot()
 
     def snapshot(self) -> Dict[str, Any]:
         """Capture the full execution state (configuration, timers,
@@ -662,6 +682,10 @@ class CompiledRuntime:
         """Names of active leaf states (one for a flat machine)."""
         return (self._state.name,) if self._state is not None else ()
 
+    def active_configuration(self) -> Tuple[str, ...]:
+        """Canonical configuration names (ExecutionEngine surface)."""
+        return self.active_leaf_names()
+
     def active_state_names(self) -> Tuple[str, ...]:
         """Alias of :meth:`active_leaf_names` for flat machines."""
         return self.active_leaf_names()
@@ -685,6 +709,11 @@ class CompiledRuntime:
 
     def _rtc(self, occurrence: EventOccurrence) -> bool:
         """One run-to-completion step; True when any transition fired."""
+        bus = self.trace_bus
+        tracing = bus is not None and bus.engine_active
+        if tracing:
+            bus.emit("event", self.time, self.trace_part,
+                     {"event": occurrence.name})
         state = self._state
         if state is None:
             return False
@@ -711,6 +740,11 @@ class CompiledRuntime:
         fired = False
         for candidate in enabled:
             fired = True
+            if tracing:
+                bus.emit("transition", self.time, self.trace_part,
+                         {"source": candidate.source_name,
+                          "target": candidate.target.name,
+                          "event": occurrence.name})
             effect = candidate.effect
             if candidate.internal:
                 if effect is not None:
@@ -721,6 +755,9 @@ class CompiledRuntime:
             exit_action = state.exit
             if exit_action is not None:
                 exit_action(self, occurrence)
+            if tracing:
+                bus.emit("state_exit", self.time, self.trace_part,
+                         {"state": state.name})
             self._timers.clear()
             if effect is not None:
                 effect(self, occurrence)
@@ -731,6 +768,10 @@ class CompiledRuntime:
     def _enter(self, state: CompiledState,
                occurrence: Optional[EventOccurrence]) -> None:
         self._state = state
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("state_enter", self.time, self.trace_part,
+                     {"state": state.name})
         if state.entry is not None:
             state.entry(self, occurrence)
         if state.do_activity is not None:

@@ -86,6 +86,13 @@ class StateMachineRuntime:
         self._change_events: List[ChangeEvent] = []
         self._trace_enabled = trace
         self.trace: List[Tuple[float, str, str]] = []
+        # Trace-bus plumbing (set by the cosim harness).  Kinds are
+        # literal strings so this module never imports repro.engine;
+        # test_trace_bus pins them to the constants.  Emit sites mirror
+        # CompiledRuntime exactly (byte-identical streams on the
+        # compilable subset).
+        self.trace_bus = None
+        self.trace_part = ""
         self._max_chain = max_chain
         self._started = False
         self._draining = False
@@ -156,6 +163,15 @@ class StateMachineRuntime:
         self.time = deadline
         return self
 
+    def step(self, until: float) -> "StateMachineRuntime":
+        """Advance to *absolute* time ``until`` (ExecutionEngine surface).
+
+        Idempotent when the clock is already at or past ``until``.
+        """
+        if until > self.time:
+            self.advance_time(until - self.time)
+        return self
+
     @property
     def active_states(self) -> Tuple[State, ...]:
         """The active configuration, outermost first."""
@@ -174,6 +190,10 @@ class StateMachineRuntime:
                              for child in region.states)]
         return tuple(sorted(s.name for s in leaves))
 
+    def active_configuration(self) -> Tuple[str, ...]:
+        """Canonical configuration names (ExecutionEngine surface)."""
+        return self.active_leaf_names()
+
     def in_state(self, name: str) -> bool:
         """True when a state with this name is active."""
         return any(s.name == name for s in self._active)
@@ -187,6 +207,10 @@ class StateMachineRuntime:
     # ------------------------------------------------------------------
     # snapshot / restore (checkpointing, used by flatten and tests)
     # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Alias of :meth:`snapshot` (ExecutionEngine surface)."""
+        return self.snapshot()
 
     def snapshot(self) -> Dict[str, Any]:
         """Capture the full execution state (configuration, history,
@@ -261,6 +285,10 @@ class StateMachineRuntime:
     def _rtc_step(self, occurrence: EventOccurrence) -> bool:
         """Process one occurrence; returns True if any transition fired."""
         self._log("event", occurrence.name)
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("event", self.time, self.trace_part,
+                     {"event": occurrence.name})
         candidates = self._enabled_transitions(occurrence)
         fired_any = False
         exited: Set[State] = set()
@@ -361,6 +389,12 @@ class StateMachineRuntime:
 
     def _fire(self, transition: Transition, occurrence: EventOccurrence) -> None:
         self._log("fire", repr(transition))
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("transition", self.time, self.trace_part,
+                     {"source": transition.source.name,
+                      "target": transition.target.name,
+                      "event": occurrence.name})
         if transition.kind is TransitionKind.INTERNAL:
             self._run_action(transition.effect, occurrence)
             return
@@ -552,6 +586,10 @@ class StateMachineRuntime:
             return
         self._active.add(state)
         self._log("enter", state.name)
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("state_enter", self.time, self.trace_part,
+                     {"state": state.name})
         self._run_action(state.entry, occurrence)
         self._run_action(state.do_activity, occurrence)
         for transition in self._outgoing_of(state):
@@ -573,6 +611,10 @@ class StateMachineRuntime:
         self._completion_emitted.discard(state)
         self._timers = [t for t in self._timers if t.state is not state]
         self._log("exit", state.name)
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("state_exit", self.time, self.trace_part,
+                     {"state": state.name})
         # record shallow history on the containing region
         region = state.container
         if region is not None and region.history(deep=False) is not None:

@@ -278,7 +278,8 @@ SPEC: Dict[type, ClassSpec] = {
     ac.DecisionNode: ClassSpec(NAMED),
     ac.MergeNode: ClassSpec(NAMED),
     ac.Action: ClassSpec(NAMED + (_a("behavior"),)),
-    ac.SendSignalAction: ClassSpec(NAMED + (_a("behavior"), _s("signal"))),
+    ac.SendSignalAction: ClassSpec(
+        NAMED + (_a("behavior"), _s("signal"), _s("target"))),
     ac.AcceptEventAction: ClassSpec(NAMED + (_a("behavior"), _s("event"))),
     ac.ObjectNode: ClassSpec(NAMED + (_r("type"), _j("upper_bound"))),
     ac.CentralBufferNode: ClassSpec(NAMED + (_r("type"), _j("upper_bound"))),
