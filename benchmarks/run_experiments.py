@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D12).
+"""Regenerate every derived-experiment table (D1-D13).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -62,6 +62,8 @@ EXPERIMENTS = {
             "fault injection & resilience"),
     "d12": ("bench_d12_trace_overhead",
             "trace-bus observation overhead"),
+    "d13": ("bench_d13_coverage_overhead",
+            "observability overhead & coverage closure"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

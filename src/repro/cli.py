@@ -11,6 +11,10 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
                               --faults campaign.json --seed 7
     python -m repro simulate  model.xmi --top design::Top \
                               --trace out.jsonl
+    python -m repro simulate  model.xmi --top design::Top \
+                              --coverage cov.json --profile out.folded \
+                              --flight-recorder 256 --metrics perf.json
+    python -m repro stats perf.json --format prom
     python -m repro trace-to-sequence out.jsonl --name observed
     python -m repro diagram   model.xmi --kind class --scope design
 
@@ -165,12 +169,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.stats:
         # the PERF cosim counters are just one more subscriber
         attach_perf_counters(bus, prefix="trace")
+    flight_capacity = args.flight_recorder
+    flight_dump = args.flight_dump
+    if flight_capacity and not flight_dump:
+        flight_dump = "postmortem.jsonl"
     try:
         with SystemSimulation(top, quantum=args.quantum,
                               compile=args.compiled,
                               faults=campaign, fault_seed=args.seed,
                               on_part_error=args.on_part_error,
-                              bus=bus) as simulation:
+                              bus=bus,
+                              coverage=bool(args.coverage_file),
+                              profile=bool(args.profile_file),
+                              flight_recorder=flight_capacity,
+                              flight_dump=flight_dump) as simulation:
             simulation.run(until=args.until, timeout=args.timeout)
             print(f"simulated {args.until} time units: "
                   f"{simulation.messages_delivered} message(s) delivered, "
@@ -185,12 +197,85 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     or simulation.resilience.kernel_incidents:
                 print("resilience report:")
                 print(simulation.resilience.to_json())
+            _write_observability(args, simulation)
     finally:
         if trace_stream is not None:
             trace_stream.close()
     if writer is not None:
         print(f"trace: {writer.lines_written} event(s) -> "
               f"{args.trace_file}")
+    return 0
+
+
+def _write_observability(args: argparse.Namespace, simulation) -> None:
+    """Write the coverage / profile / metrics artifacts after a run."""
+    suite = simulation.observability
+    if args.coverage_file:
+        report = suite.coverage_report()
+        with open(args.coverage_file, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(indent=2) + "\n")
+        print(f"coverage: {report.total_percent():.2f}% of "
+              f"{report.total_bins()} bin(s) -> {args.coverage_file}")
+    if args.profile_file:
+        lines = suite.profile_lines(metric=args.profile_metric)
+        with open(args.profile_file, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"profile: {len(lines)} stack(s) -> {args.profile_file}")
+    if args.flight_recorder and suite is not None:
+        recorder = suite.recorder
+        print(f"flight recorder: {len(recorder.events)}/"
+              f"{recorder.capacity} event(s) buffered, "
+              f"{recorder.dumps_written} dump(s) written")
+    if args.metrics_file:
+        from .observability import to_json as metrics_to_json
+        from .perf import PERF
+
+        coverage = (suite.coverage.report()
+                    if suite is not None and suite.coverage is not None
+                    else None)
+        with open(args.metrics_file, "w", encoding="utf-8") as handle:
+            handle.write(metrics_to_json(PERF.snapshot(),
+                                         coverage=coverage) + "\n")
+        print(f"metrics: snapshot -> {args.metrics_file}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import to_json as metrics_to_json, to_prometheus
+
+    coverage = None
+    if args.snapshot:
+        try:
+            with open(args.snapshot, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except ValueError as error:
+            raise ReproError(
+                f"{args.snapshot}: not a JSON metrics snapshot: "
+                f"{error}") from error
+        if isinstance(payload, dict) and "perf" in payload:
+            # a simulate --metrics file: snapshot under "perf",
+            # coverage (when recorded) alongside it
+            snapshot = payload["perf"]
+            coverage = payload.get("coverage")
+        else:
+            snapshot = payload
+    else:
+        from .perf import PERF
+
+        snapshot = PERF.snapshot()
+    if args.coverage_file:
+        try:
+            with open(args.coverage_file, "r", encoding="utf-8") as handle:
+                coverage = json.load(handle)
+        except ValueError as error:
+            raise ReproError(
+                f"{args.coverage_file}: not a JSON coverage report: "
+                f"{error}") from error
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(snapshot, coverage=coverage))
+    else:
+        print(metrics_to_json(snapshot, coverage=coverage))
     return 0
 
 
@@ -212,6 +297,10 @@ def cmd_trace_to_sequence(args: argparse.Namespace) -> int:
                 raise ReproError(
                     f"{args.trace}:{line_number}: not a JSON trace "
                     f"record: {error}") from error
+    if not events:
+        raise ReproError(
+            f"{args.trace}: no trace events — is this a JSONL trace "
+            f"written by simulate --trace?")
     interaction = interaction_from_trace(args.name, events,
                                          include_env=args.include_env,
                                          limit=args.limit)
@@ -314,7 +403,51 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="PATH",
                           help="stream every TraceEvent as JSON Lines "
                                "into PATH (see docs/TRACING.md)")
+    simulate.add_argument("--coverage", default="", dest="coverage_file",
+                          metavar="PATH",
+                          help="collect functional coverage and write "
+                               "the report JSON to PATH (see "
+                               "docs/OBSERVABILITY.md)")
+    simulate.add_argument("--profile", default="", dest="profile_file",
+                          metavar="PATH",
+                          help="profile simulated time per part/state "
+                               "and write collapsed stacks (flamegraph "
+                               "input) to PATH")
+    simulate.add_argument("--profile-metric", default="time",
+                          choices=("time", "steps"),
+                          dest="profile_metric",
+                          help="what --profile attributes: simulated "
+                               "time or step counts")
+    simulate.add_argument("--flight-recorder", type=int, default=0,
+                          dest="flight_recorder", metavar="N",
+                          help="keep the last N trace events in a ring "
+                               "and auto-dump a JSONL post-mortem on "
+                               "kernel errors / quarantines")
+    simulate.add_argument("--flight-dump", default="", dest="flight_dump",
+                          metavar="PATH",
+                          help="where the post-mortem goes (default: "
+                               "postmortem.jsonl)")
+    simulate.add_argument("--metrics", default="", dest="metrics_file",
+                          metavar="PATH",
+                          help="write the perf snapshot (+ coverage, if "
+                               "collected) as JSON for 'repro stats'")
     simulate.set_defaults(handler=cmd_simulate)
+
+    stats = commands.add_parser(
+        "stats",
+        help="render a metrics snapshot as Prometheus text or JSON")
+    stats.add_argument("snapshot", nargs="?", default="",
+                       help="JSON file written by simulate --metrics "
+                            "(default: this process's live counters)")
+    stats.add_argument("--format", default="prom",
+                       choices=("prom", "json"),
+                       help="output format (Prometheus text exposition "
+                            "or JSON)")
+    stats.add_argument("--coverage", default="", dest="coverage_file",
+                       metavar="PATH",
+                       help="also export a coverage report JSON written "
+                            "by simulate --coverage")
+    stats.set_defaults(handler=cmd_stats)
 
     trace_to_sequence = commands.add_parser(
         "trace-to-sequence",

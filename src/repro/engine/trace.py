@@ -220,15 +220,42 @@ class TraceBus:
 
     def emit(self, kind: str, t: float, part: str,
              data: Dict[str, Any]) -> Optional[TraceEvent]:
-        """Publish one event; returns it, or None when nobody listens."""
+        """Publish one event; returns it, or None when nobody listens.
+
+        A subscriber that raises is *detached* (with a warning and a
+        ``trace.subscriber_errors`` perf count) rather than allowed to
+        kill the simulation: observation must never change the outcome
+        of the thing being observed.  The remaining subscribers still
+        receive the event.
+        """
         callbacks = self._by_kind.get(kind)
         if not callbacks:
             return None
         self._ordinal += 1
         event = TraceEvent(self._ordinal, t, kind, part, data)
         for callback in callbacks:
-            callback(event)
+            try:
+                callback(event)
+            except Exception as error:  # noqa: BLE001 - observer fault
+                self._subscriber_failed(callback, event, error)
         return event
+
+    def _subscriber_failed(self, callback: Callable[[TraceEvent], None],
+                           event: TraceEvent, error: BaseException) -> None:
+        """Detach a raising subscriber; the simulation keeps running."""
+        import warnings
+
+        from ..perf import PERF
+
+        for subscription in [s for s in self._subscriptions
+                             if s.callback is callback]:
+            subscription.cancel()
+        PERF.incr("trace.subscriber_errors")
+        warnings.warn(
+            f"trace subscriber {callback!r} raised "
+            f"{type(error).__name__}: {error} on {event.kind!r} event "
+            f"#{event.ordinal}; subscriber detached",
+            RuntimeWarning, stacklevel=3)
 
     @property
     def events_emitted(self) -> int:

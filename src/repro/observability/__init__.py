@@ -1,0 +1,56 @@
+"""`repro.observability` — verification-grade observability (PR 4).
+
+Four engine-agnostic :class:`~repro.engine.TraceBus` consumers plus an
+export layer, all byte-deterministic across the interpreted and
+compiled engines:
+
+* functional coverage (:mod:`~repro.observability.coverage`) — static
+  bin universes with enumerable holes, hit collection, mergeable
+  reports;
+* the deterministic profiler (:mod:`~repro.observability.profiler`) —
+  simulated-time and step-count attribution as collapsed stacks;
+* metrics export (:mod:`~repro.observability.metrics`) — Prometheus
+  text / JSON rendering of :data:`repro.perf.PERF` plus coverage;
+* the flight recorder (:mod:`~repro.observability.flightrecorder`) —
+  a bounded ring of recent events auto-dumped on kernel errors and
+  quarantines.
+
+``SystemSimulation(coverage=True, profile=True, flight_recorder=N)``
+wires them through :class:`ObservabilitySuite`; see
+docs/OBSERVABILITY.md.
+"""
+
+from .coverage import (
+    BIN_KINDS,
+    COMPLETION,
+    CoverageCollector,
+    CoverageModel,
+    CoverageReport,
+    PartCoverageModel,
+    cross_key,
+    transition_key,
+)
+from .flightrecorder import DEFAULT_CAPACITY, FlightRecorder
+from .metrics import PREFIX, metric_name, to_json, to_prometheus
+from .profiler import IDLE, SimProfiler
+from .suite import ObservabilitySuite
+
+__all__ = [
+    "BIN_KINDS",
+    "COMPLETION",
+    "CoverageCollector",
+    "CoverageModel",
+    "CoverageReport",
+    "PartCoverageModel",
+    "cross_key",
+    "transition_key",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "PREFIX",
+    "metric_name",
+    "to_json",
+    "to_prometheus",
+    "IDLE",
+    "SimProfiler",
+    "ObservabilitySuite",
+]

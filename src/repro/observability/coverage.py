@@ -1,0 +1,492 @@
+"""Functional coverage in the SystemVerilog-covergroup spirit.
+
+Hardware verification teams ask one question of every run: *which bins
+did we exercise, and which never fired?*  This module answers it for
+executable UML models:
+
+* :class:`CoverageModel` — the **static** bin universe, derived from a
+  part's behavior *before* any execution: per-part state bins,
+  transition bins (``source --event--> target``), event bins and
+  state×event cross bins for state machines (hierarchical, via
+  :class:`~repro.statemachines.StateMachine`, or configuration-level,
+  via :class:`~repro.statemachines.FlatStateMachine`), and node/event
+  bins for :class:`~repro.activities.Activity` token games.  Because
+  the universe is static, *uncovered* bins are enumerable — the whole
+  point of coverage-driven verification.
+* :class:`CoverageCollector` — a :class:`~repro.engine.TraceBus`
+  subscriber accumulating hit counts from the typed trace stream.  It
+  consumes only event payloads, so it is engine-agnostic by
+  construction: interpreted and compiled engines produce identical
+  streams on the same seed, hence byte-identical coverage reports.
+* :class:`CoverageReport` — bins + counts with per-part and model-wide
+  rollups, deterministic (sorted-key) JSON serialization, and
+  :meth:`CoverageReport.merge` for combining runs — e.g. accumulating
+  closure over the seeds of a fault campaign.
+
+Bin keys are plain strings so reports survive JSON round-trips:
+``"Idle"`` (state/node), ``"Idle --Start--> Busy"`` (transition),
+``"Start"`` (event), ``"Idle @ Start"`` (cross).  Completion events
+carry model-internal ids in their trace names; they are normalized to
+``"<completion>"`` so bins are stable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Bin kinds, in rollup order.
+BIN_KINDS = ("state", "transition", "event", "cross")
+
+#: Normalized label for synthetic completion events (their trace names
+#: embed per-process element ids).
+COMPLETION = "<completion>"
+
+
+def _normalize_event(name: str) -> str:
+    return COMPLETION if name.startswith("completion(") else name
+
+
+def transition_key(source: str, event: str, target: str) -> str:
+    """The canonical transition bin key."""
+    return f"{source} --{_normalize_event(event)}--> {target}"
+
+
+def cross_key(state: str, event: str) -> str:
+    """The canonical state×event cross bin key."""
+    return f"{state} @ {_normalize_event(event)}"
+
+
+class PartCoverageModel:
+    """The static bin universe of one part."""
+
+    __slots__ = ("part", "behavior", "bins")
+
+    def __init__(self, part: str, behavior: str,
+                 bins: Mapping[str, Iterable[str]]):
+        self.part = part
+        #: "statemachine", "flat" or "activity"
+        self.behavior = behavior
+        self.bins: Dict[str, Tuple[str, ...]] = {
+            kind: tuple(sorted(set(bins.get(kind, ()))))
+            for kind in BIN_KINDS}
+
+    @property
+    def total_bins(self) -> int:
+        return sum(len(keys) for keys in self.bins.values())
+
+    def __repr__(self) -> str:
+        return (f"<PartCoverageModel {self.part!r} ({self.behavior}) "
+                f"bins={self.total_bins}>")
+
+
+class CoverageModel:
+    """Static bin universes for every behavioral part of a model."""
+
+    def __init__(self, parts: Optional[Iterable[PartCoverageModel]] = None):
+        self.parts: Dict[str, PartCoverageModel] = {}
+        for part in parts or ():
+            self.add(part)
+
+    def add(self, part: PartCoverageModel) -> "CoverageModel":
+        self.parts[part.part] = part
+        return self
+
+    @property
+    def total_bins(self) -> int:
+        return sum(part.total_bins for part in self.parts.values())
+
+    # -- derivations -------------------------------------------------------
+
+    @classmethod
+    def from_machine(cls, part: str, machine: Any) -> PartCoverageModel:
+        """Bins of a (possibly hierarchical) state machine.
+
+        States come from ``all_states()``; transition bins from every
+        (state-source, trigger, state-target) triple; event bins from
+        every trigger name (completion transitions normalized); cross
+        bins are the full state×event product.
+        """
+        from ..statemachines import State
+
+        states = [state.name for state in machine.all_states()]
+        events = set()
+        transitions = set()
+        for transition in machine.all_transitions():
+            source, target = transition.source, transition.target
+            named_ends = isinstance(source, State) \
+                and isinstance(target, State)
+            if not transition.triggers:
+                if getattr(transition, "is_completion", False) \
+                        and named_ends:
+                    events.add(COMPLETION)
+                    transitions.add(transition_key(
+                        source.name, COMPLETION, target.name))
+                continue
+            for trigger in transition.triggers:
+                name = _normalize_event(trigger.name)
+                events.add(name)
+                if named_ends:
+                    transitions.add(transition_key(
+                        source.name, name, target.name))
+        crosses = [cross_key(state, event)
+                   for state in states for event in sorted(events)]
+        return PartCoverageModel(part, "statemachine", {
+            "state": states, "transition": transitions,
+            "event": sorted(events), "cross": crosses})
+
+    @classmethod
+    def from_flat(cls, part: str, flat: Any) -> PartCoverageModel:
+        """Bins of a :class:`~repro.statemachines.FlatStateMachine`:
+        configurations as states, table edges as transitions, the
+        alphabet as events, configurations×alphabet as crosses."""
+        states = list(flat.states)
+        events = list(flat.alphabet)
+        transitions = [
+            transition_key(source, event, target)
+            for (source, event), target in flat.transitions.items()]
+        crosses = [cross_key(state, event)
+                   for state in states for event in events]
+        return PartCoverageModel(part, "flat", {
+            "state": states, "transition": transitions,
+            "event": events, "cross": crosses})
+
+    @classmethod
+    def from_activity(cls, part: str, activity: Any) -> PartCoverageModel:
+        """Bins of an activity: named nodes (hit by token firings) and
+        accept-event names (hit by harness deliveries).  The token game
+        has no transition/cross structure."""
+        from ..activities import AcceptEventAction
+
+        nodes = [node.name for node in activity.nodes if node.name]
+        events = sorted({node.event for node in activity.nodes
+                         if isinstance(node, AcceptEventAction)
+                         and node.event})
+        return PartCoverageModel(part, "activity", {
+            "state": nodes, "event": events})
+
+    @classmethod
+    def for_behavior(cls, part: str,
+                     behavior: Any) -> Optional[PartCoverageModel]:
+        """Dispatch on the behavior type; None when not coverable."""
+        from ..activities import Activity
+        from ..statemachines import FlatStateMachine, StateMachine
+
+        if isinstance(behavior, StateMachine):
+            return cls.from_machine(part, behavior)
+        if isinstance(behavior, FlatStateMachine):
+            return cls.from_flat(part, behavior)
+        if isinstance(behavior, Activity):
+            return cls.from_activity(part, behavior)
+        return None
+
+    @classmethod
+    def for_component(cls, top: Any) -> "CoverageModel":
+        """The model-wide bin universe of a component assembly's parts."""
+        from ..metamodel.classifiers import UmlClass
+
+        model = cls()
+        for part in top.parts:
+            part_type = part.type
+            if not isinstance(part_type, UmlClass):
+                continue
+            behavior = part_type.classifier_behavior
+            if behavior is None:
+                continue
+            derived = cls.for_behavior(part.name, behavior)
+            if derived is not None:
+                model.add(derived)
+        return model
+
+    def __repr__(self) -> str:
+        return (f"<CoverageModel parts={len(self.parts)} "
+                f"bins={self.total_bins}>")
+
+
+class CoverageCollector:
+    """TraceBus subscriber accumulating hit counts against a model.
+
+    Subscribe it to the engine-level kinds (the default when a ``bus``
+    is given).  Cross bins need the active-state context, which the
+    collector reconstructs from the enter/exit stream — no engine
+    internals are touched.
+    """
+
+    #: The trace kinds the collector consumes.
+    KINDS = ("event", "transition", "state_enter", "state_exit", "token")
+
+    def __init__(self, model: CoverageModel, bus: Any = None):
+        self.model = model
+        #: part -> bin kind -> key -> count (pre-zeroed, so membership
+        #: tests and increments share one dict on the hot path)
+        self.hits: Dict[str, Dict[str, Dict[str, int]]] = {
+            name: {kind: {key: 0 for key in part.bins[kind]}
+                   for kind in BIN_KINDS}
+            for name, part in model.parts.items()}
+        #: observed hits outside the static universe (e.g. events
+        #: delivered to a part that never declared them)
+        self._unplanned = [0]
+        self._active: Dict[str, List[str]] = {name: []
+                                              for name in model.parts}
+        # cross keys resolved ahead of time: part -> event -> state -> key
+        # (the cross universe is a static product, so no string is ever
+        # built while events stream)
+        self._cross: Dict[str, Dict[str, Dict[str, str]]] = {}
+        for name, part in model.parts.items():
+            by_event: Dict[str, Dict[str, str]] = {}
+            for key in part.bins["cross"]:
+                state, _, cross_event = key.partition(" @ ")
+                by_event.setdefault(cross_event, {})[state] = key
+            self._cross[name] = by_event
+        self._ingest = self._make_ingest()
+        self.subscription = None
+        if bus is not None:
+            self.subscription = bus.subscribe(self._ingest,
+                                              kinds=self.KINDS)
+
+    # -- the hot path ------------------------------------------------------
+
+    @property
+    def unplanned(self) -> int:
+        return self._unplanned[0]
+
+    def __call__(self, event: Any) -> None:
+        self._ingest(event)
+
+    def _make_ingest(self):
+        # one closure per collector with every per-part lookup table
+        # bound as a cell variable — this runs once per engine trace
+        # event, so each avoided attribute/keyed lookup counts
+        active = self._active
+        cross = self._cross
+        unplanned = self._unplanned
+        state_counts = {name: h["state"] for name, h in self.hits.items()}
+        event_counts = {name: h["event"] for name, h in self.hits.items()}
+        edge_counts = {name: h["transition"]
+                       for name, h in self.hits.items()}
+        cross_counts = {name: h["cross"] for name, h in self.hits.items()}
+        edge_keys: Dict[Tuple[str, str, str], str] = {}
+
+        def ingest(event: Any) -> None:
+            part = event.part
+            kind = event.kind
+            data = event.data
+            if kind == "event":
+                counts = event_counts.get(part)
+                if counts is None:
+                    return
+                name = data["event"]
+                if name.startswith("completion("):
+                    name = COMPLETION
+                if name in counts:
+                    counts[name] += 1
+                else:
+                    unplanned[0] += 1
+                by_state = cross[part].get(name)
+                if by_state:
+                    crosses = cross_counts[part]
+                    for state in active[part]:
+                        key = by_state.get(state)
+                        if key is not None:
+                            crosses[key] += 1
+            elif kind == "transition":
+                counts = edge_counts.get(part)
+                if counts is None:
+                    return
+                edge = (data["source"], data["event"], data["target"])
+                key = edge_keys.get(edge)
+                if key is None:
+                    key = edge_keys[edge] = transition_key(*edge)
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    unplanned[0] += 1
+            elif kind == "state_enter":
+                counts = state_counts.get(part)
+                if counts is None:
+                    return
+                key = data["state"]
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    unplanned[0] += 1
+                active[part].append(key)
+            elif kind == "state_exit":
+                states = active.get(part)
+                if states is None:
+                    return
+                key = data["state"]
+                if key in states:
+                    states.remove(key)
+            elif kind == "token":
+                counts = state_counts.get(part)
+                if counts is None:
+                    return
+                key = data["node"]
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    unplanned[0] += 1
+
+        return ingest
+
+    # -- results -----------------------------------------------------------
+
+    def report(self) -> "CoverageReport":
+        """Freeze the current counts into a :class:`CoverageReport`."""
+        parts: Dict[str, Dict[str, Any]] = {}
+        for name, part in self.model.parts.items():
+            # counts are pre-zeroed over the full universe, so a copy
+            # already carries every uncovered bin
+            bins = {kind: dict(self.hits[name][kind])
+                    for kind in BIN_KINDS}
+            parts[name] = {"behavior": part.behavior, "bins": bins}
+        return CoverageReport(parts, unplanned=self._unplanned[0])
+
+
+class CoverageReport:
+    """Bins + hit counts, rollups, merge, deterministic serialization."""
+
+    def __init__(self, parts: Dict[str, Dict[str, Any]],
+                 unplanned: int = 0):
+        #: part -> {"behavior": ..., "bins": {kind: {key: count}}}
+        self.parts = parts
+        self.unplanned = unplanned
+
+    # -- rollups -----------------------------------------------------------
+
+    def part_summary(self, name: str) -> Dict[str, Any]:
+        """Covered/total/percent per bin kind plus the part rollup."""
+        part = self.parts[name]
+        summary: Dict[str, Any] = {}
+        covered_total = bins_total = 0
+        for kind in BIN_KINDS:
+            counts = part["bins"][kind]
+            covered = sum(1 for count in counts.values() if count)
+            covered_total += covered
+            bins_total += len(counts)
+            summary[kind] = {
+                "bins": len(counts), "covered": covered,
+                "percent": _percent(covered, len(counts)),
+            }
+        summary["bins"] = bins_total
+        summary["covered"] = covered_total
+        summary["percent"] = _percent(covered_total, bins_total)
+        return summary
+
+    def total_bins(self) -> int:
+        """How many bins the whole report tracks."""
+        return sum(len(part["bins"][kind])
+                   for part in self.parts.values() for kind in BIN_KINDS)
+
+    def total_percent(self) -> float:
+        """Model-wide coverage: covered bins / all bins, all parts."""
+        covered = bins = 0
+        for name in self.parts:
+            summary = self.part_summary(name)
+            covered += summary["covered"]
+            bins += summary["bins"]
+        return _percent(covered, bins)
+
+    def uncovered(self, name: str) -> Dict[str, List[str]]:
+        """The enumerable holes: never-hit bin keys per kind, sorted."""
+        part = self.parts[name]
+        return {kind: sorted(key for key, count in part["bins"][kind].items()
+                             if not count)
+                for kind in BIN_KINDS}
+
+    # -- merge (coverage closure across runs) ------------------------------
+
+    def merge(self, other: "CoverageReport") -> "CoverageReport":
+        """A new report summing this report's counts with ``other``'s.
+
+        Bin universes are united, so runs over slightly different
+        model revisions still merge; matching bins sum their counts.
+        """
+        parts: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(set(self.parts) | set(other.parts)):
+            mine = self.parts.get(name)
+            theirs = other.parts.get(name)
+            if mine is None or theirs is None:
+                source = mine if mine is not None else theirs
+                parts[name] = {
+                    "behavior": source["behavior"],
+                    "bins": {kind: dict(source["bins"][kind])
+                             for kind in BIN_KINDS}}
+                continue
+            bins = {}
+            for kind in BIN_KINDS:
+                merged = dict(mine["bins"][kind])
+                for key, count in theirs["bins"][kind].items():
+                    merged[key] = merged.get(key, 0) + count
+                bins[kind] = merged
+            parts[name] = {"behavior": mine["behavior"], "bins": bins}
+        return CoverageReport(parts,
+                              unplanned=self.unplanned + other.unplanned)
+
+    @classmethod
+    def merged(cls, reports: Iterable["CoverageReport"]) -> "CoverageReport":
+        """Fold :meth:`merge` over an iterable of reports."""
+        result: Optional[CoverageReport] = None
+        for report in reports:
+            result = report if result is None else result.merge(report)
+        if result is None:
+            raise ReproError("cannot merge zero coverage reports")
+        return result
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain data, deterministically ordered."""
+        return {
+            "parts": {
+                name: {
+                    "behavior": self.parts[name]["behavior"],
+                    "bins": {
+                        kind: {key: self.parts[name]["bins"][kind][key]
+                               for key in sorted(self.parts[name]
+                                                 ["bins"][kind])}
+                        for kind in BIN_KINDS},
+                    "summary": self.part_summary(name),
+                    "uncovered": self.uncovered(name),
+                }
+                for name in sorted(self.parts)},
+            "total_percent": self.total_percent(),
+            "unplanned": self.unplanned,
+            "version": 1,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Byte-deterministic JSON (two equal reports serialize equal)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent,
+                          separators=(",", ": ") if indent else (",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CoverageReport":
+        """Rebuild a report from :meth:`to_dict` data."""
+        if not isinstance(data, dict) or "parts" not in data:
+            raise ReproError(f"not a coverage report: {data!r}")
+        parts = {
+            name: {"behavior": part.get("behavior", "statemachine"),
+                   "bins": {kind: dict(part["bins"].get(kind, {}))
+                            for kind in BIN_KINDS}}
+            for name, part in data["parts"].items()}
+        return cls(parts, unplanned=int(data.get("unplanned", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageReport":
+        try:
+            return cls.from_dict(json.loads(text))
+        except ValueError as error:
+            raise ReproError(
+                f"coverage report is not valid JSON: {error}") from error
+
+    def __repr__(self) -> str:
+        return (f"<CoverageReport parts={len(self.parts)} "
+                f"total={self.total_percent():.1f}%>")
+
+
+def _percent(covered: int, total: int) -> float:
+    return round(100.0 * covered / total, 2) if total else 100.0

@@ -1,0 +1,147 @@
+"""Metrics export: Prometheus text format and JSON.
+
+The :data:`repro.perf.PERF` registry already aggregates counters,
+timing observations and bounded histograms; this module renders a
+``snapshot()`` (plus, optionally, a
+:class:`~repro.observability.CoverageReport`) in the two formats a
+verification pipeline actually scrapes:
+
+* **Prometheus text exposition** — counters as ``counter``, timing
+  observations as ``summary``-style ``_sum``/``_count`` plus min/max
+  gauges, histograms as classic cumulative ``_bucket{le=...}`` series
+  with deterministic p50/p95/p99 gauges, and coverage as labelled
+  percent gauges per part and bin kind.
+* **JSON** — the snapshot embedded verbatim under ``"perf"`` with the
+  coverage dict under ``"coverage"``, sorted keys throughout.
+
+Both renderings are pure functions of their inputs and iterate only
+sorted containers, so equal snapshots export byte-identically — the
+property the lockstep tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_RE = re.compile(r"([\\\"\n])")
+
+#: Prefix for every exported metric family.
+PREFIX = "repro"
+
+
+def metric_name(name: str, prefix: str = PREFIX) -> str:
+    """A Prometheus-legal metric name (dots and dashes become ``_``)."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}"
+
+
+def _label_value(value: str) -> str:
+    return _LABEL_RE.sub(r"\\\1", value).replace("\n", "\\n")
+
+
+def _format(value: float) -> str:
+    """Shortest faithful decimal (integers without the trailing .0)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _coverage_dict(coverage: Any) -> Optional[Dict[str, Any]]:
+    if coverage is None:
+        return None
+    if hasattr(coverage, "to_dict"):
+        return coverage.to_dict()
+    return coverage
+
+
+def to_prometheus(snapshot: Dict[str, Any], coverage: Any = None,
+                  prefix: str = PREFIX) -> str:
+    """Render a perf snapshot (+ optional coverage) as Prometheus text."""
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("observations", {})):
+        stats = snapshot["observations"][name]
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} summary")
+        lines.append(f"{family}_sum {_format(stats['total'])}")
+        lines.append(f"{family}_count {_format(stats['count'])}")
+        lines.append(f"# TYPE {family}_min gauge")
+        lines.append(f"{family}_min {_format(stats['min'])}")
+        lines.append(f"# TYPE {family}_max gauge")
+        lines.append(f"{family}_max {_format(stats['max'])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        series = snapshot["histograms"][name]
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(series["buckets"], series["counts"]):
+            cumulative += count
+            lines.append(
+                f'{family}_bucket{{le="{_format(bound)}"}} {cumulative}')
+        lines.append(f'{family}_bucket{{le="+Inf"}} {series["count"]}')
+        lines.append(f"{family}_sum {_format(series['sum'])}")
+        lines.append(f"{family}_count {_format(series['count'])}")
+        for point in ("p50", "p95", "p99"):
+            if point in series:
+                lines.append(f"# TYPE {family}_{point} gauge")
+                lines.append(
+                    f"{family}_{point} {_format(series[point])}")
+
+    coverage_data = _coverage_dict(coverage)
+    if coverage_data is not None:
+        percent = metric_name("coverage_percent", prefix)
+        bins = metric_name("coverage_bins", prefix)
+        covered = metric_name("coverage_covered", prefix)
+        lines.append(f"# TYPE {percent} gauge")
+        lines.append(f"# TYPE {bins} gauge")
+        lines.append(f"# TYPE {covered} gauge")
+        for part in sorted(coverage_data.get("parts", {})):
+            summary = coverage_data["parts"][part].get("summary", {})
+            label = _label_value(part)
+            for kind in sorted(summary):
+                stats = summary[kind]
+                if not isinstance(stats, dict):
+                    continue
+                lines.append(
+                    f'{percent}{{part="{label}",kind="{kind}"}} '
+                    f"{_format(stats['percent'])}")
+                lines.append(
+                    f'{bins}{{part="{label}",kind="{kind}"}} '
+                    f"{_format(stats['bins'])}")
+                lines.append(
+                    f'{covered}{{part="{label}",kind="{kind}"}} '
+                    f"{_format(stats['covered'])}")
+            if "percent" in summary:
+                lines.append(f'{percent}{{part="{label}",kind="all"}} '
+                             f"{_format(summary['percent'])}")
+        total = metric_name("coverage_total_percent", prefix)
+        lines.append(f"# TYPE {total} gauge")
+        lines.append(
+            f"{total} {_format(coverage_data.get('total_percent', 0.0))}")
+
+    return "\n".join(lines) + "\n"
+
+
+def to_json(snapshot: Dict[str, Any], coverage: Any = None,
+            indent: Optional[int] = 2) -> str:
+    """Render a perf snapshot (+ optional coverage) as sorted-key JSON."""
+    payload: Dict[str, Any] = {"perf": snapshot}
+    coverage_data = _coverage_dict(coverage)
+    if coverage_data is not None:
+        payload["coverage"] = coverage_data
+    return json.dumps(payload, sort_keys=True, indent=indent, default=str)

@@ -1,0 +1,207 @@
+"""Deterministic simulated-time profiler over the trace stream.
+
+Wall-clock profilers answer "where does my CPU go"; a *model* profiler
+must answer "where does **simulated** time go" — which states a design
+lingers in, which transitions dominate the event budget — and do it
+identically on every engine and every run of the same seed.  This
+profiler therefore consumes only :class:`~repro.engine.TraceEvent`
+timestamps (simulated time) and counts, never the host clock, so its
+output is byte-deterministic and lockstep-identical between the
+interpreted and compiled engines.
+
+Attribution model: each part owns a *frame stack* of its active states
+in entry order (outermost first — hierarchical configurations stack
+naturally because engines emit ``state_enter`` outside-in).  Whenever
+the stack changes or time advances past an event, the elapsed simulated
+time since the part's previous sample is attributed to the stack as it
+was — exact attribution, not sampling.  Run-to-completion steps and
+transition firings are counted against the same frames, giving the
+"step-count" profile; token firings profile activity parts.
+
+Output: *collapsed stack* lines — ``frame;frame;frame <value>`` — the
+lingua franca of flamegraph tooling (inferno, speedscope, Brendan
+Gregg's ``flamegraph.pl``).  Simulated time is scaled to an integer
+(default: milli-units) because the format wants integral sample
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Frame used while a part has no active state (before start / after
+#: termination).
+IDLE = "<idle>"
+
+
+class SimProfiler:
+    """TraceBus subscriber attributing simulated time and step counts.
+
+    ``residence`` maps frame tuples to simulated time; ``steps`` maps
+    frame tuples to counts (RTC dispatches, transition firings, token
+    firings).  Call :meth:`finalize` with the end-of-run time to close
+    the open intervals, then :meth:`collapsed_time` /
+    :meth:`collapsed_steps` for flamegraph input.
+    """
+
+    KINDS = ("event", "transition", "state_enter", "state_exit", "token")
+
+    def __init__(self, bus: Any = None):
+        #: (part, state, state, ...) -> simulated time units
+        self.residence: Dict[Tuple[str, ...], float] = {}
+        #: (part, ..., leaf-frame) -> count
+        self.steps: Dict[Tuple[str, ...], int] = {}
+        self._stacks: Dict[str, List[str]] = {}
+        self._last_t: Dict[str, float] = {}
+        # hot-path caches: the current frame tuple per part (rebuilt
+        # only when the stack changes) and the step-key tuples per
+        # (frame, label) — event vocabularies are small, so both stay
+        # tiny while saving a tuple build + string format per event
+        self._frames: Dict[str, Tuple[str, ...]] = {}
+        self._step_keys: Dict[Tuple[str, ...], Dict[str, Tuple[str, ...]]]\
+            = {}
+        self._labels: Dict[Any, str] = {}
+        self._finalized_at: Optional[float] = None
+        self._seen = [0]
+        self._ingest = self._make_ingest()
+        self.subscription = None
+        if bus is not None:
+            self.subscription = bus.subscribe(self._ingest,
+                                              kinds=self.KINDS)
+
+    # -- the hot path ------------------------------------------------------
+
+    @property
+    def events_seen(self) -> int:
+        return self._seen[0]
+
+    def __call__(self, event: Any) -> None:
+        self._ingest(event)
+
+    def _make_ingest(self):
+        # the ingest closure binds every mutable structure as a cell
+        # variable: this runs once per engine trace event, and each
+        # avoided ``self.`` lookup is measurable at that rate
+        stacks = self._stacks
+        last_t = self._last_t
+        frames = self._frames
+        step_keys = self._step_keys
+        labels = self._labels
+        residence = self.residence
+        steps = self.steps
+        seen = self._seen
+
+        def ingest(event: Any) -> None:
+            seen[0] += 1
+            part = event.part
+            stack = stacks.get(part)
+            if stack is None:
+                stack = stacks[part] = []
+                last_t[part] = 0.0
+                frames[part] = (part, IDLE)
+            now = event.t
+            elapsed = now - last_t[part]
+            if elapsed > 0:
+                frame = frames[part]
+                residence[frame] = residence.get(frame, 0.0) + elapsed
+                last_t[part] = now
+            kind = event.kind
+            data = event.data
+            if kind == "event":
+                name = data["event"]
+                label = labels.get(name)
+                if label is None:
+                    label = labels[name] = f"event:{name}"
+            elif kind == "transition":
+                edge = (data["source"], data["target"], data["event"])
+                label = labels.get(edge)
+                if label is None:
+                    label = labels[edge] = \
+                        f"fire:{edge[0]}->{edge[1]}@{edge[2]}"
+            elif kind == "state_enter":
+                stack.append(data["state"])
+                frames[part] = (part, *stack)
+                return
+            elif kind == "state_exit":
+                state = data["state"]
+                if state in stack:
+                    stack.remove(state)
+                    frames[part] = (part, *stack) if stack \
+                        else (part, IDLE)
+                return
+            elif kind == "token":
+                key = (part, f"token:{data['node']}")
+                steps[key] = steps.get(key, 0) + 1
+                return
+            else:
+                return
+            frame = frames[part]
+            by_label = step_keys.get(frame)
+            if by_label is None:
+                by_label = step_keys[frame] = {}
+            key = by_label.get(label)
+            if key is None:
+                key = by_label[label] = (part, *stack, label)
+            steps[key] = steps.get(key, 0) + 1
+
+        return ingest
+
+    # -- results -----------------------------------------------------------
+
+    def finalize(self, now: float) -> "SimProfiler":
+        """Attribute the tail interval up to ``now`` (idempotent for a
+        given time; chainable)."""
+        for part in self._stacks:
+            elapsed = now - self._last_t[part]
+            if elapsed > 0:
+                frame = self._frames[part]
+                self.residence[frame] = \
+                    self.residence.get(frame, 0.0) + elapsed
+                self._last_t[part] = now
+        self._finalized_at = now
+        return self
+
+    def collapsed_time(self, scale: float = 1000.0) -> List[str]:
+        """Simulated-time profile as collapsed-stack lines.
+
+        ``scale`` converts time units to the integral value flamegraph
+        tools expect (default: 1 time unit = 1000 samples).
+        """
+        lines = []
+        for frame in sorted(self.residence):
+            value = int(round(self.residence[frame] * scale))
+            if value:
+                lines.append(";".join(frame) + f" {value}")
+        return lines
+
+    def collapsed_steps(self) -> List[str]:
+        """Step-count profile (RTC/transition/token) as collapsed lines."""
+        return [";".join(frame) + f" {count}"
+                for frame, count in sorted(self.steps.items())]
+
+    def report(self) -> Dict[str, Any]:
+        """Plain-data summary (deterministically ordered)."""
+        per_part_time: Dict[str, float] = {}
+        for frame, value in self.residence.items():
+            per_part_time[frame[0]] = per_part_time.get(frame[0], 0) + value
+        per_part_steps: Dict[str, int] = {}
+        for frame, count in self.steps.items():
+            per_part_steps[frame[0]] = per_part_steps.get(frame[0], 0) + count
+        return {
+            "events_seen": self.events_seen,
+            "finalized_at": self._finalized_at,
+            "parts": {
+                part: {"steps": per_part_steps.get(part, 0),
+                       "time": round(per_part_time.get(part, 0.0), 9)}
+                for part in sorted(set(per_part_time) | set(per_part_steps))},
+            "top_frames": [
+                {"frame": ";".join(frame),
+                 "time": round(value, 9)}
+                for frame, value in sorted(
+                    self.residence.items(),
+                    key=lambda item: (-item[1], item[0]))[:10]],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<SimProfiler frames={len(self.residence)} "
+                f"steps={sum(self.steps.values())}>")

@@ -48,6 +48,14 @@ wakes every ``quantum`` and steps each engine's local clock to the
 kernel's absolute time.  Deliveries also advance the target engine
 first, so local clocks never run ahead of the kernel.
 
+Observability (PR 4): ``coverage=True``, ``profile=True`` and
+``flight_recorder=N`` attach the :mod:`repro.observability`
+subscribers (functional coverage, the deterministic profiler, the
+post-mortem ring buffer) to the bus before the engines start; the
+wired suite is exposed as :attr:`observability`.  ``incident_hooks``
+fire on every escaping kernel error and quarantine — that is how the
+flight recorder auto-dumps its black box.
+
 Resilience (PR 2): a seeded
 :class:`~repro.faults.FaultCampaign` attached via ``faults=`` wraps
 every connector hop in a deterministic
@@ -81,7 +89,7 @@ from ..engine import (
     TraceEvent,
     build_engine_factory,
 )
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
 from ..faults import FaultCampaign, FaultInjector, ResilienceReport
 from ..metamodel.components import Component, Connector, ConnectorKind
 from ..metamodel.classifiers import UmlClass
@@ -135,7 +143,11 @@ class SystemSimulation:
                  max_restarts: int = 3,
                  max_queue: Optional[int] = None,
                  overflow_policy: str = "raise",
-                 bus: Any = None):
+                 bus: Any = None,
+                 coverage: bool = False,
+                 profile: bool = False,
+                 flight_recorder: int = 0,
+                 flight_dump: Optional[str] = None):
         if on_part_error not in PART_ERROR_POLICIES:
             raise SimulationError(
                 f"unknown on_part_error policy {on_part_error!r}; "
@@ -184,6 +196,15 @@ class SystemSimulation:
                 self._bus.subscribe(self._record_drop,
                                     kinds=(MESSAGE_DROPPED,)),
             )
+        #: callbacks fired as ``hook(reason, detail)`` when a
+        #: SimulationError escapes :meth:`run` or a part is quarantined
+        #: (the flight recorder's auto-dump registers here); hook
+        #: failures are swallowed — post-mortem machinery must never
+        #: mask the original incident.
+        self.incident_hooks: List[Callable[[str, str], None]] = []
+        #: the attached ObservabilitySuite (None unless any of
+        #: coverage/profile/flight_recorder was requested)
+        self.observability: Any = None
         self._injector: Optional[FaultInjector] = None
         self._quarantined: set = set()
         self._restart_counts: Dict[str, int] = {}
@@ -202,6 +223,14 @@ class SystemSimulation:
         self._build_routes()
         if faults is not None:
             self.attach_faults(faults, seed=fault_seed)
+        # Observability subscribers attach before the engines start so
+        # the initial configuration entries land in coverage/profiles.
+        if coverage or profile or flight_recorder:
+            from ..observability import ObservabilitySuite
+
+            self.observability = ObservabilitySuite(
+                self, coverage=coverage, profile=profile,
+                flight_recorder=flight_recorder, flight_dump=flight_dump)
         self._start_parts()
 
     # ------------------------------------------------------------------
@@ -373,6 +402,15 @@ class SystemSimulation:
         if self.trace_enabled:
             self.trace.append(
                 (now, f"{part_name} quarantined after {detail}"))
+        self._fire_incident("part_quarantined", f"{part_name}: {detail}")
+
+    def _fire_incident(self, reason: str, detail: str) -> None:
+        """Run the registered incident hooks, swallowing hook errors."""
+        for hook in list(self.incident_hooks):
+            try:
+                hook(reason, detail)
+            except Exception:  # noqa: BLE001 - best-effort post-mortem
+                PERF.incr("cosim.incident_hook_errors")
 
     def _restart_part(self, part_name: str, detail: str = "") -> None:
         """Rebuild a part's engine in its initial configuration.
@@ -568,11 +606,20 @@ class SystemSimulation:
         except SimulationError as error:
             self.resilience.record_kernel_incident(
                 self.simulator.now, type(error).__name__, str(error))
+            self._fire_incident("simulation_error",
+                                f"{type(error).__name__}: {error}")
+            raise
+        except ReproError as error:
+            # part-behavior errors under the raise policy: not a kernel
+            # incident, but the black box should still hit the ground
+            self._fire_incident("simulation_error",
+                                f"{type(error).__name__}: {error}")
             raise
         finally:
             elapsed = _time.perf_counter() - start
             self.wall_time_s += elapsed
             PERF.observe("cosim.run_wall_s", elapsed)
+            PERF.hist("cosim.run_hist_s", elapsed)
             PERF.incr("cosim.kernel_events",
                       self.simulator.events_processed - events_before)
         return self

@@ -213,3 +213,65 @@ class TestLockstepStreams:
             assert sim.message_log == []
             assert sim.messages_delivered > 0
             assert sim.stats()["trace_events"] == 0
+
+
+class TestSubscriberIsolation:
+    """PR 4 regression: a raising subscriber must not kill the run."""
+
+    def test_raising_subscriber_is_detached_with_warning(self):
+        PERF.reset()
+        bus = TraceBus()
+        good = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(good.append)
+        with pytest.warns(RuntimeWarning, match="boom"):
+            bus.emit(EVENT, 1.0, "p", {"event": "E"})
+        # the healthy subscriber saw the event; the bad one is gone
+        assert len(good) == 1
+        bus.emit(EVENT, 2.0, "p", {"event": "E"})
+        assert len(good) == 2
+        assert PERF.counter("trace.subscriber_errors") == 1
+        PERF.reset()
+
+    def test_kind_filtered_raising_subscriber_detached_everywhere(self):
+        bus = TraceBus()
+
+        def bad(event):
+            raise ValueError("nope")
+
+        bus.subscribe(bad, kinds=(EVENT, TRANSITION))
+        with pytest.warns(RuntimeWarning):
+            bus.emit(EVENT, 1.0, "p", {"event": "E"})
+        # both kind subscriptions cancelled, not just the firing one
+        import warnings
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            bus.emit(TRANSITION, 2.0, "p",
+                     {"source": "A", "target": "B", "event": "E"})
+        assert not [w for w in captured
+                    if issubclass(w.category, RuntimeWarning)]
+        PERF.reset()
+
+    def test_simulation_survives_poisoned_subscriber(self):
+        bus = TraceBus()
+        seen = [0]
+
+        def poisoned(event):
+            raise RuntimeError("subscriber bug")
+
+        def healthy(event):
+            seen[0] += 1
+
+        bus.subscribe(poisoned)
+        bus.subscribe(healthy)
+        with pytest.warns(RuntimeWarning):
+            with SystemSimulation(soc_top(), bus=bus) as sim:
+                sim.run(until=40.0)
+        assert sim.messages_delivered > 0
+        assert seen[0] > 0
+        PERF.reset()
