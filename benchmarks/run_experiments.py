@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D13).
+"""Regenerate every derived-experiment table (D1-D14).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -64,6 +64,8 @@ EXPERIMENTS = {
             "trace-bus observation overhead"),
     "d13": ("bench_d13_coverage_overhead",
             "observability overhead & coverage closure"),
+    "d14": ("bench_d14_recovery",
+            "rollback recovery & campaign-runner scaling"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

@@ -14,6 +14,9 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
     python -m repro simulate  model.xmi --top design::Top \
                               --coverage cov.json --profile out.folded \
                               --flight-recorder 256 --metrics perf.json
+    python -m repro campaign  model.xmi --top design::Top \
+                              --faults campaign.json --runs 16 \
+                              --parallel 4 --journal sweep.jsonl --resume
     python -m repro stats perf.json --format prom
     python -m repro trace-to-sequence out.jsonl --name observed
     python -m repro diagram   model.xmi --kind class --scope design
@@ -32,7 +35,7 @@ from typing import List, Optional
 
 from . import metamodel as mm
 from . import xmi
-from .errors import ReproError
+from .errors import ReproError, SimulationError
 
 
 def _load(path: str):
@@ -173,17 +176,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     flight_dump = args.flight_dump
     if flight_capacity and not flight_dump:
         flight_dump = "postmortem.jsonl"
+    incidents: List[str] = []
     try:
         with SystemSimulation(top, quantum=args.quantum,
                               compile=args.compiled,
                               faults=campaign, fault_seed=args.seed,
                               on_part_error=args.on_part_error,
+                              checkpoint_interval=args.checkpoint_interval,
                               bus=bus,
                               coverage=bool(args.coverage_file),
                               profile=bool(args.profile_file),
                               flight_recorder=flight_capacity,
                               flight_dump=flight_dump) as simulation:
-            simulation.run(until=args.until, timeout=args.timeout)
+            simulation.incident_hooks.append(
+                lambda reason, detail: incidents.append(reason))
+            try:
+                simulation.run(until=args.until, timeout=args.timeout)
+            except SimulationError as error:
+                # kernel incident (watchdog, deadlock, overflow, …):
+                # fall through to the post-mortem prints and the
+                # distinct exit code instead of the generic error exit
+                print(f"kernel incident: {type(error).__name__}: {error}",
+                      file=sys.stderr)
             print(f"simulated {args.until} time units: "
                   f"{simulation.messages_delivered} message(s) delivered, "
                   f"{simulation.messages_dropped} dropped")
@@ -204,6 +218,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if writer is not None:
         print(f"trace: {writer.lines_written} event(s) -> "
               f"{args.trace_file}")
+    # Distinct exit codes make degraded runs scriptable: a survived-but-
+    # wounded simulation (quarantined part) beats a fired incident hook
+    # in precedence; a clean run exits 0.
+    if simulation.quarantined_parts:
+        print(f"exit 3: part(s) quarantined: "
+              f"{', '.join(simulation.quarantined_parts)}",
+              file=sys.stderr)
+        return 3
+    if incidents:
+        print(f"exit 4: incident hook(s) fired: "
+              f"{', '.join(sorted(set(incidents)))}", file=sys.stderr)
+        return 4
     return 0
 
 
@@ -237,6 +263,68 @@ def _write_observability(args: argparse.Namespace, simulation) -> None:
             handle.write(metrics_to_json(PERF.snapshot(),
                                          coverage=coverage) + "\n")
         print(f"metrics: snapshot -> {args.metrics_file}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .faults import CampaignSpec, FaultCampaign, run_campaign
+
+    if args.seeds:
+        try:
+            seeds = [int(token) for token in
+                     args.seeds.replace(",", " ").split()]
+        except ValueError:
+            raise ReproError(
+                f"--seeds wants comma-separated integers, "
+                f"got {args.seeds!r}")
+    else:
+        base = 0
+        if args.faults:
+            base = FaultCampaign.from_file(args.faults).seed
+        seeds = [base + offset for offset in range(args.runs)]
+    name = "campaign"
+    if args.faults:
+        name = FaultCampaign.from_file(args.faults).name
+    spec = CampaignSpec(seeds=seeds, model=args.model, top=args.top,
+                        campaign=args.faults or None,
+                        until=args.until, quantum=args.quantum,
+                        compiled=args.compiled,
+                        on_part_error=args.on_part_error,
+                        checkpoint_interval=args.checkpoint_interval,
+                        coverage=bool(args.coverage_file),
+                        name=name)
+    result = run_campaign(spec, workers=args.parallel,
+                          journal=args.journal or None,
+                          resume=args.resume,
+                          run_timeout=args.run_timeout,
+                          max_retries=args.retries)
+    resilience = result.resilience()
+    print(f"campaign {result.name!r}: {len(result.rows)}/{len(seeds)} "
+          f"seed(s) completed ({result.mode}, "
+          f"{result.workers_used} worker(s))")
+    if result.resumed_seeds:
+        print(f"  resumed from journal: "
+              f"{len(result.resumed_seeds)} seed(s) skipped")
+    print(f"  injections: {resilience.total_injections}, "
+          f"part failures: {len(resilience.part_failures)}, "
+          f"quarantined: {len(resilience.quarantined)}")
+    for failure in result.failures:
+        print(f"  FAILED seed {failure['seed']} after "
+              f"{failure['attempts']} attempt(s): {failure['error']}",
+              file=sys.stderr)
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"report: merged campaign result -> {args.report_file}")
+    if args.coverage_file:
+        merged = result.coverage()
+        if merged is not None:
+            with open(args.coverage_file, "w",
+                      encoding="utf-8") as handle:
+                handle.write(merged.to_json(indent=2) + "\n")
+            print(f"coverage: {merged.total_percent():.2f}% of "
+                  f"{merged.total_bins()} bin(s) -> "
+                  f"{args.coverage_file}")
+    return 0 if result.ok else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -394,9 +482,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=None,
                           help="override the campaign's RNG seed")
     simulate.add_argument("--on-part-error", default="raise",
-                          choices=("raise", "quarantine", "restart"),
+                          choices=("raise", "quarantine", "restart",
+                                   "restore"),
                           dest="on_part_error",
-                          help="policy when a part's behavior raises")
+                          help="policy when a part's behavior raises "
+                               "(restore rolls back to the last "
+                               "checkpoint)")
+    simulate.add_argument("--checkpoint-interval", type=float,
+                          default=None, dest="checkpoint_interval",
+                          metavar="T",
+                          help="take per-part recovery snapshots every "
+                               "T simulated time units")
     simulate.add_argument("--timeout", type=float, default=None,
                           help="wall-clock watchdog in seconds")
     simulate.add_argument("--trace", default="", dest="trace_file",
@@ -432,6 +528,62 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the perf snapshot (+ coverage, if "
                                "collected) as JSON for 'repro stats'")
     simulate.set_defaults(handler=cmd_simulate)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="sweep a fault campaign over many seeds (crash-tolerant, "
+             "resumable)")
+    campaign.add_argument("model")
+    campaign.add_argument("--top", required=True,
+                          help="qualified name, e.g. design::Top")
+    campaign.add_argument("--faults", default="",
+                          help="fault campaign JSON file swept per seed")
+    campaign.add_argument("--seeds", default="",
+                          help="explicit comma-separated seed list "
+                               "(overrides --runs)")
+    campaign.add_argument("--runs", type=int, default=1,
+                          help="number of seeds, counted up from the "
+                               "campaign's base seed")
+    campaign.add_argument("--until", type=float, default=100.0)
+    campaign.add_argument("--quantum", type=float, default=1.0)
+    campaign.add_argument("--compiled", action="store_true",
+                          help="compile state machines to dispatch "
+                               "tables")
+    campaign.add_argument("--on-part-error", default="raise",
+                          choices=("raise", "quarantine", "restart",
+                                   "restore"),
+                          dest="on_part_error",
+                          help="per-seed degradation policy")
+    campaign.add_argument("--checkpoint-interval", type=float,
+                          default=None, dest="checkpoint_interval",
+                          metavar="T",
+                          help="per-part recovery snapshot period "
+                               "(simulated time)")
+    campaign.add_argument("--parallel", type=int, default=0, metavar="N",
+                          help="fan seeds over N worker processes "
+                               "(0/1: serial in-process)")
+    campaign.add_argument("--journal", default="", metavar="PATH",
+                          help="append a JSONL row per completed seed "
+                               "(enables --resume)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip seeds already completed in the "
+                               "--journal file")
+    campaign.add_argument("--run-timeout", type=float, default=None,
+                          dest="run_timeout", metavar="S",
+                          help="wall-clock budget per seed; hung "
+                               "workers are killed and retried")
+    campaign.add_argument("--retries", type=int, default=2,
+                          help="infrastructure retries per seed "
+                               "(crashes/timeouts; sim errors are "
+                               "results, not retried)")
+    campaign.add_argument("--report", default="", dest="report_file",
+                          metavar="PATH",
+                          help="write the merged campaign result JSON")
+    campaign.add_argument("--coverage", default="", dest="coverage_file",
+                          metavar="PATH",
+                          help="collect per-seed functional coverage "
+                               "and write the merged report JSON")
+    campaign.set_defaults(handler=cmd_campaign)
 
     stats = commands.add_parser(
         "stats",

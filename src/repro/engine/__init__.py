@@ -23,6 +23,7 @@ from .registry import (
     supports,
 )
 from .trace import (
+    CHECKPOINT,
     ENGINE_KINDS,
     EVENT,
     FAULT,
@@ -32,8 +33,10 @@ from .trace import (
     MESSAGE_ROUTED,
     PART_QUARANTINED,
     PART_RESTARTED,
+    PART_RESTORED,
     STATE_ENTER,
     STATE_EXIT,
+    SUPERVISOR_DECISION,
     TOKEN,
     TRANSITION,
     JsonlTraceWriter,
@@ -73,6 +76,9 @@ __all__ = [
     "FAULT",
     "PART_QUARANTINED",
     "PART_RESTARTED",
+    "PART_RESTORED",
+    "SUPERVISOR_DECISION",
+    "CHECKPOINT",
     "ENGINE_KINDS",
     "KINDS",
 ]

@@ -62,6 +62,12 @@ FAULT = "fault"
 PART_QUARANTINED = "part_quarantined"
 #: The degradation policy restarted a part.
 PART_RESTARTED = "part_restarted"
+#: The recovery machinery rolled a part back to its last snapshot.
+PART_RESTORED = "part_restored"
+#: The supervisor chose a recovery action for a failing part.
+SUPERVISOR_DECISION = "supervisor_decision"
+#: The harness took a periodic per-part recovery checkpoint.
+CHECKPOINT = "checkpoint"
 
 #: High-frequency kinds emitted from inside the engines; call sites gate
 #: these on :attr:`TraceBus.engine_active`.
@@ -70,7 +76,8 @@ ENGINE_KINDS = (EVENT, TRANSITION, STATE_ENTER, STATE_EXIT, TOKEN)
 #: Every kind the bus knows, in a stable order (wildcard subscriptions
 #: expand to exactly this tuple).
 KINDS = ENGINE_KINDS + (MESSAGE_ROUTED, MESSAGE_DELIVERED, MESSAGE_DROPPED,
-                        FAULT, PART_QUARANTINED, PART_RESTARTED)
+                        FAULT, PART_QUARANTINED, PART_RESTARTED,
+                        PART_RESTORED, SUPERVISOR_DECISION, CHECKPOINT)
 
 _ENGINE_KIND_SET = frozenset(ENGINE_KINDS)
 _KIND_SET = frozenset(KINDS)

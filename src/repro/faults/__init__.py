@@ -11,8 +11,11 @@ duplicated and corrupted bus transactions, hung cores, IRQ storms.
 * :class:`FaultInjector` — deterministic application of a campaign over
   the cosimulation routing layer.
 * :class:`ResilienceReport` — structured, byte-deterministic record of
-  injections, part failures, quarantines, restarts and kernel
-  incidents.
+  injections, part failures, quarantines, restarts, restores and
+  kernel incidents; merges order-independently across seeds.
+* :func:`run_campaign` / :class:`CampaignSpec` — crash-tolerant,
+  resumable multi-seed sweep runner (process pool, watchdog + retry,
+  append-only journal; PR 5).
 
 Kernel-side robustness (watchdog, livelock/deadlock detection, bounded
 queues) lives in :mod:`repro.simulation.kernel`; the graceful part
@@ -22,6 +25,13 @@ degradation policies live in :mod:`repro.simulation.cosim`.
 from .campaign import FAULT_KINDS, FaultCampaign, FaultSpec
 from .injector import FaultInjector
 from .report import ResilienceReport
+from .runner import (
+    CampaignResult,
+    CampaignSpec,
+    read_journal,
+    run_campaign,
+    run_seed,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -29,4 +39,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "ResilienceReport",
+    "CampaignResult",
+    "CampaignSpec",
+    "read_journal",
+    "run_campaign",
+    "run_seed",
 ]

@@ -2,24 +2,38 @@
 
 Every :class:`~repro.simulation.cosim.SystemSimulation` owns a
 :class:`ResilienceReport` that accumulates what went wrong — injected
-faults, part failures and the policy's answer (quarantine/restart),
-kernel-level incidents (watchdog, livelock, deadlock, queue overflow) —
-in a fully deterministic form: the same seeded campaign produces a
-byte-identical :meth:`to_json` on every run, which is what the D11
-determinism check asserts.
+faults, part failures and the policy's answer
+(quarantine/restart/restore), kernel-level incidents (watchdog,
+livelock, deadlock, queue overflow) — in a fully deterministic form:
+the same seeded campaign produces a byte-identical :meth:`to_json` on
+every run, which is what the D11 determinism check asserts.
+
+Multi-seed aggregation (PR 5): :meth:`ResilienceReport.merge` combines
+the reports of independent runs — e.g. every seed of a fault campaign
+sweep — into one report whose serialization is *order-independent*:
+record lists are re-sorted by their canonical JSON form, counters are
+summed key-sorted, quarantine times keep the earliest.  Merging the
+same set of per-seed reports in any order (serial, parallel completion
+order, resumed-from-journal) yields byte-identical JSON, which is what
+the campaign runner's determinism contract rests on.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def _record_key(record: Dict[str, Any]) -> str:
+    """Total order over heterogeneous records: canonical JSON."""
+    return json.dumps(record, sort_keys=True, default=str)
 
 
 class ResilienceReport:
     """Deterministic record of faults injected and failures survived."""
 
     __slots__ = ("injections", "part_failures", "quarantined", "restarts",
-                 "kernel_incidents", "counts")
+                 "restores", "kernel_incidents", "counts")
 
     def __init__(self) -> None:
         #: one record per injected fault, in injection order
@@ -30,6 +44,8 @@ class ResilienceReport:
         self.quarantined: Dict[str, float] = {}
         #: part name -> number of restarts performed
         self.restarts: Dict[str, int] = {}
+        #: part name -> number of rollback restores performed
+        self.restores: Dict[str, int] = {}
         #: kernel-level events (watchdog, livelock, deadlock, overflow)
         self.kernel_incidents: List[Dict[str, Any]] = []
         #: aggregate counters per fault kind / policy action
@@ -63,6 +79,9 @@ class ResilienceReport:
     def record_restart(self, part: str) -> None:
         self.restarts[part] = self.restarts.get(part, 0) + 1
 
+    def record_restore(self, part: str) -> None:
+        self.restores[part] = self.restores.get(part, 0) + 1
+
     def record_kernel_incident(self, time: float, kind: str,
                                detail: str) -> None:
         self.kernel_incidents.append(
@@ -82,12 +101,72 @@ class ResilienceReport:
             "part_failures": list(self.part_failures),
             "quarantined": dict(sorted(self.quarantined.items())),
             "restarts": dict(sorted(self.restarts.items())),
+            "restores": dict(sorted(self.restores.items())),
             "kernel_incidents": list(self.kernel_incidents),
             "counts": dict(sorted(self.counts.items())),
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResilienceReport":
+        """Rebuild a report from its :meth:`to_dict` form (e.g. a
+        campaign-journal row); missing keys default to empty."""
+        report = cls()
+        report.injections = list(data.get("injections", ()))
+        report.part_failures = list(data.get("part_failures", ()))
+        report.quarantined = dict(data.get("quarantined", {}))
+        report.restarts = dict(data.get("restarts", {}))
+        report.restores = dict(data.get("restores", {}))
+        report.kernel_incidents = list(data.get("kernel_incidents", ()))
+        report.counts = dict(data.get("counts", {}))
+        return report
+
+    # -- multi-seed aggregation --------------------------------------------
+
+    def merge(self, other: "ResilienceReport") -> "ResilienceReport":
+        """A new report aggregating this one with ``other``.
+
+        The merge is commutative and associative: record lists are
+        concatenated and re-sorted by canonical JSON, per-part counters
+        sum, quarantine keeps the earliest time.  Folding any
+        permutation of the same reports therefore serializes
+        byte-identically — campaign results merge order-independently.
+        """
+        merged = ResilienceReport()
+        merged.injections = sorted(self.injections + other.injections,
+                                   key=_record_key)
+        merged.part_failures = sorted(
+            self.part_failures + other.part_failures, key=_record_key)
+        merged.kernel_incidents = sorted(
+            self.kernel_incidents + other.kernel_incidents,
+            key=_record_key)
+        merged.quarantined = dict(self.quarantined)
+        for part, when in other.quarantined.items():
+            mine = merged.quarantined.get(part)
+            merged.quarantined[part] = when if mine is None \
+                else min(mine, when)
+        for source in (self, other):
+            for part, count in source.restarts.items():
+                merged.restarts[part] = \
+                    merged.restarts.get(part, 0) + count
+            for part, count in source.restores.items():
+                merged.restores[part] = \
+                    merged.restores.get(part, 0) + count
+            for counter, amount in source.counts.items():
+                merged.counts[counter] = \
+                    merged.counts.get(counter, 0) + amount
+        return merged
+
+    @classmethod
+    def merged(cls, reports: Iterable["ResilienceReport"]
+               ) -> "ResilienceReport":
+        """Fold :meth:`merge` over an iterable (empty ⇒ empty report)."""
+        result: Optional[ResilienceReport] = None
+        for report in reports:
+            result = report if result is None else result.merge(report)
+        return result if result is not None else cls()
 
     # -- checkpointing -----------------------------------------------------
 
@@ -98,6 +177,7 @@ class ResilienceReport:
             "part_failures": list(self.part_failures),
             "quarantined": dict(self.quarantined),
             "restarts": dict(self.restarts),
+            "restores": dict(self.restores),
             "kernel_incidents": list(self.kernel_incidents),
             "counts": dict(self.counts),
         }
@@ -107,6 +187,7 @@ class ResilienceReport:
         self.part_failures = list(snap["part_failures"])
         self.quarantined = dict(snap["quarantined"])
         self.restarts = dict(snap["restarts"])
+        self.restores = dict(snap.get("restores", {}))
         self.kernel_incidents = list(snap["kernel_incidents"])
         self.counts = dict(snap["counts"])
 

@@ -1,0 +1,568 @@
+"""Crash-tolerant, resumable multi-seed campaign runner (PR 5).
+
+A fault campaign only earns statistical weight when it is swept over
+many RNG seeds — and a multi-hour sweep only earns trust when it
+survives the sweep *itself* failing: a hung worker, an OOM-killed
+process, a Ctrl-C half-way through.  This module fans the seeds of one
+:class:`~repro.faults.FaultCampaign` across worker processes and makes
+the sweep as robust as the models it is torturing:
+
+* **per-run watchdog** — each seed gets ``run_timeout`` wall-clock
+  seconds; a hung worker is SIGKILLed and the seed retried;
+* **bounded retry with exponential backoff** — infrastructure failures
+  (crashed or killed workers, missing results) are retried up to
+  ``max_retries`` times; deterministic in-simulation errors are *not*
+  retried — they are results;
+* **crash isolation** — a dying worker records a failure row and the
+  campaign continues with the remaining seeds;
+* **append-only journal** — every completed seed is appended to a JSONL
+  journal as it finishes, so an interrupted sweep resumes with
+  ``resume=True`` re-running only the missing seeds;
+* **order-independent aggregation** — per-seed
+  :class:`~repro.faults.ResilienceReport` and
+  :class:`~repro.observability.CoverageReport` rows merge via their
+  commutative/associative ``merge``, so serial, parallel and resumed
+  sweeps over the same seeds serialize byte-identically;
+* **graceful degradation** — without usable process support (or with
+  ``workers <= 1``) the sweep runs serially in-process through the
+  exact same journal/merge path.
+
+Workers hand results back through temp files renamed into place (never
+queues or pipes, which a SIGKILL can corrupt mid-message): a result
+file that exists is complete, a missing one means the worker died.
+
+The ``REPRO_CAMPAIGN_TEST_KILL`` environment variable
+(``"<seed>"`` or ``"<seed>:<max_attempt>"``) makes the worker for that
+seed SIGKILL itself through the given attempt — the CI smoke test uses
+it to prove the kill/retry/resume path on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import FaultError, ReproError
+from .campaign import FaultCampaign
+from .report import ResilienceReport
+
+#: Default number of infrastructure retries per seed.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default backoff base (seconds); attempt n waits base * 2**(n-1).
+DEFAULT_RETRY_BACKOFF = 0.25
+
+#: Environment hook: kill the worker for one seed (test/CI only).
+TEST_KILL_ENV = "REPRO_CAMPAIGN_TEST_KILL"
+
+
+class CampaignSpec:
+    """Everything a worker needs to run one seed, as plain data.
+
+    The model under test comes from exactly one of two sources:
+    ``model`` + ``top`` (an XMI file and the qualified name of the top
+    component) or ``builder`` (a ``"package.module:function"`` dotted
+    path to a zero-argument factory returning the top
+    :class:`~repro.metamodel.Component`).  The spec round-trips through
+    :meth:`to_dict`/:meth:`from_dict` so it can cross a process
+    boundary and head the resume journal.
+    """
+
+    __slots__ = ("model", "top", "builder", "campaign", "seeds", "until",
+                 "quantum", "compiled", "on_part_error",
+                 "checkpoint_interval", "max_restarts", "max_restores",
+                 "coverage", "name")
+
+    def __init__(self,
+                 seeds: Sequence[int],
+                 model: Optional[str] = None,
+                 top: Optional[str] = None,
+                 builder: Optional[str] = None,
+                 campaign: Optional[str] = None,
+                 until: float = 100.0,
+                 quantum: float = 1.0,
+                 compiled: bool = False,
+                 on_part_error: str = "raise",
+                 checkpoint_interval: Optional[float] = None,
+                 max_restarts: int = 3,
+                 max_restores: int = 3,
+                 coverage: bool = False,
+                 name: str = "campaign"):
+        if (model is None) == (builder is None):
+            raise FaultError(
+                "campaign spec needs exactly one model source: "
+                "model=<xmi path> (with top=) or "
+                "builder='module:function'")
+        if model is not None and not top:
+            raise FaultError(
+                "campaign spec with model= also needs top= "
+                "(qualified component name)")
+        if builder is not None and ":" not in builder:
+            raise FaultError(
+                f"builder must be 'package.module:function', "
+                f"got {builder!r}")
+        seeds = [int(seed) for seed in seeds]
+        if not seeds:
+            raise FaultError("campaign spec needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise FaultError(f"duplicate seeds in {seeds}")
+        self.model = model
+        self.top = top
+        self.builder = builder
+        self.campaign = campaign
+        self.seeds = seeds
+        self.until = float(until)
+        self.quantum = float(quantum)
+        self.compiled = bool(compiled)
+        self.on_part_error = on_part_error
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = int(max_restarts)
+        self.max_restores = int(max_restores)
+        self.coverage = bool(coverage)
+        self.name = name
+
+    # -- plumbing ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        return cls(**data)
+
+    def build_top(self):
+        """Materialize the top component in this process."""
+        if self.builder is not None:
+            import importlib
+
+            module_name, _, function_name = self.builder.partition(":")
+            module = importlib.import_module(module_name)
+            factory = getattr(module, function_name, None)
+            if factory is None:
+                raise FaultError(
+                    f"builder {self.builder!r}: module "
+                    f"{module_name!r} has no {function_name!r}")
+            return factory()
+        from .. import metamodel as mm
+        from .. import xmi
+
+        document = xmi.read_file(self.model)
+        if document.model is None:
+            raise FaultError(f"{self.model} contains no model")
+        return document.model.resolve(self.top, mm.Component)
+
+    def load_campaign(self) -> Optional[FaultCampaign]:
+        if self.campaign is None:
+            return None
+        return FaultCampaign.from_file(self.campaign)
+
+    def __repr__(self) -> str:
+        source = self.builder or f"{self.model}::{self.top}"
+        return (f"<CampaignSpec {self.name!r} {source} "
+                f"seeds={len(self.seeds)}>")
+
+
+# ---------------------------------------------------------------------------
+# one seed, one process (or inline)
+# ---------------------------------------------------------------------------
+
+def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
+    """Run one seed of the campaign and return its plain-data row.
+
+    Everything in the row is derived from simulated state, so the same
+    (spec, seed) pair produces a byte-identical row in any process, on
+    any engine, on any attempt — which is what makes retry and resume
+    sound.  A deterministic in-simulation error (a part raising under
+    ``on_part_error="raise"``, a kernel watchdog, …) is captured in the
+    row as ``sim_error``, not raised: it *is* the result of that seed.
+    """
+    from ..simulation import SystemSimulation
+
+    top = spec.build_top()
+    campaign = spec.load_campaign()
+    row: Dict[str, Any] = {"seed": seed}
+    sim_error = ""
+    with SystemSimulation(top, quantum=spec.quantum,
+                          compile=spec.compiled,
+                          faults=campaign, fault_seed=seed,
+                          on_part_error=spec.on_part_error,
+                          max_restarts=spec.max_restarts,
+                          max_restores=spec.max_restores,
+                          checkpoint_interval=spec.checkpoint_interval,
+                          coverage=spec.coverage) as simulation:
+        try:
+            simulation.run(until=spec.until)
+        except ReproError as error:
+            sim_error = f"{type(error).__name__}: {error}"
+        row["messages_delivered"] = simulation.messages_delivered
+        row["messages_dropped"] = simulation.messages_dropped
+        row["quarantined"] = sorted(simulation.quarantined_parts)
+        row["resilience"] = simulation.resilience.to_dict()
+        if spec.coverage:
+            row["coverage"] = \
+                simulation.observability.coverage_report().to_dict()
+    if sim_error:
+        row["sim_error"] = sim_error
+    return row
+
+
+def _maybe_test_kill(seed: int, attempt: int) -> None:
+    """CI/test hook: SIGKILL this worker for one configured seed."""
+    directive = os.environ.get(TEST_KILL_ENV, "")
+    if not directive:
+        return
+    target, _, through = directive.partition(":")
+    try:
+        if int(target) != seed:
+            return
+        max_attempt = int(through) if through else 1
+    except ValueError:
+        return
+    if attempt <= max_attempt:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _worker_main(spec_data: Dict[str, Any], seed: int, attempt: int,
+                 result_path: str) -> None:
+    """Process entry: run one seed, hand the row back via the
+    rename-into-place file protocol (a present file is a complete
+    file; a missing one means this worker died)."""
+    _maybe_test_kill(seed, attempt)
+    try:
+        row = run_seed(CampaignSpec.from_dict(spec_data), seed)
+        payload = {"ok": True, "row": row}
+    except BaseException as error:  # noqa: BLE001 - must report, not die
+        payload = {"ok": False,
+                   "error": f"{type(error).__name__}: {error}"}
+    scratch = f"{result_path}.tmp"
+    with open(scratch, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=str)
+    os.replace(scratch, result_path)
+    if not payload["ok"]:
+        raise SystemExit(1)
+
+
+# ---------------------------------------------------------------------------
+# the journal
+# ---------------------------------------------------------------------------
+
+def _journal_append(handle, record: Dict[str, Any]) -> None:
+    handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+    handle.flush()
+
+
+def read_journal(path: str) -> Tuple[Optional[Dict[str, Any]],
+                                     Dict[int, Dict[str, Any]],
+                                     List[Dict[str, Any]]]:
+    """Parse a campaign journal into (header, ok rows by seed, failures).
+
+    A truncated final line (the writer was killed mid-append) is
+    silently dropped — everything before it is still trustworthy,
+    which is the whole point of an append-only journal.
+    """
+    header: Optional[Dict[str, Any]] = None
+    completed: Dict[int, Dict[str, Any]] = {}
+    failures: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail write; ignore the rest
+            status = record.get("status")
+            if status == "header":
+                header = record
+            elif status == "ok":
+                completed[int(record["seed"])] = record["row"]
+            elif status == "failed":
+                failures.append(record)
+    return header, completed, failures
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+class CampaignResult:
+    """The merged outcome of a multi-seed sweep.
+
+    ``to_dict`` contains only simulation-derived, deterministically
+    ordered data — no worker counts, wall-clock times or completion
+    order — so a parallel, a serial and a resumed sweep over the same
+    seeds serialize byte-identically.
+    """
+
+    __slots__ = ("name", "rows", "failures", "resumed_seeds",
+                 "workers_used", "mode")
+
+    def __init__(self, name: str, rows: Sequence[Dict[str, Any]],
+                 failures: Sequence[Dict[str, Any]] = (),
+                 resumed_seeds: Sequence[int] = (),
+                 workers_used: int = 1, mode: str = "serial"):
+        self.name = name
+        #: per-seed rows, sorted by seed
+        self.rows: List[Dict[str, Any]] = \
+            sorted(rows, key=lambda row: row["seed"])
+        #: permanent infrastructure failures ({"seed","attempts","error"})
+        self.failures: List[Dict[str, Any]] = \
+            sorted(failures, key=lambda row: row["seed"])
+        #: seeds skipped because the journal already had their rows
+        self.resumed_seeds: List[int] = sorted(resumed_seeds)
+        self.workers_used = workers_used
+        self.mode = mode
+
+    @property
+    def completed_seeds(self) -> List[int]:
+        return [row["seed"] for row in self.rows]
+
+    @property
+    def failed_seeds(self) -> List[int]:
+        return [row["seed"] for row in self.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def resilience(self) -> ResilienceReport:
+        """All per-seed resilience reports merged (order-independent)."""
+        return ResilienceReport.merged(
+            ResilienceReport.from_dict(row["resilience"])
+            for row in self.rows)
+
+    def coverage(self):
+        """All per-seed coverage reports merged, or ``None``."""
+        from ..observability import CoverageReport
+
+        reports = [CoverageReport.from_dict(row["coverage"])
+                   for row in self.rows if "coverage" in row]
+        return CoverageReport.merged(reports) if reports else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "campaign": self.name,
+            "completed": list(self.rows),
+            "failures": [
+                {"seed": row["seed"], "attempts": row["attempts"],
+                 "error": row["error"]} for row in self.failures],
+            "resilience": self.resilience().to_dict(),
+        }
+        merged_coverage = self.coverage()
+        if merged_coverage is not None:
+            data["coverage"] = merged_coverage.to_dict()
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (f"<CampaignResult {self.name!r} ok={len(self.rows)} "
+                f"failed={len(self.failures)} mode={self.mode}>")
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+def _processes_usable() -> bool:
+    """Can this host actually fork/spawn worker processes?"""
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context()
+    except (ImportError, OSError, ValueError):
+        return False
+    return True
+
+
+def _make_context():
+    import multiprocessing
+
+    try:
+        # fork shares the imported model modules; cheapest on Linux
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def run_campaign(spec: CampaignSpec,
+                 workers: int = 0,
+                 journal: Optional[str] = None,
+                 resume: bool = False,
+                 run_timeout: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 ) -> CampaignResult:
+    """Sweep every seed of ``spec``, robustly.
+
+    ``workers`` > 1 fans seeds over that many processes (0/1, or a host
+    without multiprocessing, runs serially in-process).  ``journal``
+    appends a JSONL row per finished seed; ``resume=True`` first reads
+    it back and re-runs only the seeds without an ``ok`` row.  The
+    returned :class:`CampaignResult` serializes identically however the
+    sweep was executed or interrupted, as long as the same seeds
+    completed.
+    """
+    if run_timeout is not None and run_timeout <= 0:
+        raise FaultError(f"run_timeout must be positive, got {run_timeout}")
+    if max_retries < 0:
+        raise FaultError(f"max_retries cannot be negative, got {max_retries}")
+    completed: Dict[int, Dict[str, Any]] = {}
+    resumed: List[int] = []
+    if journal and resume and os.path.exists(journal):
+        header, journaled, _ = read_journal(journal)
+        if header is not None and header.get("spec") != spec.to_dict():
+            raise FaultError(
+                f"journal {journal!r} was written for a different "
+                f"campaign spec; refusing to resume into it")
+        for seed in spec.seeds:
+            if seed in journaled:
+                completed[seed] = journaled[seed]
+                resumed.append(seed)
+    todo = [seed for seed in spec.seeds if seed not in completed]
+    journal_handle = None
+    if journal:
+        fresh = not (resume and os.path.exists(journal))
+        journal_handle = open(journal, "w" if fresh else "a",
+                              encoding="utf-8")
+        if fresh:
+            _journal_append(journal_handle,
+                            {"status": "header", "spec": spec.to_dict()})
+    try:
+        parallel = workers > 1 and len(todo) > 1 and _processes_usable()
+        if parallel:
+            rows, failures = _run_parallel(
+                spec, todo, workers, journal_handle, run_timeout,
+                max_retries, retry_backoff)
+        else:
+            rows, failures = _run_serial(spec, todo, journal_handle)
+    finally:
+        if journal_handle is not None:
+            journal_handle.close()
+    rows.extend(completed.values())
+    return CampaignResult(spec.name, rows, failures=failures,
+                          resumed_seeds=resumed,
+                          workers_used=workers if parallel else 1,
+                          mode="parallel" if parallel else "serial")
+
+
+def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle
+                ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """The degraded (and reference) path: every seed inline."""
+    rows: List[Dict[str, Any]] = []
+    for seed in todo:
+        row = run_seed(spec, seed)
+        rows.append(row)
+        if journal_handle is not None:
+            _journal_append(journal_handle,
+                            {"status": "ok", "seed": seed, "attempt": 1,
+                             "row": row})
+    return rows, []
+
+
+def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
+                  journal_handle, run_timeout: Optional[float],
+                  max_retries: int, retry_backoff: float,
+                  ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    import tempfile
+
+    context = _make_context()
+    spec_data = spec.to_dict()
+    rows: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    #: (seed, attempt, ready_at) — backoff holds a seed until ready_at
+    pending: List[Tuple[int, int, float]] = \
+        [(seed, 1, 0.0) for seed in todo]
+    #: process -> (seed, attempt, result_path, deadline)
+    running: Dict[Any, Tuple[int, int, str, Optional[float]]] = {}
+    last_error: Dict[int, str] = {}
+
+    def record_failure(seed: int, attempt: int, error: str) -> None:
+        last_error[seed] = error
+        if journal_handle is not None:
+            _journal_append(journal_handle,
+                            {"status": "failed", "seed": seed,
+                             "attempt": attempt, "error": error})
+        if attempt <= max_retries:
+            ready_at = time.monotonic() \
+                + retry_backoff * (2 ** (attempt - 1))
+            pending.append((seed, attempt + 1, ready_at))
+        else:
+            failures.append({"seed": seed, "attempts": attempt,
+                             "error": error})
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as scratch:
+        while pending or running:
+            now = time.monotonic()
+            # launch whatever is ready while worker slots are free
+            ready = [item for item in pending if item[2] <= now]
+            for item in ready[:max(0, workers - len(running))]:
+                pending.remove(item)
+                seed, attempt, _ = item
+                result_path = os.path.join(
+                    scratch, f"seed{seed}-try{attempt}.json")
+                process = context.Process(
+                    target=_worker_main,
+                    args=(spec_data, seed, attempt, result_path),
+                    daemon=True)
+                process.start()
+                deadline = (now + run_timeout
+                            if run_timeout is not None else None)
+                running[process] = (seed, attempt, result_path, deadline)
+            # reap finished / overdue workers
+            now = time.monotonic()
+            for process in list(running):
+                seed, attempt, result_path, deadline = running[process]
+                if process.is_alive():
+                    if deadline is not None and now > deadline:
+                        process.kill()
+                        process.join()
+                        running.pop(process)
+                        record_failure(
+                            seed, attempt,
+                            f"run timeout: seed {seed} exceeded "
+                            f"{run_timeout}s wall clock")
+                    continue
+                process.join()
+                running.pop(process)
+                payload = None
+                if os.path.exists(result_path):
+                    try:
+                        with open(result_path, "r",
+                                  encoding="utf-8") as handle:
+                            payload = json.load(handle)
+                    except ValueError:
+                        payload = None
+                if payload is not None and payload.get("ok"):
+                    row = payload["row"]
+                    rows.append(row)
+                    if journal_handle is not None:
+                        _journal_append(journal_handle,
+                                        {"status": "ok", "seed": seed,
+                                         "attempt": attempt, "row": row})
+                elif payload is not None:
+                    record_failure(seed, attempt,
+                                   payload.get("error", "worker error"))
+                else:
+                    record_failure(
+                        seed, attempt,
+                        f"worker died (exit code {process.exitcode}) "
+                        f"before writing a result")
+            if pending or running:
+                time.sleep(0.02)
+    # a seed that eventually succeeded should not linger as a failure
+    succeeded = {row["seed"] for row in rows}
+    failures = [entry for entry in failures
+                if entry["seed"] not in succeeded]
+    return rows, failures
+
+
+def merge_rows(rows: Iterable[Dict[str, Any]]) -> ResilienceReport:
+    """Convenience: merge bare per-seed rows (journal or result form)."""
+    return ResilienceReport.merged(
+        ResilienceReport.from_dict(row["resilience"]) for row in rows)

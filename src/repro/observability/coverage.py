@@ -332,6 +332,32 @@ class CoverageCollector:
 
         return ingest
 
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture hit counts and active-state context for rollback."""
+        return {
+            "hits": {part: {kind: dict(counts)
+                            for kind, counts in kinds.items()}
+                     for part, kinds in self.hits.items()},
+            "active": {part: list(states)
+                       for part, states in self._active.items()},
+            "unplanned": self._unplanned[0],
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Reinstate a :meth:`checkpoint` — in place, because the ingest
+        closure binds the count dicts as cell variables."""
+        for part, kinds in self.hits.items():
+            saved_kinds = snap["hits"].get(part, {})
+            for kind, counts in kinds.items():
+                saved = saved_kinds.get(kind, {})
+                for key in counts:
+                    counts[key] = saved.get(key, 0)
+        for part, states in self._active.items():
+            states[:] = snap["active"].get(part, ())
+        self._unplanned[0] = snap["unplanned"]
+
     # -- results -----------------------------------------------------------
 
     def report(self) -> "CoverageReport":

@@ -88,6 +88,17 @@ class FlightRecorder:
             self.dumps_written += 1
             self.last_dump = self.path
 
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture the ring content (dump counters are side effects on
+        disk and intentionally not rolled back)."""
+        return {"events": list(self.events)}
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        self.events.clear()
+        self.events.extend(snap["events"])
+
     # -- dumping -----------------------------------------------------------
 
     def header(self, simulation: Any = None, reason: str = "manual",

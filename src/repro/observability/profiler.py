@@ -146,6 +146,41 @@ class SimProfiler:
 
         return ingest
 
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture attribution state for rollback (frame stacks, open
+        interval starts, accumulated residence/steps)."""
+        return {
+            "residence": dict(self.residence),
+            "steps": dict(self.steps),
+            "stacks": {part: list(stack)
+                       for part, stack in self._stacks.items()},
+            "last_t": dict(self._last_t),
+            "frames": dict(self._frames),
+            "seen": self._seen[0],
+            "finalized_at": self._finalized_at,
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Reinstate a :meth:`checkpoint` — mutating the structures in
+        place because the ingest closure binds them as cell variables.
+        The ``_step_keys``/``_labels`` caches are pure functions of
+        their keys, so stale entries are harmless and kept."""
+        self.residence.clear()
+        self.residence.update(snap["residence"])
+        self.steps.clear()
+        self.steps.update(snap["steps"])
+        self._stacks.clear()
+        for part, stack in snap["stacks"].items():
+            self._stacks[part] = list(stack)
+        self._last_t.clear()
+        self._last_t.update(snap["last_t"])
+        self._frames.clear()
+        self._frames.update(snap["frames"])
+        self._seen[0] = snap["seen"]
+        self._finalized_at = snap["finalized_at"]
+
     # -- results -----------------------------------------------------------
 
     def finalize(self, now: float) -> "SimProfiler":

@@ -69,6 +69,28 @@ class ObservabilitySuite:
         raise SimulationError(
             f"unknown profile metric {metric!r}; choose 'time' or 'steps'")
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture every attached collector (part of the simulation's
+        full :meth:`~repro.simulation.SystemSimulation.checkpoint`, so
+        rollback rewinds coverage counts, profiler attribution and the
+        flight-recorder ring together with the execution state)."""
+        return {
+            "coverage": (self.coverage.checkpoint()
+                         if self.coverage is not None else None),
+            "profiler": (self.profiler.checkpoint()
+                         if self.profiler is not None else None),
+            "recorder": (self.recorder.checkpoint()
+                         if self.recorder is not None else None),
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        if self.coverage is not None and snap.get("coverage") is not None:
+            self.coverage.restore(snap["coverage"])
+        if self.profiler is not None and snap.get("profiler") is not None:
+            self.profiler.restore(snap["profiler"])
+        if self.recorder is not None and snap.get("recorder") is not None:
+            self.recorder.restore(snap["recorder"])
+
     def summary(self) -> Dict[str, Any]:
         """What is attached, and the headline numbers so far."""
         summary: Dict[str, Any] = {}

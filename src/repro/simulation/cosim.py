@@ -70,6 +70,16 @@ clock and queue, every part's engine checkpoint, the trace-bus ordinal
 — so campaigns can snapshot, inject and roll back.  The harness is
 also a context manager: leaving the ``with`` block closes the kernel
 so no campaign leaks scheduled work into the next run.
+
+Supervised rollback recovery (PR 5): ``checkpoint_interval=T`` arms
+periodic per-part snapshots (the exact-replay engine checkpoints), and
+``on_part_error="restore"`` rolls a failing part back to its last good
+snapshot — keeping everything it learned — through the
+:class:`~repro.simulation.supervisor.Supervisor` escalation chain
+(restore up to ``max_restores`` times, then restart up to
+``max_restarts``, then quarantine).  Every decision is emitted as a
+typed ``supervisor_decision`` trace event, and the rollback itself as
+``part_restored``, so recovery is byte-comparable across engines.
 """
 
 from __future__ import annotations
@@ -79,11 +89,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..asl import SentSignal
 from ..engine import (
+    CHECKPOINT,
     MESSAGE_DELIVERED,
     MESSAGE_DROPPED,
     MESSAGE_ROUTED,
     PART_QUARANTINED,
     PART_RESTARTED,
+    PART_RESTORED,
+    SUPERVISOR_DECISION,
     ExecutionEngine,
     TraceBus,
     TraceEvent,
@@ -95,9 +108,10 @@ from ..metamodel.components import Component, Connector, ConnectorKind
 from ..metamodel.classifiers import UmlClass
 from ..perf import PERF
 from .kernel import Simulator
+from .supervisor import Supervisor
 
 #: Valid part-error policies.
-PART_ERROR_POLICIES = ("raise", "quarantine", "restart")
+PART_ERROR_POLICIES = ("raise", "quarantine", "restart", "restore")
 
 
 class PartInstance:
@@ -141,6 +155,8 @@ class SystemSimulation:
                  fault_seed: Optional[int] = None,
                  on_part_error: str = "raise",
                  max_restarts: int = 3,
+                 max_restores: int = 3,
+                 checkpoint_interval: Optional[float] = None,
                  max_queue: Optional[int] = None,
                  overflow_policy: str = "raise",
                  bus: Any = None,
@@ -152,6 +168,10 @@ class SystemSimulation:
             raise SimulationError(
                 f"unknown on_part_error policy {on_part_error!r}; "
                 f"choose from {PART_ERROR_POLICIES}")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise SimulationError(
+                f"checkpoint_interval must be positive, "
+                f"got {checkpoint_interval}")
         self.top = top
         self.simulator = Simulator(max_queue=max_queue,
                                    overflow_policy=overflow_policy)
@@ -163,6 +183,15 @@ class SystemSimulation:
         self.compile_enabled = compile
         self.on_part_error = on_part_error
         self.max_restarts = max_restarts
+        self.max_restores = max_restores
+        self.checkpoint_interval = checkpoint_interval
+        #: the escalation chain deciding restore/restart/quarantine
+        self.supervisor = Supervisor(on_part_error,
+                                     max_restores=max_restores,
+                                     max_restarts=max_restarts)
+        #: part name -> last good recovery snapshot
+        #: ({"t", "runtime", "received", "sent"})
+        self._part_snapshots: Dict[str, Dict[str, Any]] = {}
         self.trace: List[Tuple[float, str]] = []
         #: (time, sender, receiver, signal) for every delivered message
         #: (maintained by a bus subscriber; empty with ``bus=False``)
@@ -207,7 +236,6 @@ class SystemSimulation:
         self.observability: Any = None
         self._injector: Optional[FaultInjector] = None
         self._quarantined: set = set()
-        self._restart_counts: Dict[str, int] = {}
         #: part name -> zero-arg factory rebuilding a fresh engine
         self._part_factories: Dict[str, Callable[[], ExecutionEngine]] = {}
         self._routes: Dict[Tuple[str, str], List[Route]] = {}
@@ -232,6 +260,12 @@ class SystemSimulation:
                 self, coverage=coverage, profile=profile,
                 flight_recorder=flight_recorder, flight_dump=flight_dump)
         self._start_parts()
+        # Baseline recovery snapshot: with periodic checkpoints armed or
+        # the restore policy selected, every part has a last-good
+        # snapshot from the moment it started — a failure before the
+        # first interval still rolls back instead of cold-restarting.
+        if checkpoint_interval is not None or on_part_error == "restore":
+            self.take_part_checkpoints()
 
     # ------------------------------------------------------------------
     # bus + built-in subscribers
@@ -375,25 +409,34 @@ class SystemSimulation:
         return tuple(sorted(self._quarantined))
 
     def _part_failed(self, part_name: str, error: BaseException) -> None:
-        """Apply the ``on_part_error`` policy to a part failure."""
+        """Apply the ``on_part_error`` policy to a part failure.
+
+        Everything except ``"raise"`` goes through the
+        :class:`~repro.simulation.supervisor.Supervisor` escalation
+        chain (restore → restart → quarantine, per-part budgets); the
+        decision is emitted as a ``supervisor_decision`` trace event
+        before the chosen action executes.
+        """
         if self.on_part_error == "raise":
             raise error
         now = self.simulator.now
         detail = f"{type(error).__name__}: {error}"
-        if self.on_part_error == "restart" \
-                and self._restart_counts.get(part_name, 0) \
-                < self.max_restarts:
-            self._restart_counts[part_name] = \
-                self._restart_counts.get(part_name, 0) + 1
-            self.resilience.record_part_failure(now, part_name, detail,
-                                                "restart")
+        has_snapshot = part_name in self._part_snapshots
+        action, label = self.supervisor.decide(part_name, has_snapshot)
+        if self._bus is not None \
+                and SUPERVISOR_DECISION in self._bus.active_kinds:
+            data = {"action": action, "label": label, "reason": detail}
+            data.update(self.supervisor.budgets(part_name))
+            self._bus.emit(SUPERVISOR_DECISION, now, part_name, data)
+        self.resilience.record_part_failure(now, part_name, detail, label)
+        if action == "restore":
+            self.resilience.record_restore(part_name)
+            self._restore_part(part_name, detail)
+            return
+        if action == "restart":
             self.resilience.record_restart(part_name)
             self._restart_part(part_name, detail)
             return
-        action = "quarantine"
-        if self.on_part_error == "restart":
-            action = "quarantine (restart budget exhausted)"
-        self.resilience.record_part_failure(now, part_name, detail, action)
         self.resilience.record_quarantine(now, part_name)
         self._quarantined.add(part_name)
         if self._bus is not None:
@@ -429,6 +472,60 @@ class SystemSimulation:
         if self.trace_enabled:
             self.trace.append(
                 (self.simulator.now, f"{part_name} restarted"))
+
+    def _restore_part(self, part_name: str, detail: str = "") -> None:
+        """Roll a part back to its last good recovery snapshot.
+
+        The engine reinstates the snapshot's configuration, context and
+        timers — everything the part learned up to the snapshot
+        survives, unlike a restart.  The engine's local clock rewinds
+        to the snapshot time; the next harness sync advances it back to
+        kernel time, deterministically replaying due time triggers, so
+        interpreted and compiled engines stay lockstep through the
+        rollback.
+        """
+        instance = self.parts[part_name]
+        snap = self._part_snapshots[part_name]
+        instance.runtime.restore(snap["runtime"])
+        instance.received = snap["received"]
+        instance.sent = snap["sent"]
+        if self._bus is not None:
+            self._bus.emit(PART_RESTORED, self.simulator.now, part_name,
+                           {"reason": detail, "snapshot_t": snap["t"]})
+        if self.trace_enabled:
+            self.trace.append(
+                (self.simulator.now,
+                 f"{part_name} restored to snapshot t={snap['t']}"))
+
+    def take_part_checkpoints(self) -> int:
+        """Snapshot every healthy part's engine for rollback recovery.
+
+        Called automatically every ``checkpoint_interval`` during
+        :meth:`run` (and once at construction when the restore policy or
+        an interval is configured); callable by hand to mark a known-good
+        point.  Returns the number of parts snapshotted.
+        """
+        now = self.simulator.now
+        taken = 0
+        for name, instance in self.parts.items():
+            if instance.runtime is None or name in self._quarantined:
+                continue
+            self._part_snapshots[name] = {
+                "t": now,
+                "runtime": instance.runtime.checkpoint(),
+                "received": instance.received,
+                "sent": instance.sent,
+            }
+            taken += 1
+        if self._bus is not None and CHECKPOINT in self._bus.active_kinds:
+            self._bus.emit(CHECKPOINT, now, "", {"parts": taken})
+        return taken
+
+    @property
+    def part_snapshot_times(self) -> Dict[str, float]:
+        """Snapshot age per part: name -> simulated time it was taken."""
+        return {name: snap["t"]
+                for name, snap in sorted(self._part_snapshots.items())}
 
     # ------------------------------------------------------------------
     # signal routing
@@ -586,6 +683,12 @@ class SystemSimulation:
         start = _time.perf_counter()
         events_before = self.simulator.events_processed
         self.simulator.every(self.quantum, self._sync_all, until=until)
+        if self.checkpoint_interval is not None:
+            # armed after the quantum sync at equal timestamps, so a
+            # snapshot always captures the parts *after* they advanced
+            # to the tick's time
+            self.simulator.every(self.checkpoint_interval,
+                                 self.take_part_checkpoints, until=until)
         try:
             self.simulator.run(until=until, max_events=max_events,
                                timeout=timeout,
@@ -664,10 +767,13 @@ class SystemSimulation:
             "trace_len": len(self.trace),
             "bus": self._bus.checkpoint() if self._bus is not None else None,
             "quarantined": set(self._quarantined),
-            "restart_counts": dict(self._restart_counts),
+            "supervisor": self.supervisor.snapshot(),
+            "part_snapshots": dict(self._part_snapshots),
             "resilience": self.resilience.snapshot(),
             "injector": (self._injector.snapshot()
                          if self._injector is not None else None),
+            "observability": (self.observability.checkpoint()
+                              if self.observability is not None else None),
         }
 
     def restore(self, snap: Dict[str, Any]) -> None:
@@ -686,10 +792,14 @@ class SystemSimulation:
         if self._bus is not None and snap.get("bus") is not None:
             self._bus.restore(snap["bus"])
         self._quarantined = set(snap["quarantined"])
-        self._restart_counts = dict(snap["restart_counts"])
+        self.supervisor.restore_state(snap["supervisor"])
+        self._part_snapshots = dict(snap["part_snapshots"])
         self.resilience.restore(snap["resilience"])
         if self._injector is not None and snap["injector"] is not None:
             self._injector.restore(snap["injector"])
+        if self.observability is not None \
+                and snap.get("observability") is not None:
+            self.observability.restore(snap["observability"])
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -736,7 +846,8 @@ class SystemSimulation:
             "messages_dropped": self.messages_dropped,
             "faults_injected": self.resilience.total_injections,
             "quarantined_parts": len(self._quarantined),
-            "restarts": sum(self._restart_counts.values()),
+            "restarts": sum(self.supervisor.restart_counts.values()),
+            "restores": sum(self.supervisor.restore_counts.values()),
             "kernel_events_dropped": self.simulator.events_dropped,
             "trace_events": (self._bus.events_emitted
                              if self._bus is not None else 0),

@@ -1,0 +1,114 @@
+"""Supervised recovery: the escalation chain for failing parts.
+
+PR 2 gave the cosimulation harness *cold* degradation — a failing part
+could be quarantined or rebuilt from its initial state.  The
+:class:`Supervisor` upgrades that into a budgeted escalation chain in
+the Erlang/OTP tradition:
+
+``restore``
+    roll the part back to its last good snapshot (taken by the
+    harness's periodic ``checkpoint_interval`` machinery), keeping
+    everything the part learned since it started;
+``restart``
+    rebuild the part's engine in its initial configuration (the PR 2
+    behavior) once the restore budget is exhausted or no snapshot
+    exists;
+``quarantine``
+    isolate the part once every recovery budget is spent.
+
+The supervisor only *decides*; the harness executes the mechanics.
+Decisions are pure functions of the per-part budget counters, so the
+same failure sequence always escalates identically — which is what
+keeps interpreted and compiled engines lockstep under recovery — and
+every decision is emitted as a typed
+:class:`~repro.engine.TraceEvent` (kind ``supervisor_decision``) so
+flight-recorder dumps and coverage stay byte-comparable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: Actions a supervisor can take, in escalation order.
+SUPERVISOR_ACTIONS = ("restore", "restart", "quarantine")
+
+
+class Supervisor:
+    """Budgeted restore → restart → quarantine escalation per part.
+
+    ``policy`` is the simulation's ``on_part_error`` value; ``decide``
+    consumes budget for the action it returns, so calling it *is* the
+    decision.  State is checkpointable (:meth:`snapshot` /
+    :meth:`restore_state`) so a full-simulation rollback also rewinds
+    the escalation history.
+    """
+
+    __slots__ = ("policy", "max_restores", "max_restarts",
+                 "restore_counts", "restart_counts")
+
+    def __init__(self, policy: str, max_restores: int = 3,
+                 max_restarts: int = 3):
+        self.policy = policy
+        self.max_restores = max_restores
+        self.max_restarts = max_restarts
+        #: part name -> restores performed
+        self.restore_counts: Dict[str, int] = {}
+        #: part name -> restarts performed
+        self.restart_counts: Dict[str, int] = {}
+
+    def decide(self, part: str, has_snapshot: bool = True
+               ) -> Tuple[str, str]:
+        """Pick the recovery action for one failure of ``part``.
+
+        Returns ``(action, label)`` where ``action`` is one of
+        :data:`SUPERVISOR_ACTIONS` and ``label`` is the human-readable
+        record written to the resilience report (it carries the *why*
+        of an escalation).  Budget for the returned action is consumed
+        here.
+        """
+        if self.policy == "quarantine":
+            return "quarantine", "quarantine"
+        if self.policy == "restore":
+            used = self.restore_counts.get(part, 0)
+            if has_snapshot and used < self.max_restores:
+                self.restore_counts[part] = used + 1
+                return "restore", "restore"
+            reason = ("no snapshot" if not has_snapshot
+                      else "restore budget exhausted")
+            if self.restart_counts.get(part, 0) < self.max_restarts:
+                self.restart_counts[part] = \
+                    self.restart_counts.get(part, 0) + 1
+                return "restart", f"restart ({reason})"
+            return "quarantine", "quarantine (recovery budgets exhausted)"
+        if self.policy == "restart":
+            if self.restart_counts.get(part, 0) < self.max_restarts:
+                self.restart_counts[part] = \
+                    self.restart_counts.get(part, 0) + 1
+                return "restart", "restart"
+            return "quarantine", "quarantine (restart budget exhausted)"
+        # the "raise" policy never reaches a supervisor
+        return "quarantine", "quarantine"
+
+    def budgets(self, part: str) -> Dict[str, int]:
+        """Remaining budget per action (for trace events / inspection)."""
+        return {
+            "restores_left": max(
+                0, self.max_restores - self.restore_counts.get(part, 0)),
+            "restarts_left": max(
+                0, self.max_restarts - self.restart_counts.get(part, 0)),
+        }
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"restore_counts": dict(self.restore_counts),
+                "restart_counts": dict(self.restart_counts)}
+
+    def restore_state(self, snap: Dict[str, Any]) -> None:
+        self.restore_counts = dict(snap["restore_counts"])
+        self.restart_counts = dict(snap["restart_counts"])
+
+    def __repr__(self) -> str:
+        return (f"<Supervisor policy={self.policy!r} "
+                f"restores={sum(self.restore_counts.values())} "
+                f"restarts={sum(self.restart_counts.values())}>")

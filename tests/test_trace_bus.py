@@ -49,10 +49,19 @@ class TestKindVocabulary:
         assert FAULT == "fault"
         assert PART_QUARANTINED == "part_quarantined"
         assert PART_RESTARTED == "part_restarted"
+        from repro.engine import (
+            CHECKPOINT,
+            PART_RESTORED,
+            SUPERVISOR_DECISION,
+        )
+
+        assert PART_RESTORED == "part_restored"
+        assert SUPERVISOR_DECISION == "supervisor_decision"
+        assert CHECKPOINT == "checkpoint"
 
     def test_engine_kinds_subset(self):
         assert set(ENGINE_KINDS) < set(KINDS)
-        assert len(set(KINDS)) == len(KINDS) == 11
+        assert len(set(KINDS)) == len(KINDS) == 14
 
 
 class TestTraceEvent:
