@@ -35,6 +35,9 @@ QUICK_KNOBS = {
     "SIM_TIME": 40.0,
     "VARIANTS": 4,
     "LOOKUPS": 20,
+    "LOCKSTEP_TIME": 40.0,
+    "CAMPAIGN_TIME": 20.0,
+    "BATCH_WIDTHS": (8,),
 }
 
 EXPERIMENTS = {
@@ -66,6 +69,8 @@ EXPERIMENTS = {
             "observability overhead & coverage closure"),
     "d14": ("bench_d14_recovery",
             "rollback recovery & campaign-runner scaling"),
+    "d15": ("bench_d15_batched",
+            "batched execution & campaign vectorization"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

@@ -180,6 +180,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     try:
         with SystemSimulation(top, quantum=args.quantum,
                               compile=args.compiled,
+                              engine=args.engine,
+                              batch_min=args.batch,
                               faults=campaign, fault_seed=args.seed,
                               on_part_error=args.on_part_error,
                               checkpoint_interval=args.checkpoint_interval,
@@ -188,6 +190,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                               profile=bool(args.profile_file),
                               flight_recorder=flight_capacity,
                               flight_dump=flight_dump) as simulation:
+            if simulation.engine_mode == "batched" \
+                    and simulation.batch_degraded:
+                print(f"batched: {len(simulation.batch_degraded)} "
+                      f"part(s) fell back to their serial engine:",
+                      file=sys.stderr)
+                for name, reason in sorted(
+                        simulation.batch_degraded.items()):
+                    print(f"  {name}: {reason}", file=sys.stderr)
             simulation.incident_hooks.append(
                 lambda reason, detail: incidents.append(reason))
             try:
@@ -203,7 +213,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                   f"{simulation.messages_dropped} dropped")
             for name, states in simulation.state_snapshot().items():
                 print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
-            if args.compiled:
+            if args.compiled or args.engine:
                 for name, verdict in sorted(
                         simulation.compile_report.items()):
                     print(f"  {name:20} [{verdict}]")
@@ -288,6 +298,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         campaign=args.faults or None,
                         until=args.until, quantum=args.quantum,
                         compiled=args.compiled,
+                        engine=args.engine,
                         on_part_error=args.on_part_error,
                         checkpoint_interval=args.checkpoint_interval,
                         coverage=bool(args.coverage_file),
@@ -296,7 +307,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                           journal=args.journal or None,
                           resume=args.resume,
                           run_timeout=args.run_timeout,
-                          max_retries=args.retries)
+                          max_retries=args.retries,
+                          vectorize=args.vectorize)
     resilience = result.resilience()
     print(f"campaign {result.name!r}: {len(result.rows)}/{len(seeds)} "
           f"seed(s) completed ({result.mode}, "
@@ -476,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--compiled", action="store_true",
                           help="compile state machines to dispatch "
                                "tables (interpreter fallback per part)")
+    simulate.add_argument("--engine", default=None,
+                          choices=("interpreted", "compiled", "batched"),
+                          help="execution engine (overrides --compiled; "
+                               "batched runs identical parts through "
+                               "one shared dispatch table, degrading "
+                               "singletons to their serial engine)")
+    simulate.add_argument("--batch", type=int, default=2, metavar="N",
+                          help="minimum identical-part population for "
+                               "a batch group under --engine batched "
+                               "(default 2)")
     simulate.add_argument("--faults", default="",
                           help="fault campaign JSON file to inject "
                                "(see docs/FAULTS.md)")
@@ -546,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "campaign's base seed")
     campaign.add_argument("--until", type=float, default=100.0)
     campaign.add_argument("--quantum", type=float, default=1.0)
+    campaign.add_argument("--engine", default=None,
+                          choices=("interpreted", "compiled", "batched"),
+                          help="execution engine for every seed "
+                               "(overrides --compiled)")
+    campaign.add_argument("--vectorize", action="store_true",
+                          help="interleave all seeds in one process "
+                               "over a single parsed/compiled model "
+                               "(mutually exclusive with --parallel)")
     campaign.add_argument("--compiled", action="store_true",
                           help="compile state machines to dispatch "
                                "tables")

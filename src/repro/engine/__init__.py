@@ -7,6 +7,7 @@ calling convention and :mod:`repro.engine.trace` for the event
 vocabulary.
 """
 
+from .batched import BatchedRuntime, BatchGroup
 from .protocol import (
     PROTOCOL_ATTRIBUTES,
     PROTOCOL_METHODS,
@@ -17,13 +18,16 @@ from .registry import (
     EngineBinding,
     EngineBuilder,
     EngineFactory,
+    build_batched_binding,
     build_engine_factory,
+    plan_batch_groups,
     register_engine,
     registered_behavior_types,
     supports,
 )
 from .trace import (
     CHECKPOINT,
+    ENGINE_DEGRADED,
     ENGINE_KINDS,
     EVENT,
     FAULT,
@@ -52,10 +56,14 @@ __all__ = [
     "conforms",
     "PROTOCOL_METHODS",
     "PROTOCOL_ATTRIBUTES",
+    "BatchGroup",
+    "BatchedRuntime",
     "EngineBinding",
     "EngineBuilder",
     "EngineFactory",
+    "build_batched_binding",
     "build_engine_factory",
+    "plan_batch_groups",
     "register_engine",
     "registered_behavior_types",
     "supports",
@@ -79,6 +87,7 @@ __all__ = [
     "PART_RESTORED",
     "SUPERVISOR_DECISION",
     "CHECKPOINT",
+    "ENGINE_DEGRADED",
     "ENGINE_KINDS",
     "KINDS",
 ]

@@ -1,0 +1,273 @@
+"""Batched execution: N identical parts behind one dispatch table.
+
+The compiled engine (PR 1) removed interpretation overhead from a
+single state machine; this module removes *per-instance* overhead from
+a population of identical ones.  A :class:`BatchGroup` owns one
+:class:`~repro.statemachines.soa.SoaLanes` — structure-of-arrays state
+for N lanes sharing one compiled machine — and hands out
+:class:`BatchedRuntime` views, one per part.  Each view satisfies the
+:class:`~repro.engine.protocol.ExecutionEngine` protocol (``start`` /
+``send`` / ``step`` / ``active_configuration`` / ``checkpoint`` /
+``restore`` plus the ``time``/``context``/``signal_sink`` attributes),
+so the cosimulation harness drives a batched part exactly as it drives
+an interpreted or compiled one — fault injection, quarantine, restart
+and restore policies included.
+
+What makes the batch faster than N independent runtimes is not the
+view (a view op costs about the same as a ``CompiledRuntime`` op) but
+the *batch-level* entry points the harness can use when it knows all
+members are healthy:
+
+* ``min_due()`` — one C-level ``min`` over the next-timer-deadline
+  array answers "does any lane have work before t?" for the whole
+  population, letting the per-quantum sync loop skip N no-op
+  ``step()`` calls;
+* fused delivery — the harness coalesces same-timestamp deliveries to
+  group members into one run (see ``SystemSimulation._drain_run``) and
+  sweeps them in a single loop with the lookup chain hoisted, instead
+  of one scheduler callback + closure per message.
+
+Lockstep guarantee: a batched run produces byte-identical trace
+streams, reports and checkpoints to a serial compiled (and therefore
+interpreted) run of the same model — the lane operations execute the
+same closures in the same order.  ``tests/test_batched_lockstep.py``
+pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..statemachines.events import EventOccurrence
+from ..statemachines.flatten import CompiledMachine
+from ..statemachines.soa import SoaLanes
+
+_INF = float("inf")
+
+
+class BatchGroup:
+    """All lanes of one compiled machine, plus fused-delivery bookkeeping.
+
+    The ``_runs``/``_open_*`` fields implement order-preserving
+    coalescing for the harness's fused delivery path: an *open run* is
+    the most recently scheduled delivery bucket for this group; a new
+    message may join it only while (a) it is scheduled for the same
+    timestamp and (b) no other scheduler event has been interleaved
+    since the bucket's last append (tracked by the kernel's sequence
+    counter).  Under those two conditions a serial run would process
+    the bucket's messages back-to-back anyway, so coalescing cannot
+    reorder anything observable.
+    """
+
+    __slots__ = ("name", "lanes", "members", "_runs", "_next_rid",
+                 "_open_t", "_open_rid", "_open_seq")
+
+    def __init__(self, name: str, compiled: CompiledMachine,
+                 trace_bus: Any = None):
+        #: group label (the shared behavior's name), for diagnostics
+        self.name = name
+        self.lanes = SoaLanes(compiled, trace_bus=trace_bus)
+        self.members: List["BatchedRuntime"] = []
+        #: open delivery runs: rid -> list of pending message tuples
+        self._runs: Dict[int, List[Any]] = {}
+        self._next_rid = 0
+        self._open_t = -1.0
+        self._open_rid = -1
+        self._open_seq = -1
+
+    def add_member(self, part_name: str,
+                   context: Optional[Dict[str, Any]],
+                   sink: Optional[Callable]) -> "BatchedRuntime":
+        """Claim a fresh lane for ``part_name`` and return its view."""
+        lane = self.lanes.add_lane(context, sink, part_name)
+        view = BatchedRuntime(self, lane)
+        self.members.append(view)
+        return view
+
+    @property
+    def width(self) -> int:
+        return self.lanes.width
+
+    # -- batch-level fast paths (quantum sync) ----------------------------
+
+    def min_due(self) -> float:
+        return self.lanes.min_due()
+
+    def bulk_clock(self, now: float) -> None:
+        self.lanes.bulk_clock(now)
+
+    # -- fused-delivery run registry --------------------------------------
+
+    def open_run(self, t: float, seq: int) -> int:
+        """Start a new delivery run at timestamp ``t``; returns its id."""
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        self._runs[rid] = []
+        self._open_t = t
+        self._open_rid = rid
+        self._open_seq = seq
+        return rid
+
+    def close_run(self, rid: int) -> None:
+        """Drop a drained run and invalidate the open pointer if it
+        still references it."""
+        self._runs.pop(rid, None)
+        if self._open_rid == rid:
+            self._open_rid = -1
+            self._open_seq = -1
+
+    def checkpoint_runs(self) -> Dict[str, Any]:
+        """Pending fused-delivery buckets (part of a full checkpoint)."""
+        return {
+            "runs": {rid: list(run) for rid, run in self._runs.items()},
+            "next_rid": self._next_rid,
+            "open_t": self._open_t,
+            "open_rid": self._open_rid,
+            "open_seq": self._open_seq,
+        }
+
+    def restore_runs(self, snap: Dict[str, Any]) -> None:
+        self._runs = {rid: list(run)
+                      for rid, run in snap["runs"].items()}
+        self._next_rid = snap["next_rid"]
+        self._open_t = snap["open_t"]
+        self._open_rid = snap["open_rid"]
+        self._open_seq = snap["open_seq"]
+
+    def __repr__(self) -> str:
+        return f"<BatchGroup {self.name!r} lanes={self.lanes.width}>"
+
+
+class BatchedRuntime:
+    """One part's protocol view onto a :class:`BatchGroup` lane.
+
+    Mirrors the :class:`~repro.statemachines.flatten.CompiledRuntime`
+    surface (including the convenience aliases the test suites use)
+    but stores nothing itself: every attribute resolves into the
+    group's parallel arrays, so the view stays valid across
+    checkpoint/restore and restart cycles.
+    """
+
+    __slots__ = ("group", "lane", "_lanes")
+
+    def __init__(self, group: BatchGroup, lane: int):
+        self.group = group
+        self.lane = lane
+        self._lanes = group.lanes
+
+    # -- protocol attributes (lane-slot accessors) ------------------------
+
+    @property
+    def time(self) -> float:
+        return self._lanes.clock[self.lane]
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self._lanes.clock[self.lane] = value
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return self._lanes.contexts[self.lane]
+
+    @context.setter
+    def context(self, value: Dict[str, Any]) -> None:
+        self._lanes.contexts[self.lane] = value
+
+    @property
+    def signal_sink(self) -> Optional[Callable]:
+        return self._lanes.sinks[self.lane]
+
+    @signal_sink.setter
+    def signal_sink(self, value: Optional[Callable]) -> None:
+        self._lanes.sinks[self.lane] = value
+
+    @property
+    def is_terminated(self) -> bool:
+        return self._lanes.terminated[self.lane]
+
+    @is_terminated.setter
+    def is_terminated(self, value: bool) -> None:
+        self._lanes.terminated[self.lane] = value
+
+    @property
+    def trace_bus(self) -> Any:
+        return self._lanes.trace_bus
+
+    @trace_bus.setter
+    def trace_bus(self, bus: Any) -> None:
+        # group-wide: every lane of a batch traces to the same bus
+        self._lanes.trace_bus = bus
+
+    @property
+    def trace_part(self) -> str:
+        return self._lanes.parts[self.lane]
+
+    @trace_part.setter
+    def trace_part(self, name: str) -> None:
+        self._lanes.parts[self.lane] = name
+
+    # -- protocol methods --------------------------------------------------
+
+    def start(self) -> "BatchedRuntime":
+        """Enter the initial configuration (chainable)."""
+        self._lanes.start_lane(self.lane)
+        return self
+
+    def send(self, name: str, **parameters: Any) -> "BatchedRuntime":
+        """Deliver a signal occurrence and run to completion."""
+        self._lanes.send_lane(self.lane, name, parameters)
+        return self
+
+    def call(self, name: str, **parameters: Any) -> "BatchedRuntime":
+        """Deliver a call occurrence and run to completion."""
+        self._lanes.dispatch_lane(
+            self.lane, EventOccurrence.call(name, **parameters))
+        return self
+
+    def dispatch(self, occurrence: EventOccurrence) -> "BatchedRuntime":
+        self._lanes.dispatch_lane(self.lane, occurrence)
+        return self
+
+    def step(self, until: float) -> "BatchedRuntime":
+        """Advance to *absolute* time ``until`` (idempotent past it)."""
+        self._lanes.advance_lane(self.lane, until)
+        return self
+
+    def advance_time(self, delta: float) -> "BatchedRuntime":
+        """Relative-clock alias of :meth:`step`."""
+        self._lanes.advance_lane(self.lane,
+                                 self._lanes.clock[self.lane] + delta)
+        return self
+
+    def active_configuration(self) -> Tuple[str, ...]:
+        return self._lanes.active_lane_names(self.lane)
+
+    def active_leaf_names(self) -> Tuple[str, ...]:
+        return self._lanes.active_lane_names(self.lane)
+
+    def active_state_names(self) -> Tuple[str, ...]:
+        return self._lanes.active_lane_names(self.lane)
+
+    def in_state(self, name: str) -> bool:
+        names = self._lanes.active_lane_names(self.lane)
+        return bool(names) and names[0] == name
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self._lanes.checkpoint_lane(self.lane)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._lanes.checkpoint_lane(self.lane)
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        self._lanes.restore_lane(self.lane, snap)
+
+    def reset(self) -> "BatchedRuntime":
+        """Back to a pristine unstarted lane (the restart path)."""
+        self._lanes.reset_lane(self.lane)
+        return self
+
+    def __repr__(self) -> str:
+        names = self._lanes.active_lane_names(self.lane)
+        state = names[0] if names else "(unstarted)"
+        return (f"<BatchedRuntime {self._lanes.parts[self.lane]!r} "
+                f"lane={self.lane} state={state} t={self.time}>")

@@ -68,6 +68,10 @@ PART_RESTORED = "part_restored"
 SUPERVISOR_DECISION = "supervisor_decision"
 #: The harness took a periodic per-part recovery checkpoint.
 CHECKPOINT = "checkpoint"
+#: A part requested one engine tier but fell back to another (e.g. the
+#: batched SoA engine degrading to compiled/interpreted for a part with
+#: no identical peers) — degradation is observable, never silent.
+ENGINE_DEGRADED = "engine_degraded"
 
 #: High-frequency kinds emitted from inside the engines; call sites gate
 #: these on :attr:`TraceBus.engine_active`.
@@ -77,7 +81,8 @@ ENGINE_KINDS = (EVENT, TRANSITION, STATE_ENTER, STATE_EXIT, TOKEN)
 #: expand to exactly this tuple).
 KINDS = ENGINE_KINDS + (MESSAGE_ROUTED, MESSAGE_DELIVERED, MESSAGE_DROPPED,
                         FAULT, PART_QUARANTINED, PART_RESTARTED,
-                        PART_RESTORED, SUPERVISOR_DECISION, CHECKPOINT)
+                        PART_RESTORED, SUPERVISOR_DECISION, CHECKPOINT,
+                        ENGINE_DEGRADED)
 
 _ENGINE_KIND_SET = frozenset(ENGINE_KINDS)
 _KIND_SET = frozenset(KINDS)

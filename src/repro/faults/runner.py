@@ -25,7 +25,18 @@ the sweep as robust as the models it is torturing:
   sweeps over the same seeds serialize byte-identically;
 * **graceful degradation** — without usable process support (or with
   ``workers <= 1``) the sweep runs serially in-process through the
-  exact same journal/merge path.
+  exact same journal/merge path;
+* **seed vectorization** — ``run_campaign(vectorize=True)`` parses and
+  compiles the model once, then interleaves *all* seeds through one
+  process: one :class:`~repro.simulation.SystemSimulation` per seed
+  over the shared top, each with its own injector RNG and trace
+  ordinal stream, advanced in segments so the compiled dispatch tables
+  stay hot across seeds.  Rows are byte-identical to a serial sweep.
+
+Before forking workers the parent warms the model and compile caches
+(:func:`_warm_spec`), so on fork-capable hosts every child inherits
+the parsed top and hot dispatch tables instead of re-paying the
+compile cost per seed.
 
 Workers hand results back through temp files renamed into place (never
 queues or pipes, which a SIGKILL can corrupt mid-message): a result
@@ -46,6 +57,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import FaultError, ReproError
+from ..perf import PERF
 from .campaign import FaultCampaign
 from .report import ResilienceReport
 
@@ -72,7 +84,7 @@ class CampaignSpec:
     """
 
     __slots__ = ("model", "top", "builder", "campaign", "seeds", "until",
-                 "quantum", "compiled", "on_part_error",
+                 "quantum", "compiled", "engine", "on_part_error",
                  "checkpoint_interval", "max_restarts", "max_restores",
                  "coverage", "name")
 
@@ -85,6 +97,7 @@ class CampaignSpec:
                  until: float = 100.0,
                  quantum: float = 1.0,
                  compiled: bool = False,
+                 engine: Optional[str] = None,
                  on_part_error: str = "raise",
                  checkpoint_interval: Optional[float] = None,
                  max_restarts: int = 3,
@@ -109,6 +122,10 @@ class CampaignSpec:
             raise FaultError("campaign spec needs at least one seed")
         if len(set(seeds)) != len(seeds):
             raise FaultError(f"duplicate seeds in {seeds}")
+        if engine not in (None, "interpreted", "compiled", "batched"):
+            raise FaultError(
+                f"unknown engine {engine!r}: pick interpreted, "
+                "compiled or batched")
         self.model = model
         self.top = top
         self.builder = builder
@@ -117,6 +134,7 @@ class CampaignSpec:
         self.until = float(until)
         self.quantum = float(quantum)
         self.compiled = bool(compiled)
+        self.engine = engine
         self.on_part_error = on_part_error
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = int(max_restarts)
@@ -166,8 +184,80 @@ class CampaignSpec:
 
 
 # ---------------------------------------------------------------------------
+# model warm-up (shared across seeds, inherited across forks)
+# ---------------------------------------------------------------------------
+
+#: single-entry memo: spec model source -> (top component, campaign).
+_MODEL_CACHE: Dict[Tuple[Any, ...], Tuple[Any, Optional[FaultCampaign]]] = {}
+
+
+def _warm_model(spec: CampaignSpec) -> Tuple[Any, Optional[FaultCampaign]]:
+    """Materialize (once) the top component and fault campaign.
+
+    Every seed of a sweep runs the same model, so parsing the XMI (or
+    calling the builder) per seed is pure overhead.  The memo holds one
+    entry — campaigns don't interleave model sources — and lives at
+    module level so that a parent process warming it *before* forking
+    workers hands every child the already-parsed model for free.
+
+    Sharing is sound because simulations never write to the model:
+    engines copy their initial contexts out of the attribute defaults,
+    and the fault injector keeps its per-run state (RNG, fired counts)
+    on itself, not on the campaign.
+    """
+    key = (spec.model, spec.top, spec.builder, spec.campaign)
+    hit = _MODEL_CACHE.get(key)
+    if hit is None:
+        PERF.incr("campaign.model_builds")
+        hit = (spec.build_top(), spec.load_campaign())
+        _MODEL_CACHE.clear()
+        _MODEL_CACHE[key] = hit
+    else:
+        PERF.incr("campaign.model_warm_hits")
+    return hit
+
+
+def _warm_spec(spec: CampaignSpec) -> None:
+    """Pre-fork warm-up: parse the model and compile every compilable
+    classifier behavior in the parent, so forked workers (and the
+    vectorized runner) start with hot dispatch-table caches."""
+    top, _campaign = _warm_model(spec)
+    if not (spec.compiled or spec.engine in ("compiled", "batched")):
+        return
+    from ..statemachines.flatten import (compile_fallback_reason,
+                                         compile_machine_cached)
+    from ..statemachines.kernel import StateMachine
+
+    seen = set()
+    for part in top.parts:
+        behavior = getattr(part.type, "classifier_behavior", None)
+        if not isinstance(behavior, StateMachine) \
+                or id(behavior) in seen:
+            continue
+        seen.add(id(behavior))
+        if compile_fallback_reason(behavior) is None:
+            compile_machine_cached(behavior)
+
+
+# ---------------------------------------------------------------------------
 # one seed, one process (or inline)
 # ---------------------------------------------------------------------------
+
+def _collect_row(simulation, spec: CampaignSpec, seed: int,
+                 sim_error: str) -> Dict[str, Any]:
+    """Distil one finished simulation into its plain-data journal row."""
+    row: Dict[str, Any] = {"seed": seed}
+    row["messages_delivered"] = simulation.messages_delivered
+    row["messages_dropped"] = simulation.messages_dropped
+    row["quarantined"] = sorted(simulation.quarantined_parts)
+    row["resilience"] = simulation.resilience.to_dict()
+    if spec.coverage:
+        row["coverage"] = \
+            simulation.observability.coverage_report().to_dict()
+    if sim_error:
+        row["sim_error"] = sim_error
+    return row
+
 
 def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
     """Run one seed of the campaign and return its plain-data row.
@@ -181,12 +271,11 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
     """
     from ..simulation import SystemSimulation
 
-    top = spec.build_top()
-    campaign = spec.load_campaign()
-    row: Dict[str, Any] = {"seed": seed}
+    top, campaign = _warm_model(spec)
     sim_error = ""
     with SystemSimulation(top, quantum=spec.quantum,
                           compile=spec.compiled,
+                          engine=spec.engine,
                           faults=campaign, fault_seed=seed,
                           on_part_error=spec.on_part_error,
                           max_restarts=spec.max_restarts,
@@ -197,15 +286,7 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
             simulation.run(until=spec.until)
         except ReproError as error:
             sim_error = f"{type(error).__name__}: {error}"
-        row["messages_delivered"] = simulation.messages_delivered
-        row["messages_dropped"] = simulation.messages_dropped
-        row["quarantined"] = sorted(simulation.quarantined_parts)
-        row["resilience"] = simulation.resilience.to_dict()
-        if spec.coverage:
-            row["coverage"] = \
-                simulation.observability.coverage_report().to_dict()
-    if sim_error:
-        row["sim_error"] = sim_error
+        row = _collect_row(simulation, spec, seed, sim_error)
     return row
 
 
@@ -397,21 +478,30 @@ def run_campaign(spec: CampaignSpec,
                  run_timeout: Optional[float] = None,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 vectorize: bool = False,
                  ) -> CampaignResult:
     """Sweep every seed of ``spec``, robustly.
 
     ``workers`` > 1 fans seeds over that many processes (0/1, or a host
-    without multiprocessing, runs serially in-process).  ``journal``
-    appends a JSONL row per finished seed; ``resume=True`` first reads
-    it back and re-runs only the seeds without an ``ok`` row.  The
-    returned :class:`CampaignResult` serializes identically however the
-    sweep was executed or interrupted, as long as the same seeds
-    completed.
+    without multiprocessing, runs serially in-process; the parent warms
+    the model and compile caches before forking so children inherit
+    them).  ``vectorize=True`` instead interleaves all seeds through
+    one process over a single parsed/compiled model — usually the
+    fastest option when per-seed runs are short, and byte-identical to
+    a serial sweep.  ``journal`` appends a JSONL row per finished seed;
+    ``resume=True`` first reads it back and re-runs only the seeds
+    without an ``ok`` row.  The returned :class:`CampaignResult`
+    serializes identically however the sweep was executed or
+    interrupted, as long as the same seeds completed.
     """
     if run_timeout is not None and run_timeout <= 0:
         raise FaultError(f"run_timeout must be positive, got {run_timeout}")
     if max_retries < 0:
         raise FaultError(f"max_retries cannot be negative, got {max_retries}")
+    if vectorize and workers > 1:
+        raise FaultError(
+            "vectorize=True runs all seeds in-process; "
+            "it cannot be combined with workers > 1")
     completed: Dict[int, Dict[str, Any]] = {}
     resumed: List[int] = []
     if journal and resume and os.path.exists(journal):
@@ -434,21 +524,27 @@ def run_campaign(spec: CampaignSpec,
             _journal_append(journal_handle,
                             {"status": "header", "spec": spec.to_dict()})
     try:
-        parallel = workers > 1 and len(todo) > 1 and _processes_usable()
+        parallel = (not vectorize and workers > 1 and len(todo) > 1
+                    and _processes_usable())
         if parallel:
+            _warm_spec(spec)  # children fork with hot model/compile caches
             rows, failures = _run_parallel(
                 spec, todo, workers, journal_handle, run_timeout,
                 max_retries, retry_backoff)
+        elif vectorize:
+            rows, failures = _run_vectorized(spec, todo, journal_handle)
         else:
             rows, failures = _run_serial(spec, todo, journal_handle)
     finally:
         if journal_handle is not None:
             journal_handle.close()
     rows.extend(completed.values())
+    mode = ("parallel" if parallel
+            else "vectorized" if vectorize else "serial")
     return CampaignResult(spec.name, rows, failures=failures,
                           resumed_seeds=resumed,
                           workers_used=workers if parallel else 1,
-                          mode="parallel" if parallel else "serial")
+                          mode=mode)
 
 
 def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle
@@ -462,6 +558,81 @@ def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle
             _journal_append(journal_handle,
                             {"status": "ok", "seed": seed, "attempt": 1,
                              "row": row})
+    return rows, []
+
+
+#: Number of time segments the vectorized runner interleaves seeds over.
+VECTOR_SEGMENTS = 8
+
+
+def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
+                    ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """All seeds interleaved through one process over one parsed model.
+
+    One :class:`~repro.simulation.SystemSimulation` per seed is built
+    over the *shared* warm top — each with its own kernel, trace bus
+    (own ordinal stream) and fault-injector RNG — then all of them are
+    advanced in lockstep over :data:`VECTOR_SEGMENTS` fixed time
+    boundaries.  Interleaving keeps every seed's working set warm in
+    the shared compiled dispatch tables, which is where the campaign
+    wins its wall-clock over a fork-per-seed pool on short runs.
+
+    Per-seed semantics replicate :func:`run_seed` exactly — the same
+    ``_arm_run``/kernel-run/``_finish_run`` sequence, the same error
+    capture (a deterministic in-simulation error deactivates only its
+    own seed and lands in that row's ``sim_error``) — so the rows, and
+    therefore the merged report, are byte-identical to a serial sweep.
+    """
+    from ..simulation import SystemSimulation
+
+    _warm_spec(spec)
+    top, campaign = _warm_model(spec)
+    #: [seed, simulation, sim_error] — error marks the lane finished
+    lanes: List[List[Any]] = []
+    try:
+        for seed in todo:
+            simulation = SystemSimulation(
+                top, quantum=spec.quantum,
+                compile=spec.compiled,
+                engine=spec.engine,
+                faults=campaign, fault_seed=seed,
+                on_part_error=spec.on_part_error,
+                max_restarts=spec.max_restarts,
+                max_restores=spec.max_restores,
+                checkpoint_interval=spec.checkpoint_interval,
+                coverage=spec.coverage)
+            simulation._arm_run(spec.until)
+            lanes.append([seed, simulation, ""])
+        PERF.incr("campaign.vectorized_seeds", len(lanes))
+        for segment in range(1, VECTOR_SEGMENTS + 1):
+            boundary = spec.until * segment / VECTOR_SEGMENTS
+            for lane in lanes:
+                if lane[2]:
+                    continue
+                try:
+                    lane[1].simulator.run(until=boundary)
+                except ReproError as error:
+                    lane[1]._handle_run_error(error)
+                    lane[2] = f"{type(error).__name__}: {error}"
+        for lane in lanes:
+            if lane[2]:
+                continue
+            try:
+                lane[1]._finish_run(spec.until)
+            except ReproError as error:
+                lane[1]._handle_run_error(error)
+                lane[2] = f"{type(error).__name__}: {error}"
+        rows: List[Dict[str, Any]] = []
+        for seed, simulation, sim_error in lanes:
+            row = _collect_row(simulation, spec, seed, sim_error)
+            rows.append(row)
+            if journal_handle is not None:
+                _journal_append(journal_handle,
+                                {"status": "ok", "seed": seed,
+                                 "attempt": 1, "row": row})
+    finally:
+        for _seed, simulation, _error in lanes:
+            simulation.close()
     return rows, []
 
 

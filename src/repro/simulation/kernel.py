@@ -196,6 +196,29 @@ class Simulator:
         self._seq = seq = self._seq + 1
         heapq.heappush(self._queue, (self.now + delay, seq, action, None))
 
+    def schedule_call(self, delay: float, action: Callable[[Any], None],
+                      payload: Any) -> None:
+        """Run ``action(payload)`` after ``delay`` simulated time.
+
+        Like :meth:`schedule`, but the payload rides in the (previously
+        unused) fourth slot of the heap entry instead of a closure — the
+        fused-delivery fast path schedules thousands of these without
+        allocating a function object per event.  ``payload`` must not be
+        None (a None payload is the zero-argument convention).
+        """
+        if self._closed:
+            raise SimulationError("cannot schedule on a closed simulator")
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        if payload is None:
+            raise SimulationError("schedule_call needs a non-None payload")
+        if self.max_queue is not None \
+                and len(self._queue) >= self.max_queue \
+                and not self._admit_over_capacity():
+            return
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, action, payload))
+
     def _admit_over_capacity(self) -> bool:
         """Apply the overflow policy; True when the new event may enter."""
         policy = self.overflow_policy
@@ -290,12 +313,15 @@ class Simulator:
         """Process the next scheduled action; False when queue is empty."""
         if not self._queue:
             return False
-        time, _seq, action, _payload = heapq.heappop(self._queue)
+        time, _seq, action, payload = heapq.heappop(self._queue)
         if time < self.now:
             raise SimulationError("scheduler time went backwards")
         self.now = time
         self.events_processed += 1
-        action()
+        if payload is None:
+            action()
+        else:
+            action(payload)
         return True
 
     def run(self, until: Optional[float] = None,

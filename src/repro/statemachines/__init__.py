@@ -34,9 +34,11 @@ from .flatten import (
     FlatStateMachine,
     compile_fallback_reason,
     compile_machine,
+    compile_machine_cached,
     default_alphabet,
     flatten,
 )
+from .soa import SoaLanes
 from .compose import clone_machine, connection_point, inline_submachine
 from . import analysis
 
@@ -47,7 +49,9 @@ __all__ = [
     "StateMachine", "Transition", "TransitionKind", "Vertex",
     "ELSE_GUARD", "StateMachineRuntime",
     "CompiledMachine", "CompiledRuntime", "FlatStateMachine",
+    "SoaLanes",
     "compile_fallback_reason", "compile_machine",
+    "compile_machine_cached",
     "default_alphabet", "flatten",
     "clone_machine", "connection_point", "inline_submachine",
     "analysis",

@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..asl import SentSignal
 from ..errors import AslRuntimeError, ReproError, StateMachineError
 from ..perf import PERF
 from .events import ChangeEvent, EventKind, EventOccurrence, TimeEvent
@@ -389,11 +390,15 @@ class CompiledTransition:
 class CompiledState:
     """A state with precompiled entry/exit actions and dispatch tables."""
 
-    __slots__ = ("name", "entry", "do_activity", "exit", "by_key",
+    __slots__ = ("name", "index", "entry", "do_activity", "exit", "by_key",
                  "by_timer", "timer_specs")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, index: int = -1):
         self.name = name
+        #: position in the owning machine's ``state_order`` (the
+        #: index-addressable handle the SoA batched runtime stores in its
+        #: active-state array instead of an object reference)
+        self.index = index
         self.entry: Optional[Callable] = None
         self.do_activity: Optional[Callable] = None
         self.exit: Optional[Callable] = None
@@ -411,7 +416,8 @@ class CompiledState:
 class CompiledMachine:
     """The immutable compile artifact: share one across many runtimes."""
 
-    __slots__ = ("machine", "states", "initial_state", "initial_effect")
+    __slots__ = ("machine", "states", "state_order", "state_index",
+                 "initial_state", "initial_effect")
 
     def __init__(self, machine: StateMachine,
                  states: Dict[str, CompiledState],
@@ -419,6 +425,14 @@ class CompiledMachine:
                  initial_effect: Optional[Callable]):
         self.machine = machine
         self.states = states
+        #: states in declaration order — ``state_order[s.index] is s``,
+        #: so an active configuration is addressable by a plain integer
+        #: (what the batched SoA runtime keeps per lane)
+        self.state_order: Tuple[CompiledState, ...] = tuple(
+            sorted(states.values(), key=lambda s: s.index))
+        #: state name -> index into :attr:`state_order`
+        self.state_index: Dict[str, int] = {
+            s.name: s.index for s in self.state_order}
         self.initial_state = initial_state
         self.initial_effect = initial_effect
 
@@ -493,8 +507,8 @@ def compile_machine(machine: StateMachine) -> CompiledMachine:
         ordered = machine.all_transitions()
         cstates: Dict[int, CompiledState] = {}
         by_name: Dict[str, CompiledState] = {}
-        for state in machine.all_states():
-            cstate = CompiledState(state.name)
+        for position, state in enumerate(machine.all_states()):
+            cstate = CompiledState(state.name, position)
             cstate.entry = _compile_action(state.entry)
             cstate.do_activity = _compile_action(state.do_activity)
             cstate.exit = _compile_action(state.exit)
@@ -538,6 +552,35 @@ def compile_machine(machine: StateMachine) -> CompiledMachine:
 
     PERF.incr("sm.machines_compiled")
     return CompiledMachine(machine, by_name, initial_state, initial_effect)
+
+
+#: id(machine) -> (machine, generation, CompiledMachine).  The strong
+#: machine reference keeps the id stable for the cache entry's lifetime.
+_COMPILE_CACHE: Dict[int, Tuple[StateMachine, int, CompiledMachine]] = {}
+_COMPILE_CACHE_MAX = 256
+
+
+def compile_machine_cached(machine: StateMachine) -> CompiledMachine:
+    """Memoized :func:`compile_machine`, invalidated by model mutation.
+
+    Keyed on identity plus the element tree's generation counter, so a
+    machine edited after compilation recompiles while N identical part
+    instances (and N campaign seeds over one parsed model) share a
+    single dispatch table — the warm-compile path of batched execution
+    and the pre-fork campaign warm-up.
+    """
+    key = id(machine)
+    generation = machine.generation
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None and hit[0] is machine and hit[1] == generation:
+        PERF.incr("sm.compile_cache_hits")
+        return hit[2]
+    compiled = compile_machine(machine)
+    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.clear()
+    _COMPILE_CACHE[key] = (machine, generation, compiled)
+    PERF.incr("sm.compile_cache_misses")
+    return compiled
 
 
 class CompiledRuntime:
@@ -702,8 +745,6 @@ class CompiledRuntime:
 
     def _emit(self, signal: str, target: Any = None, **arguments: Any) -> None:
         """Target of transpiled ``send`` statements."""
-        from ..asl import SentSignal
-
         if self.signal_sink is not None:
             self.signal_sink(SentSignal(signal, arguments, target))
 

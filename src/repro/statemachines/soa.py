@@ -1,0 +1,339 @@
+"""Structure-of-arrays storage for batches of identical compiled machines.
+
+PR 1 made a single machine fast (dispatch tables, precompiled
+closures); this module makes *N identical part instances* fast.  A SoC
+model instantiates the same IP block many times — eight traffic
+generators, eight memories — and every instance shares one
+:class:`~repro.statemachines.flatten.CompiledMachine`.  Instead of N
+:class:`~repro.statemachines.flatten.CompiledRuntime` objects, a
+:class:`SoaLanes` keeps the per-instance execution state in parallel
+arrays indexed by *lane*:
+
+* ``state_idx[i]`` — the active state as an integer index into the
+  shared ``CompiledMachine.state_order`` (index-addressable state);
+* ``clock[i]`` / ``next_due[i]`` — the lane-local clock and its
+  earliest timer deadline (``inf`` when no timer is armed), so a whole
+  batch answers "anything due before t?" with one C-level ``min``;
+* ``contexts[i]``, ``timers[i]``, ``queues[i]``, ... — the rest of the
+  per-instance state, one slot per lane.
+
+Semantics are *by construction* identical to ``CompiledRuntime``: the
+lane operations run the very same precompiled guard/effect closures,
+in the same order, with the same environment-copy discipline, and emit
+the same trace events (kinds as literal strings — this module, like
+``flatten``, never imports :mod:`repro.engine`).  The lockstep test
+suite pins batched == compiled == interpreted byte-for-byte.
+
+The closure calling convention (``guard(runtime, env, occurrence)`` /
+``effect(runtime, occurrence)``) expects a runtime object carrying
+``context``/``time``/``signal_sink``/``_globals``.  ``SoaLanes`` plays
+that role itself as a *cursor*: before running a lane's closures it
+points its ``context``/``time``/``signal_sink`` attributes at the
+lane's slots.  Execution is single-threaded and lane dispatch never
+nests (an effect's ``send`` only schedules — it never runs another
+lane inline), so one cursor serves the whole batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..asl import SentSignal
+from ..errors import StateMachineError
+from .events import EventKind, EventOccurrence, TimeEvent
+from .flatten import _BASE_GLOBALS, CompiledMachine, CompiledState
+
+_INF = float("inf")
+
+
+class SoaLanes:
+    """Parallel-array execution state for N lanes of one compiled machine."""
+
+    __slots__ = (
+        "compiled", "trace_bus",
+        # parallel per-lane arrays
+        "state_idx", "clock", "next_due", "terminated", "started",
+        "contexts", "sinks", "timers", "timer_seq", "queues", "draining",
+        "parts", "initial_contexts",
+        # cursor fields: valid only while a lane's closures execute
+        "context", "time", "signal_sink",
+        "_globals", "_states",
+    )
+
+    def __init__(self, compiled: CompiledMachine, trace_bus: Any = None):
+        self.compiled = compiled
+        self.trace_bus = trace_bus
+        self.state_idx: List[int] = []      # -1 = no active state
+        self.clock: List[float] = []
+        self.next_due: List[float] = []
+        self.terminated: List[bool] = []
+        self.started: List[bool] = []
+        self.contexts: List[Dict[str, Any]] = []
+        self.sinks: List[Optional[Callable]] = []
+        #: per lane: live timers as (due, seq, TimeEvent)
+        self.timers: List[List[Tuple[float, int, TimeEvent]]] = []
+        self.timer_seq: List[int] = []
+        self.queues: List[deque] = []
+        self.draining: List[bool] = []
+        #: per lane: part name stamped on trace events
+        self.parts: List[str] = []
+        self.initial_contexts: List[Dict[str, Any]] = []
+        self.context: Dict[str, Any] = {}
+        self.time: float = 0.0
+        self.signal_sink: Optional[Callable] = None
+        self._globals = dict(_BASE_GLOBALS)
+        self._globals["_send"] = self._emit
+        self._states: Tuple[CompiledState, ...] = compiled.state_order
+
+    @property
+    def width(self) -> int:
+        """Number of lanes in the batch."""
+        return len(self.clock)
+
+    def add_lane(self, context: Optional[Dict[str, Any]],
+                 sink: Optional[Callable], part_name: str) -> int:
+        """Append a fresh, unstarted lane; returns its index."""
+        self.state_idx.append(-1)
+        self.clock.append(0.0)
+        self.next_due.append(_INF)
+        self.terminated.append(False)
+        self.started.append(False)
+        self.contexts.append(dict(context or {}))
+        self.sinks.append(sink)
+        self.timers.append([])
+        self.timer_seq.append(0)
+        self.queues.append(deque())
+        self.draining.append(False)
+        self.parts.append(part_name)
+        self.initial_contexts.append(dict(context or {}))
+        return len(self.clock) - 1
+
+    # -- batch-level fast paths -------------------------------------------
+
+    def min_due(self) -> float:
+        """Earliest timer deadline across every lane (``inf`` if none)."""
+        return min(self.next_due) if self.next_due else _INF
+
+    def bulk_clock(self, now: float) -> None:
+        """Advance every lagging lane clock to ``now`` without stepping.
+
+        Only valid when ``min_due() > now``: with no due timer, a
+        serial per-lane ``step(now)`` would fire nothing and emit
+        nothing, so a plain clock assignment is observably identical
+        regardless of lane order.
+        """
+        clock = self.clock
+        for i, t in enumerate(clock):
+            if t < now:
+                clock[i] = now
+
+    # -- lane operations (CompiledRuntime semantics) ----------------------
+
+    def start_lane(self, i: int) -> None:
+        if self.started[i]:
+            raise StateMachineError("runtime already started")
+        self.started[i] = True
+        self.context = self.contexts[i]
+        self.time = self.clock[i]
+        self.signal_sink = self.sinks[i]
+        effect = self.compiled.initial_effect
+        if effect is not None:
+            effect(self, None)
+        self._enter_lane(i, self.compiled.initial_state, None)
+        self._recompute_due(i)
+
+    def send_lane(self, i: int, signal: str,
+                  arguments: Dict[str, Any]) -> None:
+        """Deliver a signal occurrence and run the lane to completion."""
+        self.dispatch_lane(
+            i, EventOccurrence(signal, EventKind.SIGNAL, arguments))
+
+    def dispatch_lane(self, i: int, occurrence: EventOccurrence) -> None:
+        if not self.started[i]:
+            raise StateMachineError("call start() before dispatching events")
+        queue = self.queues[i]
+        if self.draining[i]:
+            queue.append(occurrence)
+            return  # re-entrant dispatch from an action: queue only
+        self.draining[i] = True
+        try:
+            if queue:  # leftovers (restored snapshot) go first, in order
+                queue.append(occurrence)
+            else:
+                self._rtc_lane(i, occurrence)
+            while queue:
+                self._rtc_lane(i, queue.popleft())
+        finally:
+            self.draining[i] = False
+            self._recompute_due(i)
+
+    def advance_lane(self, i: int, deadline: float) -> None:
+        """Advance lane ``i`` to *absolute* time ``deadline``, firing due
+        timers in (due, seq) order — ``CompiledRuntime.step`` semantics."""
+        if deadline <= self.clock[i]:
+            return
+        if not self.started[i]:
+            raise StateMachineError("call start() before dispatching events")
+        if self.next_due[i] > deadline:
+            self.clock[i] = deadline
+            return
+        timers = self.timers[i]
+        while True:
+            best = None
+            for timer in timers:
+                if timer[0] <= deadline and (best is None or timer < best):
+                    best = timer
+            if best is None:
+                break
+            timers.remove(best)
+            self.clock[i] = best[0]
+            event = best[2]
+            self.dispatch_lane(i, EventOccurrence(event.name, EventKind.TIME,
+                                                  source=event))
+            timers = self.timers[i]
+        self.clock[i] = deadline
+        self._recompute_due(i)
+
+    # -- checkpoint / restore / reset -------------------------------------
+
+    def checkpoint_lane(self, i: int) -> Dict[str, Any]:
+        """One lane's state, in ``CompiledRuntime.snapshot`` form."""
+        index = self.state_idx[i]
+        return {
+            "state": self._states[index].name if index >= 0 else None,
+            "timers": list(self.timers[i]),
+            "timer_seq": self.timer_seq[i],
+            "time": self.clock[i],
+            "terminated": self.terminated[i],
+            "context": dict(self.contexts[i]),
+            "started": self.started[i],
+            "queue": list(self.queues[i]),
+        }
+
+    def restore_lane(self, i: int, snap: Dict[str, Any]) -> None:
+        name = snap["state"]
+        self.state_idx[i] = (self.compiled.state_index[name]
+                             if name is not None else -1)
+        self.timers[i] = list(snap["timers"])
+        self.timer_seq[i] = snap["timer_seq"]
+        self.clock[i] = snap["time"]
+        self.terminated[i] = snap["terminated"]
+        self.contexts[i] = dict(snap["context"])
+        self.started[i] = snap["started"]
+        self.queues[i] = deque(snap.get("queue", ()))
+        self._recompute_due(i)
+
+    def reset_lane(self, i: int) -> None:
+        """Back to a pristine, unstarted lane (the restart path)."""
+        self.state_idx[i] = -1
+        self.clock[i] = 0.0
+        self.next_due[i] = _INF
+        self.terminated[i] = False
+        self.started[i] = False
+        self.contexts[i] = dict(self.initial_contexts[i])
+        self.timers[i] = []
+        self.timer_seq[i] = 0
+        self.queues[i] = deque()
+        self.draining[i] = False
+
+    def active_lane_names(self, i: int) -> Tuple[str, ...]:
+        index = self.state_idx[i]
+        return (self._states[index].name,) if index >= 0 else ()
+
+    # -- machinery ---------------------------------------------------------
+
+    def _emit(self, signal: str, target: Any = None,
+              **arguments: Any) -> None:
+        """Target of transpiled ``send`` statements (cursor-routed)."""
+        sink = self.signal_sink
+        if sink is not None:
+            sink(SentSignal(signal, arguments, target))
+
+    def _rtc_lane(self, i: int, occurrence: EventOccurrence) -> bool:
+        """One run-to-completion step for lane ``i`` (CompiledRuntime._rtc)."""
+        now = self.clock[i]
+        bus = self.trace_bus
+        tracing = bus is not None and bus.engine_active
+        part = self.parts[i]
+        if tracing:
+            bus.emit("event", now, part, {"event": occurrence.name})
+        index = self.state_idx[i]
+        if index < 0:
+            return False
+        state = self._states[index]
+        if occurrence.kind is EventKind.TIME:
+            candidates = state.by_timer.get(id(occurrence.source))
+        else:
+            candidates = state.by_key.get((occurrence.kind, occurrence.name))
+        if not candidates:
+            return False
+        # point the closure cursor at this lane
+        context = self.contexts[i]
+        self.context = context
+        self.time = now
+        self.signal_sink = self.sinks[i]
+        if len(candidates) == 1 and candidates[0].guard is None:
+            enabled = candidates
+        else:
+            env = dict(context)
+            env["event"] = dict(occurrence.parameters)
+            env["event_name"] = occurrence.name
+            env["now"] = now
+            enabled = [candidate for candidate in candidates
+                       if candidate.guard is None
+                       or candidate.guard(self, env, occurrence)]
+        fired = False
+        for candidate in enabled:
+            fired = True
+            if tracing:
+                bus.emit("transition", now, part,
+                         {"source": candidate.source_name,
+                          "target": candidate.target.name,
+                          "event": occurrence.name})
+            effect = candidate.effect
+            if candidate.internal:
+                if effect is not None:
+                    effect(self, occurrence)
+                continue
+            exit_action = state.exit
+            if exit_action is not None:
+                exit_action(self, occurrence)
+            if tracing:
+                bus.emit("state_exit", now, part, {"state": state.name})
+            self.timers[i].clear()
+            if effect is not None:
+                effect(self, occurrence)
+            self._enter_lane(i, candidate.target, occurrence)
+            break
+        return fired
+
+    def _enter_lane(self, i: int, state: CompiledState,
+                    occurrence: Optional[EventOccurrence]) -> None:
+        self.state_idx[i] = state.index
+        bus = self.trace_bus
+        if bus is not None and bus.engine_active:
+            bus.emit("state_enter", self.clock[i], self.parts[i],
+                     {"state": state.name})
+        if state.entry is not None:
+            state.entry(self, occurrence)
+        if state.do_activity is not None:
+            state.do_activity(self, occurrence)
+        if state.timer_specs:
+            now = self.clock[i]
+            seq = self.timer_seq[i]
+            timers = self.timers[i]
+            for after, event in state.timer_specs:
+                seq += 1
+                timers.append((now + after, seq, event))
+            self.timer_seq[i] = seq
+
+    def _recompute_due(self, i: int) -> None:
+        timers = self.timers[i]
+        # (due, seq, event) tuples order by due first, so min() of the
+        # tuples yields the earliest deadline without a genexpr
+        self.next_due[i] = min(timers)[0] if timers else _INF
+
+    def __repr__(self) -> str:
+        return (f"<SoaLanes {self.compiled.machine.name!r} "
+                f"lanes={len(self.clock)}>")

@@ -1,0 +1,303 @@
+"""Batched execution (PR 6): the SoA runtime's lockstep guarantee.
+
+One batch group steps N identical parts through one shared compiled
+dispatch table; the fused delivery path drains same-timestamp messages
+to a group in one sweep.  None of that may be observable: a batched
+run must produce byte-identical trace streams, observability
+artifacts, checkpoints and campaign rows to a serial compiled (and
+therefore interpreted) run of the same model — plain, under fault
+campaigns, with subscribers attached, and across checkpoint/restore.
+Heterogeneous parts degrade to their serial engine, announced by
+``engine_degraded`` trace events, and those events are the *only*
+permitted divergence.
+"""
+
+import json
+
+import pytest
+
+import repro.metamodel as mm
+from repro.engine import ENGINE_DEGRADED, TraceBus, TraceRecorder
+from repro.errors import FaultError
+from repro.faults import (
+    CampaignSpec,
+    FaultCampaign,
+    FaultSpec,
+    run_campaign,
+)
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.simulation import SystemSimulation
+
+ENGINES = ("interpreted", "compiled", "batched")
+
+
+def replicated_top(pairs=4):
+    """N point-to-point cpu↔ram channels sharing two Components — a
+    fully homogeneous top (every part batches, so batched runs owe
+    byte-identical streams, with no degradation events at all)."""
+    cpu = make_traffic_generator("Cpu", period=2.0, address_range=0x1000)
+    ram = make_memory("Ram", size_bytes=0x800)
+    top = mm.Component("Soc")
+    for index in range(pairs):
+        cpu_part = top.add_part(f"cpu{index}", cpu)
+        ram_part = top.add_part(f"ram{index}", ram)
+        top.connect(cpu.port("bus"), ram.port("bus"),
+                    cpu_part, ram_part, check=False)
+    return top
+
+
+def singleton_top():
+    """Every population has one member (including the generated bus):
+    nothing can batch."""
+    cpu = make_traffic_generator("Cpu", period=2.0, address_range=0x1000)
+    ram = make_memory("Ram", size_bytes=0x800)
+    return make_soc("Soc", masters=[cpu], slaves=[(ram, "bus", 0, 0x800)])
+
+
+def campaign(seed=1234):
+    return FaultCampaign(
+        [FaultSpec("drop", signal="ReadResp", probability=0.25),
+         FaultSpec("delay", signal="WriteAck", delay=3.0, jitter=2.0,
+                   probability=0.3)],
+        name="lockstep", seed=seed)
+
+
+def full_trace(engine, until=80.0, top=None, faults=None, seed=None,
+               **kwargs):
+    """One traced run; returns (recorder, end-of-run stats)."""
+    bus = TraceBus()
+    recorder = TraceRecorder(bus)
+    with SystemSimulation(top if top is not None else replicated_top(),
+                          engine=engine, bus=bus, faults=faults,
+                          fault_seed=seed, **kwargs) as sim:
+        sim.run(until=until)
+        stats = sim.stats()
+    return recorder, stats
+
+
+class TestThreeEngineLockstep:
+    def test_plain_byte_identical(self):
+        streams = {engine: full_trace(engine)[0].to_jsonl()
+                   for engine in ENGINES}
+        assert streams["interpreted"], "trace must not be empty"
+        assert streams["interpreted"] == streams["compiled"] \
+            == streams["batched"]
+
+    def test_kernel_event_parity(self):
+        # fused dispatch coalesces deliveries but must account for
+        # them: one kernel event per message, same as serial
+        counts = {engine: full_trace(engine)[1]["kernel_events"]
+                  for engine in ENGINES}
+        assert counts["interpreted"] == counts["compiled"] \
+            == counts["batched"] > 0
+
+    def test_batched_actually_batches(self):
+        recorder, stats = full_trace("batched")
+        assert stats["mode"] == "batched"
+        assert stats["batched_parts"] == 8  # 4 cpus + 4 rams
+        assert stats["batch_groups"] == 2
+        assert not any(event.kind == ENGINE_DEGRADED
+                       for event in recorder.events)
+
+    def test_under_fault_campaign_byte_identical(self):
+        streams = {
+            engine: full_trace(engine, faults=campaign(), seed=7)[0]
+            for engine in ENGINES}
+        jsonl = {engine: recorder.to_jsonl()
+                 for engine, recorder in streams.items()}
+        assert jsonl["interpreted"] == jsonl["compiled"] \
+            == jsonl["batched"]
+        assert any(event.kind == "fault"
+                   for event in streams["batched"].events)
+
+    def test_rerun_determinism(self):
+        assert full_trace("batched")[0].to_jsonl() \
+            == full_trace("batched")[0].to_jsonl()
+
+    def test_different_fault_seeds_diverge(self):
+        # sanity: the equalities above are not vacuous
+        one = full_trace("batched", faults=campaign(), seed=1)[0]
+        two = full_trace("batched", faults=campaign(), seed=2)[0]
+        assert one.to_jsonl() != two.to_jsonl()
+
+
+class TestWithObservers:
+    """Coverage, profiler and flight recorder riding on a batched run."""
+
+    @staticmethod
+    def observe(engine, until=100.0, faults=None, seed=None):
+        with SystemSimulation(replicated_top(), engine=engine,
+                              faults=faults, fault_seed=seed,
+                              coverage=True, profile=True,
+                              flight_recorder=128) as sim:
+            sim.run(until=until)
+            suite = sim.observability
+            return {
+                "coverage": suite.coverage_report().to_json(indent=2),
+                "profile": "\n".join(suite.profile_lines("steps")),
+                "flight": suite.recorder.dump_text(
+                    sim, reason="lockstep", detail="end-of-run"),
+            }
+
+    def test_artifacts_byte_identical(self):
+        compiled = self.observe("compiled")
+        batched = self.observe("batched")
+        assert compiled == batched
+        assert '"total_percent"' in batched["coverage"]
+        assert batched["profile"]
+
+    def test_artifacts_byte_identical_under_faults(self):
+        assert self.observe("compiled", faults=campaign(), seed=7) \
+            == self.observe("batched", faults=campaign(), seed=7)
+
+
+class TestHeterogeneousDegradation:
+    def test_singletons_degrade_with_trace_events(self):
+        recorder, stats = full_trace("batched", top=singleton_top())
+        degraded = [event for event in recorder.events
+                    if event.kind == ENGINE_DEGRADED]
+        assert {event.part for event in degraded} \
+            == {"bus", "m0_cpu", "s0_ram"}
+        for event in degraded:
+            assert "batch_min" in event.data["reason"]
+            assert event.t == 0.0
+        assert stats["batched_parts"] == 0
+        assert stats["batch_groups"] == 0
+
+    def test_degraded_run_matches_compiled_modulo_announcements(self):
+        # engine_degraded events consume ordinals; everything else in
+        # the stream must be identical once they are filtered out
+        compiled, _ = full_trace("compiled", top=singleton_top())
+        batched, _ = full_trace("batched", top=singleton_top())
+        reference = [event.to_dict() for event in compiled.events]
+        filtered = [event.to_dict() for event in batched.events
+                    if event.kind != ENGINE_DEGRADED]
+        for event in reference + filtered:
+            event.pop("ordinal")
+        assert reference == filtered
+
+    def test_batch_min_raises_the_bar(self):
+        _, stats = full_trace("batched", batch_min=8)
+        assert stats["batched_parts"] == 0  # each population is only 4
+
+    def test_bad_engine_and_batch_min_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            SystemSimulation(replicated_top(), engine="warp")
+        with pytest.raises(SimulationError):
+            SystemSimulation(replicated_top(), engine="batched",
+                             batch_min=1)
+
+
+class TestCheckpointRestore:
+    def test_mid_flight_batch_round_trip(self):
+        sim = SystemSimulation(replicated_top(), engine="batched",
+                               faults=campaign(), fault_seed=11)
+        sim.run(until=40.0)
+        snap = sim.checkpoint()
+        assert "batched" in snap and len(snap["batched"]) == 2
+        states = sim.state_snapshot()
+        log_len = len(sim.message_log)
+        sim.run(until=120.0)
+        assert len(sim.message_log) > log_len
+        sim.restore(snap)
+        assert sim.simulator.now == 40.0
+        assert sim.state_snapshot() == states
+        assert len(sim.message_log) == log_len
+
+        # replay from the checkpoint matches an uninterrupted serial run
+        sim.run(until=120.0)
+        reference = SystemSimulation(replicated_top(), compile=True,
+                                     faults=campaign(), fault_seed=11)
+        reference.run(until=120.0)
+        assert sim.message_log == reference.message_log
+        assert sim.state_snapshot() == reference.state_snapshot()
+        assert sim.resilience.to_json() == reference.resilience.to_json()
+        sim.close()
+        reference.close()
+
+    def test_lane_contexts_restore(self):
+        sim = SystemSimulation(replicated_top(), engine="batched")
+        sim.run(until=30.0)
+        snap = sim.checkpoint()
+        issued = sim.context_of("cpu0")["issued"]
+        sim.run(until=60.0)
+        assert sim.context_of("cpu0")["issued"] > issued
+        sim.restore(snap)
+        assert sim.context_of("cpu0")["issued"] == issued
+        sim.close()
+
+
+class TestVectorizedCampaign:
+    @pytest.fixture()
+    def spec_files(self, tmp_path):
+        import repro.metamodel as mm
+        from repro import xmi
+
+        model = mm.Model("design")
+        package = model.create_package("design")
+        cpu = make_traffic_generator("Cpu", period=2.0,
+                                     address_range=0x1000)
+        ram = make_memory("Ram", size_bytes=0x800)
+        make_soc("Soc", masters=[cpu] * 2,
+                 slaves=[(ram, "bus", 0, 0x400),
+                         (ram, "bus", 0x400, 0x400)],
+                 package=package)
+        model_path = tmp_path / "soc.xmi"
+        xmi.write_file(str(model_path), model)
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(campaign().to_json())
+        return str(model_path), str(campaign_path)
+
+    @staticmethod
+    def make_spec(spec_files, **kwargs):
+        model_path, campaign_path = spec_files
+        options = dict(seeds=(1, 2, 3, 4), model=model_path,
+                       top="design::Soc", campaign=campaign_path,
+                       until=40.0, coverage=True, name="sweep")
+        options.update(kwargs)
+        return CampaignSpec(**options)
+
+    def test_vectorized_rows_byte_identical_to_serial(self, spec_files):
+        serial = run_campaign(self.make_spec(spec_files, compiled=True))
+        vectorized = run_campaign(
+            self.make_spec(spec_files, compiled=True), vectorize=True)
+        assert serial.mode == "serial"
+        assert vectorized.mode == "vectorized"
+        assert serial.to_json() == vectorized.to_json()
+
+    def test_batched_vectorized_matches_compiled_serial(self, spec_files):
+        serial = run_campaign(self.make_spec(spec_files, compiled=True))
+        vectorized = run_campaign(
+            self.make_spec(spec_files, engine="batched"), vectorize=True)
+        assert serial.to_json() == vectorized.to_json()
+
+    def test_journals_byte_identical(self, spec_files, tmp_path):
+        serial_journal = str(tmp_path / "serial.jsonl")
+        vector_journal = str(tmp_path / "vector.jsonl")
+        run_campaign(self.make_spec(spec_files, compiled=True),
+                     journal=serial_journal)
+        run_campaign(self.make_spec(spec_files, compiled=True),
+                     journal=vector_journal, vectorize=True)
+        with open(serial_journal) as first, open(vector_journal) as second:
+            serial_rows = [json.loads(line) for line in first
+                           if json.loads(line)["status"] == "ok"]
+            second.seek(0)
+            vector_rows = [json.loads(line) for line in second
+                           if json.loads(line)["status"] == "ok"]
+        assert serial_rows == vector_rows
+        assert len(serial_rows) == 4
+
+    def test_vectorize_excludes_workers(self, spec_files):
+        with pytest.raises(FaultError):
+            run_campaign(self.make_spec(spec_files), workers=2,
+                         vectorize=True)
+
+    def test_engine_field_validated(self):
+        with pytest.raises(FaultError):
+            CampaignSpec(seeds=[1], builder="m:f", engine="warp")
+
+    def test_spec_round_trips_engine(self, spec_files):
+        spec = self.make_spec(spec_files, engine="batched")
+        assert CampaignSpec.from_dict(spec.to_dict()).engine == "batched"

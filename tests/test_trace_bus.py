@@ -51,6 +51,7 @@ class TestKindVocabulary:
         assert PART_RESTARTED == "part_restarted"
         from repro.engine import (
             CHECKPOINT,
+            ENGINE_DEGRADED,
             PART_RESTORED,
             SUPERVISOR_DECISION,
         )
@@ -58,10 +59,11 @@ class TestKindVocabulary:
         assert PART_RESTORED == "part_restored"
         assert SUPERVISOR_DECISION == "supervisor_decision"
         assert CHECKPOINT == "checkpoint"
+        assert ENGINE_DEGRADED == "engine_degraded"
 
     def test_engine_kinds_subset(self):
         assert set(ENGINE_KINDS) < set(KINDS)
-        assert len(set(KINDS)) == len(KINDS) == 14
+        assert len(set(KINDS)) == len(KINDS) == 15
 
 
 class TestTraceEvent:
