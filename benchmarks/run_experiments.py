@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D14).
+"""Regenerate every derived-experiment table (D1-D16).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -71,6 +71,8 @@ EXPERIMENTS = {
             "rollback recovery & campaign-runner scaling"),
     "d15": ("bench_d15_batched",
             "batched execution & campaign vectorization"),
+    "d16": ("bench_d16_properties",
+            "online property checking & pass-rate curves"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

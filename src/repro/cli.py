@@ -37,6 +37,26 @@ from . import metamodel as mm
 from . import xmi
 from .errors import ReproError, SimulationError
 
+# ---------------------------------------------------------------------------
+# Exit codes.  Distinct and documented so the CLI slots into build
+# scripts: anything above 2 is a *successful run with a bad verdict*,
+# ordered by precedence (the highest applicable code wins).
+# ---------------------------------------------------------------------------
+
+#: Clean run, clean verdicts.
+EXIT_OK = 0
+#: Invalid input / infrastructure error (also argparse's usage code).
+EXIT_ERROR = 2
+#: The run survived but quarantined at least one part.
+EXIT_QUARANTINED = 3
+#: An incident hook fired (kernel incident post-mortem) without
+#: quarantine or property violation.
+EXIT_INCIDENT = 4
+#: The online property checker recorded at least one temporal-property
+#: violation — the system ran, but it ran *incorrectly*.  Highest
+#: precedence: a violated property outranks quarantine and incidents.
+EXIT_PROPERTY_VIOLATED = 5
+
 
 def _load(path: str):
     document = xmi.read_file(path)
@@ -160,6 +180,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     campaign = None
     if args.faults:
         campaign = FaultCampaign.from_file(args.faults)
+    suite = None
+    if args.properties_file:
+        from .properties import PropertySuite
+
+        suite = PropertySuite.load(args.properties_file)
     # Subscribers attach to a pre-made bus so events fired during
     # construction (a part's initial run-to-completion step may already
     # send) land in the stream too.
@@ -189,7 +214,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                               coverage=bool(args.coverage_file),
                               profile=bool(args.profile_file),
                               flight_recorder=flight_capacity,
-                              flight_dump=flight_dump) as simulation:
+                              flight_dump=flight_dump,
+                              properties=suite,
+                              on_violation=args.on_violation) as simulation:
             if simulation.engine_mode == "batched" \
                     and simulation.batch_degraded:
                 print(f"batched: {len(simulation.batch_degraded)} "
@@ -222,25 +249,49 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 print("resilience report:")
                 print(simulation.resilience.to_json())
             _write_observability(args, simulation)
+            property_report = simulation.property_report()
+            if property_report is not None:
+                for name, entry in sorted(
+                        property_report.properties.items()):
+                    mark = ("VIOLATED" if entry["verdict"] == "violated"
+                            else "pass")
+                    print(f"  property {name:24} [{mark}]"
+                          + (f" ({len(entry['violations'])} violation(s), "
+                             f"first at t="
+                             f"{entry['time_to_violation']})"
+                             if entry["violations"] else ""))
+                if args.property_report_file:
+                    with open(args.property_report_file, "w",
+                              encoding="utf-8") as handle:
+                        handle.write(property_report.to_json() + "\n")
+                    print(f"properties: {property_report.verdict} -> "
+                          f"{args.property_report_file}")
     finally:
         if trace_stream is not None:
             trace_stream.close()
     if writer is not None:
         print(f"trace: {writer.lines_written} event(s) -> "
               f"{args.trace_file}")
-    # Distinct exit codes make degraded runs scriptable: a survived-but-
-    # wounded simulation (quarantined part) beats a fired incident hook
-    # in precedence; a clean run exits 0.
+    # Distinct exit codes make degraded runs scriptable, ordered by
+    # precedence: a violated temporal property (the run was *wrong*)
+    # outranks a survived-but-wounded simulation (quarantined part),
+    # which outranks a fired incident hook; a clean run exits 0.
+    if property_report is not None \
+            and property_report.verdict == "violated":
+        print(f"exit {EXIT_PROPERTY_VIOLATED}: "
+              f"{property_report.total_violations} property "
+              f"violation(s)", file=sys.stderr)
+        return EXIT_PROPERTY_VIOLATED
     if simulation.quarantined_parts:
-        print(f"exit 3: part(s) quarantined: "
+        print(f"exit {EXIT_QUARANTINED}: part(s) quarantined: "
               f"{', '.join(simulation.quarantined_parts)}",
               file=sys.stderr)
-        return 3
+        return EXIT_QUARANTINED
     if incidents:
-        print(f"exit 4: incident hook(s) fired: "
+        print(f"exit {EXIT_INCIDENT}: incident hook(s) fired: "
               f"{', '.join(sorted(set(incidents)))}", file=sys.stderr)
-        return 4
-    return 0
+        return EXIT_INCIDENT
+    return EXIT_OK
 
 
 def _write_observability(args: argparse.Namespace, simulation) -> None:
@@ -302,7 +353,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         on_part_error=args.on_part_error,
                         checkpoint_interval=args.checkpoint_interval,
                         coverage=bool(args.coverage_file),
-                        name=name)
+                        name=name,
+                        properties=args.properties_file or None,
+                        on_violation=args.on_violation)
     result = run_campaign(spec, workers=args.parallel,
                           journal=args.journal or None,
                           resume=args.resume,
@@ -336,7 +389,34 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"coverage: {merged.total_percent():.2f}% of "
                   f"{merged.total_bins()} bin(s) -> "
                   f"{args.coverage_file}")
-    return 0 if result.ok else 1
+    aggregated = result.properties()
+    if aggregated is not None:
+        import json as json_module
+
+        for name_, entry in sorted(aggregated["properties"].items()):
+            print(f"  property {name_:24} pass rate "
+                  f"{entry['pass_rate']:6.2f}% "
+                  f"({entry['checked'] - len(entry['violated_seeds'])}"
+                  f"/{entry['checked']} seed(s), "
+                  f"{entry['violations']} violation(s))")
+        if args.property_report_file:
+            with open(args.property_report_file, "w",
+                      encoding="utf-8") as handle:
+                handle.write(json_module.dumps(aggregated, indent=2,
+                                               sort_keys=True) + "\n")
+            print(f"properties: {aggregated['verdict']} -> "
+                  f"{args.property_report_file}")
+    # Infrastructure failure outranks verdicts (the sweep is incomplete);
+    # a completed sweep with violated properties exits 5, like simulate.
+    if not result.ok:
+        return 1
+    if aggregated is not None and aggregated["verdict"] == "violated":
+        print(f"exit {EXIT_PROPERTY_VIOLATED}: "
+              f"{aggregated['total_violations']} property violation(s) "
+              f"across {len(aggregated['seeds'])} seed(s)",
+              file=sys.stderr)
+        return EXIT_PROPERTY_VIOLATED
+    return EXIT_OK
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -549,6 +629,23 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="PATH",
                           help="write the perf snapshot (+ coverage, if "
                                "collected) as JSON for 'repro stats'")
+    simulate.add_argument("--properties", default="",
+                          dest="properties_file", metavar="PATH",
+                          help="check a temporal-property suite "
+                               "(props.json) online during the run; a "
+                               "violated property exits 5 (see "
+                               "docs/PROPERTIES.md)")
+    simulate.add_argument("--property-report", default="",
+                          dest="property_report_file", metavar="PATH",
+                          help="write the per-run PropertyReport JSON")
+    simulate.add_argument("--on-violation", default="incident",
+                          choices=("record", "incident", "supervise"),
+                          dest="on_violation",
+                          help="what a property violation triggers "
+                               "beyond the report: incident hooks "
+                               "(flight-recorder post-mortem; default) "
+                               "or supervisor escalation of the "
+                               "witnessing part")
     simulate.set_defaults(handler=cmd_simulate)
 
     campaign = commands.add_parser(
@@ -613,6 +710,20 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="PATH",
                           help="collect per-seed functional coverage "
                                "and write the merged report JSON")
+    campaign.add_argument("--properties", default="",
+                          dest="properties_file", metavar="PATH",
+                          help="check a temporal-property suite "
+                               "(props.json) on every seed; any "
+                               "violation exits 5")
+    campaign.add_argument("--property-report", default="",
+                          dest="property_report_file", metavar="PATH",
+                          help="write the aggregated per-property pass "
+                               "rates / time-to-violation JSON")
+    campaign.add_argument("--on-violation", default="incident",
+                          choices=("record", "incident", "supervise"),
+                          dest="on_violation",
+                          help="per-seed escalation policy for property "
+                               "violations")
     campaign.set_defaults(handler=cmd_campaign)
 
     stats = commands.add_parser(

@@ -72,6 +72,12 @@ CHECKPOINT = "checkpoint"
 #: batched SoA engine degrading to compiled/interpreted for a part with
 #: no identical peers) — degradation is observable, never silent.
 ENGINE_DEGRADED = "engine_degraded"
+#: The online property checker detected a temporal-assertion violation.
+#: Emitted by :class:`repro.properties.PropertyChecker` as a nested
+#: event immediately after the witnessing record (or at finalization
+#: for deadline/liveness expiries), so post-mortems carry the violation
+#: in stream position.
+PROPERTY_VIOLATION = "property_violation"
 
 #: High-frequency kinds emitted from inside the engines; call sites gate
 #: these on :attr:`TraceBus.engine_active`.
@@ -82,7 +88,7 @@ ENGINE_KINDS = (EVENT, TRANSITION, STATE_ENTER, STATE_EXIT, TOKEN)
 KINDS = ENGINE_KINDS + (MESSAGE_ROUTED, MESSAGE_DELIVERED, MESSAGE_DROPPED,
                         FAULT, PART_QUARANTINED, PART_RESTARTED,
                         PART_RESTORED, SUPERVISOR_DECISION, CHECKPOINT,
-                        ENGINE_DEGRADED)
+                        ENGINE_DEGRADED, PROPERTY_VIOLATION)
 
 _ENGINE_KIND_SET = frozenset(ENGINE_KINDS)
 _KIND_SET = frozenset(KINDS)

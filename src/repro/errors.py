@@ -133,3 +133,28 @@ class BusError(SimulationError):
 
 class FaultError(SimulationError):
     """A fault-campaign specification is invalid or cannot be applied."""
+
+
+class PropertyError(ReproError):
+    """A temporal-property specification is invalid.
+
+    Raised when a :mod:`repro.properties` spec cannot be constructed or
+    parsed — an unknown kind, a non-positive deadline, an interaction
+    whose trace set cannot be enumerated, malformed JSON fields.
+    """
+
+
+class PropertyViolationError(SimulationError):
+    """A monitored temporal property was violated.
+
+    Used by the ``on_violation="supervise"`` escalation path: the
+    checker hands the failing part to the supervisor with this error,
+    so a violation can trigger restore/restart/quarantine exactly like
+    a part crash.  Carries ``property_name`` and the violation detail.
+    """
+
+    def __init__(self, message: str, property_name: str = "",
+                 detail=None):
+        super().__init__(message)
+        self.property_name = property_name
+        self.detail = detail

@@ -86,7 +86,7 @@ class CampaignSpec:
     __slots__ = ("model", "top", "builder", "campaign", "seeds", "until",
                  "quantum", "compiled", "engine", "on_part_error",
                  "checkpoint_interval", "max_restarts", "max_restores",
-                 "coverage", "name")
+                 "coverage", "name", "properties", "on_violation")
 
     def __init__(self,
                  seeds: Sequence[int],
@@ -103,7 +103,9 @@ class CampaignSpec:
                  max_restarts: int = 3,
                  max_restores: int = 3,
                  coverage: bool = False,
-                 name: str = "campaign"):
+                 name: str = "campaign",
+                 properties: Optional[Any] = None,
+                 on_violation: str = "incident"):
         if (model is None) == (builder is None):
             raise FaultError(
                 "campaign spec needs exactly one model source: "
@@ -141,6 +143,22 @@ class CampaignSpec:
         self.max_restores = int(max_restores)
         self.coverage = bool(coverage)
         self.name = name
+        #: temporal-property suite checked on every seed: a path to a
+        #: ``props.json`` file or an inline suite dict (both plain data,
+        #: so the spec still crosses process boundaries and journals).
+        if properties is not None \
+                and not isinstance(properties, (str, dict)):
+            raise FaultError(
+                "campaign spec properties= must be a props.json path "
+                f"or a suite dict, got {type(properties).__name__}")
+        self.properties = properties
+        from ..properties.checker import VIOLATION_POLICIES
+
+        if on_violation not in VIOLATION_POLICIES:
+            raise FaultError(
+                f"on_violation must be one of {VIOLATION_POLICIES}, "
+                f"got {on_violation!r}")
+        self.on_violation = on_violation
 
     # -- plumbing ----------------------------------------------------------
 
@@ -176,6 +194,14 @@ class CampaignSpec:
         if self.campaign is None:
             return None
         return FaultCampaign.from_file(self.campaign)
+
+    def load_properties(self):
+        """Materialize the property suite (None when not configured)."""
+        if self.properties is None:
+            return None
+        from ..properties import coerce_suite
+
+        return coerce_suite(self.properties)
 
     def __repr__(self) -> str:
         source = self.builder or f"{self.model}::{self.top}"
@@ -217,11 +243,37 @@ def _warm_model(spec: CampaignSpec) -> Tuple[Any, Optional[FaultCampaign]]:
     return hit
 
 
+#: single-entry memo: property source -> compiled PropertySuite.
+_SUITE_CACHE: Dict[Any, Any] = {}
+
+
+def _warm_suite(spec: CampaignSpec):
+    """Materialize (once) the property suite for a sweep.
+
+    Compiling a suite enumerates interaction trace sets into prefix
+    tries; like the model, that work is identical for every seed.  The
+    shared suite is sound because per-run monitor state lives on each
+    simulation's :class:`~repro.properties.PropertyChecker`, never on
+    the :class:`~repro.properties.Property` objects.
+    """
+    if spec.properties is None:
+        return None
+    key = (spec.properties if isinstance(spec.properties, str)
+           else json.dumps(spec.properties, sort_keys=True, default=str))
+    hit = _SUITE_CACHE.get(key)
+    if hit is None:
+        hit = spec.load_properties()
+        _SUITE_CACHE.clear()
+        _SUITE_CACHE[key] = hit
+    return hit
+
+
 def _warm_spec(spec: CampaignSpec) -> None:
     """Pre-fork warm-up: parse the model and compile every compilable
     classifier behavior in the parent, so forked workers (and the
     vectorized runner) start with hot dispatch-table caches."""
     top, _campaign = _warm_model(spec)
+    _warm_suite(spec)
     if not (spec.compiled or spec.engine in ("compiled", "batched")):
         return
     from ..statemachines.flatten import (compile_fallback_reason,
@@ -254,6 +306,8 @@ def _collect_row(simulation, spec: CampaignSpec, seed: int,
     if spec.coverage:
         row["coverage"] = \
             simulation.observability.coverage_report().to_dict()
+    if simulation.property_checker is not None:
+        row["properties"] = simulation.property_report().to_dict()
     if sim_error:
         row["sim_error"] = sim_error
     return row
@@ -272,6 +326,7 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
     from ..simulation import SystemSimulation
 
     top, campaign = _warm_model(spec)
+    suite = _warm_suite(spec)
     sim_error = ""
     with SystemSimulation(top, quantum=spec.quantum,
                           compile=spec.compiled,
@@ -281,7 +336,9 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
                           max_restarts=spec.max_restarts,
                           max_restores=spec.max_restores,
                           checkpoint_interval=spec.checkpoint_interval,
-                          coverage=spec.coverage) as simulation:
+                          coverage=spec.coverage,
+                          properties=suite,
+                          on_violation=spec.on_violation) as simulation:
         try:
             simulation.run(until=spec.until)
         except ReproError as error:
@@ -424,6 +481,29 @@ class CampaignResult:
                    for row in self.rows if "coverage" in row]
         return CoverageReport.merged(reports) if reports else None
 
+    def properties(self) -> Optional[Dict[str, Any]]:
+        """Per-property pass rates and time-to-violation across seeds.
+
+        Aggregated with
+        :func:`repro.properties.aggregate_reports` — order-independent
+        and keyed by seed, so serial, parallel, vectorized and resumed
+        sweeps produce the identical artifact.  ``None`` when no row
+        carries property verdicts.
+        """
+        per_seed = {row["seed"]: row["properties"]
+                    for row in self.rows if "properties" in row}
+        if not per_seed:
+            return None
+        from ..properties import aggregate_reports
+
+        return aggregate_reports(per_seed)
+
+    @property
+    def property_violations(self) -> int:
+        """Total property violations recorded across all seeds."""
+        return sum(row["properties"].get("total_violations", 0)
+                   for row in self.rows if "properties" in row)
+
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
             "campaign": self.name,
@@ -436,6 +516,9 @@ class CampaignResult:
         merged_coverage = self.coverage()
         if merged_coverage is not None:
             data["coverage"] = merged_coverage.to_dict()
+        merged_properties = self.properties()
+        if merged_properties is not None:
+            data["properties"] = merged_properties
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -587,6 +670,7 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
 
     _warm_spec(spec)
     top, campaign = _warm_model(spec)
+    suite = _warm_suite(spec)
     #: [seed, simulation, sim_error] — error marks the lane finished
     lanes: List[List[Any]] = []
     try:
@@ -600,7 +684,9 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
                 max_restarts=spec.max_restarts,
                 max_restores=spec.max_restores,
                 checkpoint_interval=spec.checkpoint_interval,
-                coverage=spec.coverage)
+                coverage=spec.coverage,
+                properties=suite,
+                on_violation=spec.on_violation)
             simulation._arm_run(spec.until)
             lanes.append([seed, simulation, ""])
         PERF.incr("campaign.vectorized_seeds", len(lanes))

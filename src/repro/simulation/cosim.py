@@ -172,7 +172,9 @@ class SystemSimulation:
                  coverage: bool = False,
                  profile: bool = False,
                  flight_recorder: int = 0,
-                 flight_dump: Optional[str] = None):
+                 flight_dump: Optional[str] = None,
+                 properties: Any = None,
+                 on_violation: str = "incident"):
         if on_part_error not in PART_ERROR_POLICIES:
             raise SimulationError(
                 f"unknown on_part_error policy {on_part_error!r}; "
@@ -297,6 +299,21 @@ class SystemSimulation:
             self.observability = ObservabilitySuite(
                 self, coverage=coverage, profile=profile,
                 flight_recorder=flight_recorder, flight_dump=flight_dump)
+        #: the attached online PropertyChecker (None unless properties=
+        #: was given).  Attached after observability so the flight
+        #: recorder sees each witnessing event *before* the nested
+        #: property_violation it provokes — post-mortems read causally.
+        self.property_checker: Any = None
+        if properties is not None:
+            if self._bus is None:
+                raise SimulationError(
+                    "properties= needs the trace bus; it cannot be "
+                    "combined with bus=False")
+            from ..properties import PropertyChecker
+
+            self.property_checker = PropertyChecker(
+                properties, self._bus, simulation=self,
+                on_violation=on_violation)
         self._start_parts()
         # Baseline recovery snapshot: with periodic checkpoints armed or
         # the restore policy selected, every part has a last-good
@@ -968,6 +985,8 @@ class SystemSimulation:
                          if self._injector is not None else None),
             "observability": (self.observability.checkpoint()
                               if self.observability is not None else None),
+            "properties": (self.property_checker.checkpoint()
+                           if self.property_checker is not None else None),
             # pending fused-delivery buckets (lane state itself rides in
             # the parts section through each view's checkpoint)
             "batched": [group.checkpoint_runs()
@@ -998,9 +1017,27 @@ class SystemSimulation:
         if self.observability is not None \
                 and snap.get("observability") is not None:
             self.observability.restore(snap["observability"])
+        if self.property_checker is not None \
+                and snap.get("properties") is not None:
+            self.property_checker.restore(snap["properties"])
         for group, group_snap in zip(self.batch_groups,
                                      snap.get("batched", ())):
             group.restore_runs(group_snap)
+
+    # ------------------------------------------------------------------
+    # property verdicts
+    # ------------------------------------------------------------------
+
+    def property_report(self):
+        """Finalize the property checker at the current simulated time
+        and return the per-run
+        :class:`~repro.properties.PropertyReport` (None when no
+        properties are attached).  Finalization is idempotent, so the
+        report can be requested repeatedly after a run."""
+        if self.property_checker is None:
+            return None
+        self.property_checker.finalize(self.simulator.now)
+        return self.property_checker.report()
 
     # ------------------------------------------------------------------
     # lifecycle

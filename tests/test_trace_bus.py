@@ -53,6 +53,7 @@ class TestKindVocabulary:
             CHECKPOINT,
             ENGINE_DEGRADED,
             PART_RESTORED,
+            PROPERTY_VIOLATION,
             SUPERVISOR_DECISION,
         )
 
@@ -60,10 +61,11 @@ class TestKindVocabulary:
         assert SUPERVISOR_DECISION == "supervisor_decision"
         assert CHECKPOINT == "checkpoint"
         assert ENGINE_DEGRADED == "engine_degraded"
+        assert PROPERTY_VIOLATION == "property_violation"
 
     def test_engine_kinds_subset(self):
         assert set(ENGINE_KINDS) < set(KINDS)
-        assert len(set(KINDS)) == len(KINDS) == 15
+        assert len(set(KINDS)) == len(KINDS) == 16
 
 
 class TestTraceEvent:
