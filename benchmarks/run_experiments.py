@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D16).
+"""Regenerate every derived-experiment table (D1-D17).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -73,6 +73,8 @@ EXPERIMENTS = {
             "batched execution & campaign vectorization"),
     "d16": ("bench_d16_properties",
             "online property checking & pass-rate curves"),
+    "d17": ("bench_d17_store",
+            "artifact-store warm starts & incremental recompilation"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

@@ -23,6 +23,7 @@ Subpackages
 ``simulation``     discrete-event kernel + cosimulation (S10)
 ``hw``             IP library and bus fabric (S11)
 ``validation``     well-formedness rules (S12)
+``store``          content-addressed artifact store + build graph (S15)
 ``metrics``        size/complexity/productivity metrics (S13)
 ``diagrams``       the 13 diagram types + PlantUML export (S14)
 
@@ -53,6 +54,7 @@ from .errors import (
     ReproError,
     SimulationError,
     StateMachineError,
+    StoreError,
     TransformError,
     ValidationError,
     XmiError,
@@ -64,7 +66,8 @@ __all__ = [
     "reset_ids",
     "ActivityError", "AslRuntimeError", "AslSyntaxError", "CodegenError",
     "InteractionError", "LookupFailed", "ModelError", "ProfileError",
-    "ReproError", "SimulationError", "StateMachineError", "TransformError",
+    "ReproError", "SimulationError", "StateMachineError", "StoreError",
+    "TransformError",
     "ValidationError", "XmiError",
     "__version__",
 ]

@@ -17,6 +17,12 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
     python -m repro campaign  model.xmi --top design::Top \
                               --faults campaign.json --runs 16 \
                               --parallel 4 --journal sweep.jsonl --resume
+    python -m repro simulate  model.xmi --top design::Top \
+                              --store ~/.cache/repro
+    python -m repro campaign  model.xmi --top design::Top \
+                              --faults campaign.json --store build/store
+    python -m repro store ls --store build/store --name Top
+    python -m repro store gc --store build/store --max-age-s 86400
     python -m repro stats perf.json --format prom
     python -m repro trace-to-sequence out.jsonl --name observed
     python -m repro diagram   model.xmi --kind class --scope design
@@ -63,6 +69,34 @@ def _load(path: str):
     if document.model is None:
         raise ReproError(f"{path} contains no model")
     return document
+
+
+def _activate_store(args: argparse.Namespace):
+    """Honor ``--store DIR``: activate (and export) the artifact store.
+
+    Exporting ``REPRO_STORE`` makes spawned campaign workers and child
+    tool invocations resolve the same store.  Without ``--store`` the
+    active store (possibly auto-activated from the environment) is
+    returned unchanged — None when persistence is off.
+    """
+    from .store import ArtifactStore, STORE_ENV, set_active_store
+    path = getattr(args, "store_dir", "")
+    if path:
+        store = ArtifactStore(path)
+        set_active_store(store)
+        os.environ[STORE_ENV] = str(store.root)
+        return store
+    from .store import get_active_store
+    return get_active_store()
+
+
+def _register_model(store, document) -> None:
+    """Index a loaded model in the store's registry (best effort)."""
+    if store is None:
+        return
+    from .store import ModelRegistry
+    ModelRegistry(store).register(document.model,
+                                  profiles=document.profiles)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -154,11 +188,19 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_transform(args: argparse.Namespace) -> int:
     from .mda import hardware_transformation, software_transformation
 
+    store = _activate_store(args)
     document = _load(args.model)
+    _register_model(store, document)
     transformation = (hardware_transformation() if args.platform == "hw"
                       else software_transformation())
-    result = transformation.transform(document.model,
-                                      profiles=document.profiles)
+    if store is not None:
+        # the store-backed build-graph path: warm PSM artifacts are
+        # deserialized instead of re-running the rule sweep
+        result = transformation.transform_cached(
+            document.model, profiles=document.profiles)
+    else:
+        result = transformation.transform(document.model,
+                                          profiles=document.profiles)
     print(f"applied {result.rules_applied} rule application(s); "
           f"completeness {result.completeness():.0%}")
     xmi.write_file(args.output, result.psm, profiles=document.profiles)
@@ -175,7 +217,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from .faults import FaultCampaign
     from .simulation import SystemSimulation
 
+    store = _activate_store(args)
     document = _load(args.model)
+    _register_model(store, document)
     top = document.model.resolve(args.top, mm.Component)
     campaign = None
     if args.faults:
@@ -329,6 +373,9 @@ def _write_observability(args: argparse.Namespace, simulation) -> None:
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .faults import CampaignSpec, FaultCampaign, run_campaign
 
+    store = _activate_store(args)
+    if store is not None:
+        _register_model(store, _load(args.model))
     if args.seeds:
         try:
             seeds = [int(token) for token in
@@ -417,6 +464,51 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return EXIT_PROPERTY_VIOLATED
     return EXIT_OK
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store ls|info|gc``: inspect the artifact store."""
+    import json as json_module
+
+    from .store import ArtifactStore, ModelRegistry
+
+    store = ArtifactStore(args.store_dir or None)
+    if args.action == "info":
+        print(json_module.dumps(store.info(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        removed = store.gc(max_age_s=args.max_age_s, kind=args.kind,
+                           dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        for kind, key in removed:
+            print(f"  {verb} {kind}/{key}")
+        print(f"{verb} {len(removed)} artifact(s) from {store.root}")
+        return 0
+    # ls — either a registry query or a raw artifact listing
+    if args.name or args.stereotype or args.profile_query:
+        registry = ModelRegistry(store)
+        records = registry.search(name=args.name or None,
+                                  stereotype=args.stereotype or None,
+                                  profile=args.profile_query or None)
+        for record in records:
+            print(f"  {record['name']:24} fp={record['fingerprint']} "
+                  f"machines={len(record['machines'])} "
+                  f"stereotypes={record['stereotypes']} "
+                  f"profiles={record['profiles']}")
+        print(f"{len(records)} model(s) matched in {store.root}")
+        return 0
+    entries = store.ls(args.kind)
+    for entry in entries:
+        flag = "  CORRUPT" if entry.get("corrupt") else ""
+        meta = entry.get("meta", {})
+        label = meta.get("machine") or meta.get("component") \
+            or meta.get("name") or meta.get("transformation") or ""
+        label = f" {label}" if label else ""
+        print(f"  {entry['kind']:10} {entry['key']} "
+              f"{entry['bytes']:>8}B age={entry['age_s']:.0f}s"
+              f"{label}{flag}")
+    print(f"{len(entries)} artifact(s) in {store.root}")
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -556,6 +648,10 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--platform", default="hw",
                            choices=("hw", "sw"))
     transform.add_argument("-o", "--output", default="psm.xmi")
+    transform.add_argument("--store", default="", dest="store_dir",
+                           metavar="DIR",
+                           help="artifact store for warm PSM artifacts "
+                                "(default: $REPRO_STORE when set)")
     transform.set_defaults(handler=cmd_transform)
 
     simulate = commands.add_parser("simulate",
@@ -646,6 +742,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "(flight-recorder post-mortem; default) "
                                "or supervisor escalation of the "
                                "witnessing part")
+    simulate.add_argument("--store", default="", dest="store_dir",
+                          metavar="DIR",
+                          help="artifact store: pull warm compiled "
+                               "artifacts by fingerprint and persist "
+                               "cold builds (default: $REPRO_STORE "
+                               "when set)")
     simulate.set_defaults(handler=cmd_simulate)
 
     campaign = commands.add_parser(
@@ -724,7 +826,39 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="on_violation",
                           help="per-seed escalation policy for property "
                                "violations")
+    campaign.add_argument("--store", default="", dest="store_dir",
+                          metavar="DIR",
+                          help="artifact store shared with campaign "
+                               "workers (serial, fork-pool and "
+                               "vectorized paths; default: "
+                               "$REPRO_STORE when set)")
     campaign.set_defaults(handler=cmd_campaign)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect the content-addressed artifact store")
+    store.add_argument("action", choices=("ls", "info", "gc"),
+                       help="ls: list artifacts or query the model "
+                            "registry; info: store-wide summary; gc: "
+                            "evict artifacts")
+    store.add_argument("--store", default="", dest="store_dir",
+                       metavar="DIR",
+                       help="store root (default: $REPRO_STORE or "
+                            "~/.cache/repro)")
+    store.add_argument("--kind", default=None,
+                       help="restrict ls/gc to one artifact kind")
+    store.add_argument("--name", default="",
+                       help="registry query: model name substring")
+    store.add_argument("--stereotype", default="",
+                       help="registry query: applied stereotype name")
+    store.add_argument("--profile", default="", dest="profile_query",
+                       help="registry query: profile name")
+    store.add_argument("--max-age-s", type=float, default=None,
+                       help="gc: evict only artifacts idle longer than "
+                            "this (default: evict everything)")
+    store.add_argument("--dry-run", action="store_true",
+                       help="gc: report what would be evicted")
+    store.set_defaults(handler=cmd_store)
 
     stats = commands.add_parser(
         "stats",

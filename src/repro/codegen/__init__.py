@@ -20,6 +20,7 @@ from .pipeline import (
     BACKENDS,
     choose_executor,
     generate_all_parallel,
+    generate_units,
 )
 from .base import (
     CodeWriter,
@@ -69,4 +70,5 @@ __all__ = [
     "check_vhdl",
     "generate_all",
     "BACKENDS", "choose_executor", "generate_all_parallel",
+    "generate_units",
 ]

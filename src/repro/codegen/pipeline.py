@@ -110,6 +110,68 @@ def generate_all_parallel(scope: Element,
     return {backend: results[backend] for backend in ordered}
 
 
+def generate_units(scope: Element,
+                   backends: Sequence[str] = BACKENDS
+                   ) -> Dict[str, Dict[str, Dict[str, str]]]:
+    """Per-unit, store-backed code generation.
+
+    The build-graph view of codegen: one artifact per (backend,
+    hardware component), keyed by the component's subtree fingerprint
+    (:func:`repro.metamodel.model.element_fingerprint`).  With an
+    active :mod:`repro.store`, unchanged components are served warm and
+    only edited components regenerate — editing one part of a SoC
+    regenerates exactly that part's units.  Returns ``{backend:
+    {component qualified name: {filename: text}}}`` in fixed
+    :data:`BACKENDS` order; unit content is byte-identical to running
+    the backend over that component alone.
+    """
+    from ..metamodel.model import element_fingerprint
+    from ..store import get_active_store
+    from .base import hardware_components
+
+    unknown = [name for name in backends if name not in _GENERATORS]
+    if unknown:
+        raise CodegenError(f"unknown codegen backends: {unknown!r} "
+                           f"(available: {sorted(_GENERATORS)})")
+    ordered = [name for name in BACKENDS if name in backends]
+    components = hardware_components(scope)
+    if not components:
+        raise CodegenError("no components found to generate units for")
+    store = get_active_store()
+
+    results: Dict[str, Dict[str, Dict[str, str]]] = {}
+    with PERF.timed("codegen.units_s"):
+        for backend in ordered:
+            units: Dict[str, Dict[str, str]] = {}
+            for component in components:
+                unit_name = component.qualified_name or component.name
+                label = f"{backend}:{unit_name}"
+                fingerprint = element_fingerprint(component)
+                store_key = None
+                if store is not None:
+                    store_key = store.make_key("codegen", backend,
+                                               fingerprint)
+                    payload = store.load("codegen", store_key,
+                                         inputs=(fingerprint,),
+                                         label=label)
+                    if isinstance(payload, dict) and payload and all(
+                            isinstance(name, str)
+                            and isinstance(text, str)
+                            for name, text in payload.items()):
+                        units[unit_name] = dict(payload)
+                        continue
+                files = _GENERATORS[backend](component)
+                if store is not None:
+                    store.save("codegen", store_key, files,
+                               inputs=(fingerprint,),
+                               meta={"backend": backend,
+                                     "component": unit_name},
+                               label=label)
+                units[unit_name] = files
+            results[backend] = units
+    return results
+
+
 def _fan_out(scope: Element, ordered: Sequence[str], executor: str,
              max_workers: Optional[int]) -> Dict[str, Dict[str, str]]:
     workers = max_workers or len(ordered)

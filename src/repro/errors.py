@@ -83,6 +83,10 @@ class CodegenError(ReproError):
     """A code generator received a model it cannot translate."""
 
 
+class StoreError(ReproError):
+    """The artifact store is misconfigured or an operation is invalid."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an invalid state."""
 

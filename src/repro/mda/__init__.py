@@ -19,9 +19,11 @@ from .rules import (
 )
 from .engine import (
     DEFAULT_TRANSFORM_CACHE,
+    TRANSFORM_CACHE_SIZE_ENV,
     TransformCache,
     Transformation,
     clone_model,
+    configure_default_cache,
 )
 from .mappings import hardware_transformation, software_transformation
 
@@ -29,7 +31,8 @@ __all__ = [
     "HARDWARE_PLATFORM", "Platform", "PlatformKind", "SOFTWARE_PLATFORM",
     "ModelRule", "TraceLink", "TransformationContext",
     "TransformationResult", "TransformationRule",
-    "DEFAULT_TRANSFORM_CACHE", "TransformCache",
-    "Transformation", "clone_model",
+    "DEFAULT_TRANSFORM_CACHE", "TRANSFORM_CACHE_SIZE_ENV",
+    "TransformCache", "Transformation", "clone_model",
+    "configure_default_cache",
     "hardware_transformation", "software_transformation",
 ]

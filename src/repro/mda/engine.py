@@ -20,8 +20,9 @@ cache naturally — no explicit invalidation API needed.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TransformError
 from ..metamodel.element import Element
@@ -68,6 +69,7 @@ class TransformCache:
             OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -78,9 +80,11 @@ class TransformCache:
             self._entries.move_to_end(key)
             self.hits += 1
             PERF.incr("mda.cache_hit")
+            PERF.incr("transform.cache.hit")
         else:
             self.misses += 1
             PERF.incr("mda.cache_miss")
+            PERF.incr("transform.cache.miss")
         return result
 
     def store(self, key: Tuple, result: TransformationResult) -> None:
@@ -88,17 +92,54 @@ class TransformCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            PERF.incr("transform.cache.evict")
+
+    def resize(self, max_entries: int) -> None:
+        """Change the capacity, evicting LRU entries when shrinking."""
+        if max_entries <= 0:
+            raise TransformError("cache size must be positive")
+        self.max_entries = max_entries
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            PERF.incr("transform.cache.evict")
 
     def clear(self) -> None:
         self._entries.clear()
 
     def __repr__(self) -> str:
         return (f"<TransformCache {len(self._entries)}/{self.max_entries} "
-                f"hits={self.hits} misses={self.misses}>")
+                f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions}>")
+
+
+#: Environment override for the default cache's capacity.
+TRANSFORM_CACHE_SIZE_ENV = "REPRO_TRANSFORM_CACHE_SIZE"
+
+
+def _default_cache_size() -> int:
+    """Capacity for the module default: env override or 32."""
+    raw = os.environ.get(TRANSFORM_CACHE_SIZE_ENV, "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return 32
+    return size if size > 0 else 32
 
 
 #: Module-level default cache used by ``transform_cached(cache=None)``.
-DEFAULT_TRANSFORM_CACHE = TransformCache()
+DEFAULT_TRANSFORM_CACHE = TransformCache(_default_cache_size())
+
+
+def configure_default_cache(max_entries: int) -> TransformCache:
+    """Resize the module-default transform cache (PR 1 LRU); returns it.
+
+    ``REPRO_TRANSFORM_CACHE_SIZE`` sets the initial capacity at import
+    time; this call reconfigures a live process.
+    """
+    DEFAULT_TRANSFORM_CACHE.resize(max_entries)
+    return DEFAULT_TRANSFORM_CACHE
 
 
 class Transformation:
@@ -157,7 +198,8 @@ class Transformation:
         psm.name = f"{pim.name}_{self.platform.name}"
         return TransformationResult(
             pim=pim, psm=psm, platform=self.platform,
-            trace=context.trace, applications=applications)
+            trace=context.trace, applications=applications,
+            psm_profiles=tuple(cloned_profiles))
 
     def cache_key(self, pim: Model,
                   profiles: Sequence[Profile] = ()) -> Tuple:
@@ -190,9 +232,80 @@ class Transformation:
             key = self.cache_key(pim, profiles)
             result = cache.lookup(key)
             if result is None:
-                result = self.transform(pim, profiles, profile)
+                result = self._transform_via_store(key, pim, profiles,
+                                                   profile)
                 cache.store(key, result)
             return result
+
+    # -- disk-backed transform artifacts (repro.store) -------------------
+
+    def _transform_via_store(self, key: Tuple, pim: Model,
+                             profiles: Sequence[Profile],
+                             profile: Optional[Profile]
+                             ) -> TransformationResult:
+        """Run :meth:`transform`, persisting/serving the PSM artifact.
+
+        With an active artifact store the ``transform`` stage becomes a
+        build-graph node: its inputs are the PIM fingerprint plus every
+        profile fingerprint (the model slices the stage reads), its
+        artifact is the PSM serialized as XMI together with the rule
+        trace.  A warm process deserializes instead of re-running the
+        rule sweep; without a store this is exactly :meth:`transform`.
+        """
+        from ..store import get_active_store
+        store = get_active_store()
+        if store is None:
+            return self.transform(pim, profiles, profile)
+
+        inputs = list(key[3:4]) + list(key[4])  # model fp + profile fps
+        store_key = store.make_key("transform", *map(str, key))
+        payload = store.load("transform", store_key, inputs=inputs,
+                             label=f"{self.name}->{self.platform.name}")
+        if payload is not None:
+            result = self._result_from_payload(payload, pim)
+            if result is not None:
+                return result
+        result = self.transform(pim, profiles, profile)
+        store.save("transform", store_key,
+                   self._result_to_payload(result), inputs=inputs,
+                   meta={"transformation": self.name,
+                         "platform": self.platform.name,
+                         "pim": pim.name},
+                   label=f"{self.name}->{self.platform.name}")
+        return result
+
+    def _result_to_payload(self,
+                           result: TransformationResult) -> Dict[str, Any]:
+        return {
+            "transform_version": 1,
+            "psm_xmi": write_model(result.psm, result.psm_profiles),
+            "applications": dict(result.applications),
+            "trace": [[link.rule, link.source_id, link.target_id,
+                       link.note] for link in result.trace],
+        }
+
+    def _result_from_payload(self, payload: Any, pim: Model
+                             ) -> Optional[TransformationResult]:
+        """Rebuild a result from a stored artifact; None when off-shape."""
+        if not isinstance(payload, dict) \
+                or payload.get("transform_version") != 1:
+            return None
+        try:
+            document = read_model(payload["psm_xmi"])
+            psm = document.model
+            if psm is None:
+                return None
+            trace = [TraceLink(str(rule), str(source), str(target),
+                               str(note))
+                     for rule, source, target, note in payload["trace"]]
+            applications = {str(name): int(count) for name, count
+                            in payload["applications"].items()}
+        except Exception:
+            return None
+        return TransformationResult(
+            pim=pim, psm=psm, platform=self.platform, trace=trace,
+            applications=applications,
+            psm_profiles=tuple(document.profiles))
 
     def __repr__(self) -> str:
         return (f"<Transformation {self.name!r} -> {self.platform.name} "

@@ -111,6 +111,9 @@ class TransformationResult:
     platform: Platform
     trace: List[TraceLink]
     applications: Dict[str, int]  # rule name -> elements touched
+    #: profiles cloned alongside the PSM (their applications target PSM
+    #: elements) — needed to serialize the PSM as a store artifact
+    psm_profiles: tuple = ()
 
     @property
     def rules_applied(self) -> int:

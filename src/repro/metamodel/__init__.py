@@ -97,7 +97,7 @@ from .deployments import (
     Manifestation,
     Node,
 )
-from .model import Model, model_fingerprint
+from .model import Model, element_fingerprint, model_fingerprint
 
 __all__ = [
     "AggregationKind", "Comment", "Element", "MANY", "Multiplicity", "ONE",
@@ -122,5 +122,5 @@ __all__ = [
     "Actor", "Extend", "Include", "UseCase",
     "Artifact", "CommunicationPath", "Deployment", "Device",
     "ExecutionEnvironment", "Manifestation", "Node",
-    "Model", "model_fingerprint",
+    "Model", "element_fingerprint", "model_fingerprint",
 ]

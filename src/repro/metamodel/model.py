@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import re
 from typing import Any, Dict, Iterator, Optional, Tuple, Type, TypeVar
 
 from ..errors import LookupFailed
@@ -27,7 +28,11 @@ E = TypeVar("E", bound=Element)
 #: Attributes excluded from the fingerprint: identity (fresh per run),
 #: tree bookkeeping (covered by the walk itself) and the cache fields.
 _FP_SKIP = frozenset(
-    {"xmi_id", "_owner", "_owned", "_generation", "_fp_cache"})
+    {"xmi_id", "_owner", "_owned", "_generation", "_fp_cache",
+     "_subtree_fp_cache"})
+
+#: CPython default reprs embed process-local addresses ("at 0x7f...").
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
 
 
 def _encode_value(value: Any, index: Dict[int, int], out: list) -> None:
@@ -64,11 +69,22 @@ def _encode_value(value: Any, index: Dict[int, int], out: list) -> None:
             _encode_value(value[key], index, out)
         out.append("}")
     elif isinstance(value, (set, frozenset)):
-        out.append(f"S{sorted(str(item) for item in value)}")
+        # tokenize each member recursively, then sort the token strings:
+        # str(member) would leak process-local state (xmi_id counters,
+        # default reprs with memory addresses) into the digest
+        member_tokens = []
+        for item in value:
+            sub: list = []
+            _encode_value(item, index, sub)
+            member_tokens.append("\x1e".join(sub))
+        out.append(f"S{len(value)}:{'|'.join(sorted(member_tokens))}")
     elif callable(value):
         out.append(f"c{getattr(value, '__qualname__', 'callable')}")
     else:
-        out.append(f"o{type(value).__name__}:{value}")
+        # strip CPython's "at 0x..." addresses from default reprs so the
+        # fallback never varies between processes
+        text = _ADDRESS_RE.sub("", f"{value}")
+        out.append(f"o{type(value).__name__}:{text}")
 
 
 def model_fingerprint(root: Element) -> str:
@@ -85,8 +101,17 @@ def model_fingerprint(root: Element) -> str:
     if cached is not None and cached[0] == generation:
         return cached[1]
 
-    elements = [root]
-    elements.extend(root.all_owned())
+    digest = _subtree_digest(root)
+    # store via __dict__ so the cache write itself does not bump the
+    # generation counter and invalidate what it just computed
+    root.__dict__["_fp_cache"] = (generation, digest)
+    return digest
+
+
+def _subtree_digest(top: Element) -> str:
+    """Uncached content hash of the ownership subtree under ``top``."""
+    elements = [top]
+    elements.extend(top.all_owned())
     index = {id(element): position
              for position, element in enumerate(elements)}
     hasher = hashlib.blake2b(digest_size=16)
@@ -100,10 +125,28 @@ def model_fingerprint(root: Element) -> str:
             tokens.append(f"a{name}")
             _encode_value(attributes[name], index, tokens)
     hasher.update("\x1f".join(tokens).encode("utf-8", "surrogatepass"))
-    digest = hasher.hexdigest()
-    # store via __dict__ so the cache write itself does not bump the
-    # generation counter and invalidate what it just computed
-    root.__dict__["_fp_cache"] = (generation, digest)
+    return hasher.hexdigest()
+
+
+def element_fingerprint(element: Element) -> str:
+    """Stable content hash of the subtree rooted at ``element``.
+
+    Like :func:`model_fingerprint` but usable on any element of a tree:
+    the walk covers only ``element`` and its transitively owned children,
+    so sibling subtrees of the same model fingerprint independently —
+    editing one state machine changes only that machine's subtree digest.
+    References *out* of the subtree hash by type and name (the same rule
+    whole-model fingerprints apply to cross-tree references).
+
+    Cached against the owning tree root's generation counter, so repeat
+    calls on an unchanged tree are a dict lookup.
+    """
+    generation = element.root().__dict__.get("_generation", 0)
+    cached = element.__dict__.get("_subtree_fp_cache")
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    digest = _subtree_digest(element)
+    element.__dict__["_subtree_fp_cache"] = (generation, digest)
     return digest
 
 

@@ -31,12 +31,14 @@ from .runtime import ELSE_GUARD, StateMachineRuntime
 from .flatten import (
     CompiledMachine,
     CompiledRuntime,
+    CompilePlan,
     FlatStateMachine,
     compile_fallback_reason,
     compile_machine,
     compile_machine_cached,
     default_alphabet,
     flatten,
+    flatten_cached,
 )
 from .soa import SoaLanes
 from .compose import clone_machine, connection_point, inline_submachine
@@ -48,11 +50,12 @@ __all__ = [
     "FinalState", "Pseudostate", "PseudostateKind", "Region", "State",
     "StateMachine", "Transition", "TransitionKind", "Vertex",
     "ELSE_GUARD", "StateMachineRuntime",
-    "CompiledMachine", "CompiledRuntime", "FlatStateMachine",
+    "CompiledMachine", "CompiledRuntime", "CompilePlan",
+    "FlatStateMachine",
     "SoaLanes",
     "compile_fallback_reason", "compile_machine",
     "compile_machine_cached",
-    "default_alphabet", "flatten",
+    "default_alphabet", "flatten", "flatten_cached",
     "clone_machine", "connection_point", "inline_submachine",
     "analysis",
 ]

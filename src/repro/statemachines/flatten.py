@@ -191,6 +191,82 @@ def flatten(machine: StateMachine,
                             event_names)
 
 
+def _flat_to_payload(flat: FlatStateMachine) -> Dict[str, Any]:
+    """A :class:`FlatStateMachine` as a JSON-clean store payload."""
+    return {
+        "flat_version": 1,
+        "initial": flat.initial,
+        "alphabet": list(flat.alphabet),
+        "transitions": sorted(
+            [source, event, target]
+            for (source, event), target in flat.transitions.items()),
+        "labels": {name: list(leaves)
+                   for name, leaves in flat.state_labels.items()},
+    }
+
+
+def _flat_from_payload(payload: Any) -> Optional[FlatStateMachine]:
+    """Rebuild a flat machine; None when the payload shape is off."""
+    if not isinstance(payload, dict) \
+            or payload.get("flat_version") != 1:
+        return None
+    try:
+        transitions = {(source, event): target
+                       for source, event, target
+                       in payload["transitions"]}
+        labels = {str(name): tuple(leaves)
+                  for name, leaves in payload["labels"].items()}
+        flat = FlatStateMachine(str(payload["initial"]), transitions,
+                                labels, tuple(payload["alphabet"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+    if flat.initial not in flat.state_labels:
+        return None
+    return flat
+
+
+def flatten_cached(machine: StateMachine,
+                   alphabet: Optional[Sequence[str]] = None,
+                   context: Optional[Dict[str, Any]] = None,
+                   max_configurations: int = 100_000
+                   ) -> FlatStateMachine:
+    """Store-backed :func:`flatten`.
+
+    With an active artifact store, the flattening of a machine is a
+    per-machine ``flatten`` artifact keyed by the machine's subtree
+    fingerprint plus the alphabet and guard context: warm processes
+    skip configuration exploration entirely.  Without a store this is
+    exactly :func:`flatten`.  Each call returns a fresh
+    :class:`FlatStateMachine` positioned at its initial configuration.
+    """
+    from ..store import get_active_store
+    store = get_active_store()
+    if store is None:
+        return flatten(machine, alphabet, context, max_configurations)
+
+    from ..metamodel.model import element_fingerprint
+    from ..store import canonical_json
+    fingerprint = element_fingerprint(machine)
+    extras = canonical_json({
+        "alphabet": list(alphabet) if alphabet is not None else None,
+        "context": sorted((dict(context or {})).items()),
+    })
+    store_key = store.make_key("flatten", fingerprint, extras)
+    payload = store.load("flatten", store_key, inputs=(fingerprint,),
+                         label=machine.name)
+    if payload is not None:
+        flat = _flat_from_payload(payload)
+        if flat is not None:
+            return flat
+    flat = flatten(machine, alphabet, context, max_configurations)
+    store.save("flatten", store_key, _flat_to_payload(flat),
+               inputs=(fingerprint,),
+               meta={"machine": machine.name,
+                     "configurations": len(flat.state_labels)},
+               label=machine.name)
+    return flat
+
+
 # ---------------------------------------------------------------------------
 # Dispatch-table compilation (the cosimulation fast path)
 # ---------------------------------------------------------------------------
@@ -252,7 +328,77 @@ def _wrap_asl_error(source: str, exc: Exception) -> AslRuntimeError:
     return AslRuntimeError(f"compiled action failed: {exc} (in {source!r})")
 
 
-def _compile_guard(guard) -> Optional[Callable]:
+class CompilePlan:
+    """The persistable transpile outcomes of one machine's compile.
+
+    A plan maps every ASL guard/action source string of a machine to
+    its transpiled Python source (or ``None`` when the source falls
+    back to the tree-walking interpreter).  It is the content of the
+    per-machine ``compile`` artifact in :mod:`repro.store`: warm
+    compiles replay recorded outcomes — one ``compile()`` call per
+    site — skipping ASL parsing and transpilation entirely, and are
+    byte-identical to cold compiles because the executed Python source
+    is literally the same string.
+    """
+
+    __slots__ = ("guards", "actions", "recording")
+
+    PAYLOAD_VERSION = 1
+
+    def __init__(self, guards: Optional[Dict[str, Optional[str]]] = None,
+                 actions: Optional[Dict[str, Optional[str]]] = None,
+                 recording: bool = False):
+        self.guards: Dict[str, Optional[str]] = dict(guards or {})
+        self.actions: Dict[str, Optional[str]] = dict(actions or {})
+        self.recording = recording
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"plan_version": self.PAYLOAD_VERSION,
+                "guards": self.guards, "actions": self.actions}
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> Optional["CompilePlan"]:
+        """Rebuild from a stored payload; None when the shape is off."""
+        if not isinstance(payload, dict) \
+                or payload.get("plan_version") != cls.PAYLOAD_VERSION:
+            return None
+        guards = payload.get("guards")
+        actions = payload.get("actions")
+        if not isinstance(guards, dict) or not isinstance(actions, dict):
+            return None
+        sources = list(guards.items()) + list(actions.items())
+        if not all(isinstance(key, str)
+                   and (value is None or isinstance(value, str))
+                   for key, value in sources):
+            return None
+        return cls(guards, actions, recording=False)
+
+    def __repr__(self) -> str:
+        mode = "recording" if self.recording else "replay"
+        return (f"<CompilePlan {mode} guards={len(self.guards)} "
+                f"actions={len(self.actions)}>")
+
+
+#: Sentinel: "this source has no recorded transpile outcome".
+_UNPLANNED = object()
+
+
+def _planned_source(plan: Optional[CompilePlan], table: str,
+                    source: str):
+    """A recorded transpile outcome, or ``_UNPLANNED``."""
+    if plan is None or plan.recording:
+        return _UNPLANNED
+    return getattr(plan, table).get(source, _UNPLANNED)
+
+
+def _record_source(plan: Optional[CompilePlan], table: str, source: str,
+                   python_source: Optional[str]) -> None:
+    if plan is not None and plan.recording:
+        getattr(plan, table)[source] = python_source
+
+
+def _compile_guard(guard, plan: Optional[CompilePlan] = None
+                   ) -> Optional[Callable]:
     """Compile a guard into ``g(runtime, env, occurrence) -> bool``.
 
     Returns None for the always-true guard.  The ``env`` argument is the
@@ -273,16 +419,25 @@ def _compile_guard(guard) -> Optional[Callable]:
         def never(runtime, env, occurrence):
             return False
         return never
-    code = None
-    try:
-        from .. import asl
-        from ..codegen.transpile import to_python_expression
+    python_source = _planned_source(plan, "guards", guard)
+    if python_source is _UNPLANNED:
+        try:
+            from .. import asl
+            from ..codegen.transpile import to_python_expression
 
-        python_source = to_python_expression(asl.parse_expression(guard))
-        if "self." not in python_source:
+            python_source = to_python_expression(
+                asl.parse_expression(guard))
+            if "self." in python_source:
+                python_source = None
+        except Exception:
+            python_source = None
+        _record_source(plan, "guards", guard, python_source)
+    code = None
+    if python_source is not None:
+        try:
             code = compile(python_source, "<asl-guard>", "eval")
-    except Exception:
-        code = None
+        except Exception:
+            code = None
     if code is not None:
         def run_compiled(runtime, env, occurrence, _code=code, _src=guard):
             try:
@@ -299,7 +454,8 @@ def _compile_guard(guard) -> Optional[Callable]:
     return run_interpreted
 
 
-def _compile_action(action) -> Optional[Callable]:
+def _compile_action(action, plan: Optional[CompilePlan] = None
+                    ) -> Optional[Callable]:
     """Compile an effect/entry/exit into ``a(runtime, occurrence)``.
 
     ASL source is transpiled and ``compile()``d when every construct has
@@ -317,16 +473,24 @@ def _compile_action(action) -> Optional[Callable]:
     if not isinstance(action, str):
         raise StateMachineError(
             f"unsupported action type {type(action).__name__}")
-    code = None
-    try:
-        from ..codegen.transpile import to_python_statements
+    python_source = _planned_source(plan, "actions", action)
+    if python_source is _UNPLANNED:
+        try:
+            from ..codegen.transpile import to_python_statements
 
-        python_source = "\n".join(
-            to_python_statements(action, set(), send_call="_send"))
-        if "self." not in python_source:
+            python_source = "\n".join(
+                to_python_statements(action, set(), send_call="_send"))
+            if "self." in python_source:
+                python_source = None
+        except Exception:
+            python_source = None
+        _record_source(plan, "actions", action, python_source)
+    code = None
+    if python_source is not None:
+        try:
             code = compile(python_source, "<asl-effect>", "exec")
-    except Exception:
-        code = None
+        except Exception:
+            code = None
     if code is not None:
         def run_compiled(runtime, occurrence, _code=code, _src=action):
             env = dict(runtime.context)
@@ -492,11 +656,14 @@ def compile_fallback_reason(machine: StateMachine) -> Optional[str]:
     return None
 
 
-def compile_machine(machine: StateMachine) -> CompiledMachine:
+def compile_machine(machine: StateMachine,
+                    plan: Optional[CompilePlan] = None) -> CompiledMachine:
     """Compile a flat machine into per-state dispatch tables.
 
     Raises :class:`StateMachineError` when the machine is outside the
     compilable subset (check :func:`compile_fallback_reason` first).
+    ``plan`` replays (or, when recording, captures) transpile outcomes
+    for the store-backed warm-compile path.
     """
     reason = compile_fallback_reason(machine)
     if reason is not None:
@@ -509,9 +676,9 @@ def compile_machine(machine: StateMachine) -> CompiledMachine:
         by_name: Dict[str, CompiledState] = {}
         for position, state in enumerate(machine.all_states()):
             cstate = CompiledState(state.name, position)
-            cstate.entry = _compile_action(state.entry)
-            cstate.do_activity = _compile_action(state.do_activity)
-            cstate.exit = _compile_action(state.exit)
+            cstate.entry = _compile_action(state.entry, plan)
+            cstate.do_activity = _compile_action(state.do_activity, plan)
+            cstate.exit = _compile_action(state.exit, plan)
             cstates[id(state)] = cstate
             by_name[state.name] = cstate
 
@@ -525,8 +692,8 @@ def compile_machine(machine: StateMachine) -> CompiledMachine:
                 compiled = CompiledTransition(
                     transition.kind is TransitionKind.INTERNAL,
                     cstates[id(transition.target)],
-                    _compile_guard(transition.guard),
-                    _compile_action(transition.effect),
+                    _compile_guard(transition.guard, plan),
+                    _compile_action(transition.effect, plan),
                     state.name)
                 for event in transition.triggers:
                     if isinstance(event, TimeEvent):
@@ -547,7 +714,7 @@ def compile_machine(machine: StateMachine) -> CompiledMachine:
             raise StateMachineError(
                 f"machine {machine.name!r} has no initial pseudostate")
         initial_transition = initial.outgoing[0]
-        initial_effect = _compile_action(initial_transition.effect)
+        initial_effect = _compile_action(initial_transition.effect, plan)
         initial_state = cstates[id(initial_transition.target)]
 
     PERF.incr("sm.machines_compiled")
@@ -563,19 +730,54 @@ _COMPILE_CACHE_MAX = 256
 def compile_machine_cached(machine: StateMachine) -> CompiledMachine:
     """Memoized :func:`compile_machine`, invalidated by model mutation.
 
-    Keyed on identity plus the element tree's generation counter, so a
+    Keyed on identity plus the owning tree's generation counter, so a
     machine edited after compilation recompiles while N identical part
     instances (and N campaign seeds over one parsed model) share a
     single dispatch table — the warm-compile path of batched execution
     and the pre-fork campaign warm-up.
+
+    When an artifact store is active (:func:`repro.store.
+    get_active_store`), in-memory misses consult the per-machine
+    ``compile`` artifact keyed by the machine's subtree fingerprint:
+    warm processes replay the stored :class:`CompilePlan` instead of
+    re-transpiling, and cold compiles persist their plan for the next
+    worker.  Editing one machine of a model changes only that machine's
+    fingerprint, so siblings keep warm artifacts — the incremental
+    recompilation path.
     """
     key = id(machine)
-    generation = machine.generation
+    generation = machine.root().generation
     hit = _COMPILE_CACHE.get(key)
     if hit is not None and hit[0] is machine and hit[1] == generation:
         PERF.incr("sm.compile_cache_hits")
         return hit[2]
-    compiled = compile_machine(machine)
+
+    from ..store import get_active_store
+    store = get_active_store()
+    plan = None
+    if store is not None:
+        from ..metamodel.model import element_fingerprint
+        fingerprint = element_fingerprint(machine)
+        store_key = store.make_key("compile", fingerprint)
+        payload = store.load("compile", store_key,
+                             inputs=(fingerprint,), label=machine.name)
+        plan = CompilePlan.from_payload(payload) \
+            if payload is not None else None
+        if plan is not None:
+            PERF.incr("sm.compile_store_hits")
+    if plan is not None:
+        compiled = compile_machine(machine, plan=plan)
+    elif store is not None:
+        plan = CompilePlan(recording=True)
+        compiled = compile_machine(machine, plan=plan)
+        store.save("compile", store_key, plan.to_payload(),
+                   inputs=(fingerprint,),
+                   meta={"machine": machine.name,
+                         "states": len(compiled.states)},
+                   label=machine.name)
+    else:
+        compiled = compile_machine(machine)
+
     if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
         _COMPILE_CACHE.clear()
     _COMPILE_CACHE[key] = (machine, generation, compiled)

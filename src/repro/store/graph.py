@@ -1,0 +1,95 @@
+"""The explicit build graph over pipeline stages.
+
+Every store-mediated stage of the model-processing pipeline — PIM→PSM
+transform, per-machine flattening, per-machine dispatch-table compile,
+per-unit codegen — records a :class:`BuildNode` here: the artifact kind,
+its content-addressed key, the input fingerprints it declared (the model
+slice it read plus upstream artifact keys), and whether the artifact was
+**built** (cold: the stage ran) or **reused** (warm: served from the
+disk store).  The graph is what makes incremental recompilation
+*checkable*: after editing exactly one state machine of a multi-part
+model, the counters must show one ``built`` compile node and warm
+reuses for every sibling — the PR 8 acceptance gate asserts exactly
+that.
+
+The graph is per-:class:`~repro.store.artifacts.ArtifactStore` instance
+and in-memory only; it describes *this process's* build activity, not
+the store's whole history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Node status values.
+BUILT = "built"
+REUSED = "reused"
+
+
+@dataclass(frozen=True)
+class BuildNode:
+    """One stage execution: an artifact and the inputs that keyed it."""
+
+    kind: str                       # "transform" | "flatten" | "compile" | ...
+    key: str                        # content-addressed artifact key
+    inputs: Tuple[str, ...]         # input fingerprints / upstream keys
+    status: str                     # BUILT or REUSED
+    label: str = ""                 # human handle (machine/model name)
+
+
+@dataclass
+class BuildGraph:
+    """An append-only record of build activity with per-kind counters."""
+
+    nodes: List[BuildNode] = field(default_factory=list)
+
+    def record(self, kind: str, key: str, inputs: Tuple[str, ...],
+               status: str, label: str = "") -> BuildNode:
+        node = BuildNode(kind, key, tuple(inputs), status, label)
+        self.nodes.append(node)
+        return node
+
+    # -- counters (the incremental-rebuild assertions) -------------------
+
+    def built(self, kind: Optional[str] = None) -> int:
+        """How many artifacts were cold-built (optionally of one kind)."""
+        return sum(1 for node in self.nodes if node.status == BUILT
+                   and (kind is None or node.kind == kind))
+
+    def reused(self, kind: Optional[str] = None) -> int:
+        """How many artifacts were served warm from the store."""
+        return sum(1 for node in self.nodes if node.status == REUSED
+                   and (kind is None or node.kind == kind))
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """``{kind: {"built": n, "reused": n}}`` over all recorded nodes."""
+        table: Dict[str, Dict[str, int]] = {}
+        for node in self.nodes:
+            bucket = table.setdefault(node.kind,
+                                      {"built": 0, "reused": 0})
+            bucket[node.status] = bucket.get(node.status, 0) + 1
+        return {kind: table[kind] for kind in sorted(table)}
+
+    def dependents_of(self, fingerprint: str) -> Tuple[BuildNode, ...]:
+        """Every node that declared ``fingerprint`` among its inputs."""
+        return tuple(node for node in self.nodes
+                     if fingerprint in node.inputs)
+
+    def reset(self) -> None:
+        """Forget recorded activity (counters restart at zero)."""
+        self.nodes.clear()
+
+    def explain(self) -> List[str]:
+        """Human-readable one-line-per-node build log."""
+        lines = []
+        for node in self.nodes:
+            label = f" {node.label}" if node.label else ""
+            lines.append(f"{node.status:<6} {node.kind}{label} "
+                         f"key={node.key[:12]} "
+                         f"inputs={len(node.inputs)}")
+        return lines
+
+    def __repr__(self) -> str:
+        return (f"<BuildGraph {len(self.nodes)} nodes "
+                f"built={self.built()} reused={self.reused()}>")

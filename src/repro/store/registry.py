@@ -1,0 +1,123 @@
+"""A searchable registry of models known to an artifact store.
+
+Workers (and users, through ``repro store ls``) need to *find* warm
+artifacts, not just hit them by exact fingerprint: "the Top SoC model",
+"everything carrying the «hwPart» stereotype", "models tailored by the
+SoC profile".  :class:`ModelRegistry` indexes each registered model as a
+``model`` artifact whose payload is the searchable record — name,
+content fingerprint, per-machine subtree fingerprints, the stereotype
+names applied anywhere in the tree, and the profile names in force —
+and answers conjunctive name/stereotype/profile queries over those
+records.
+
+The index is itself stored content-addressed (keyed by the model
+fingerprint), so re-registering an unchanged model is idempotent and
+registering an edited model adds a *new* record; :meth:`search` returns
+the most recently written record first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..metamodel.element import Element
+from ..metamodel.model import element_fingerprint, model_fingerprint
+from .artifacts import ArtifactStore
+
+#: Artifact kind under which registry records are stored.
+MODEL_KIND = "model"
+
+
+def _machine_index(root: Element) -> Dict[str, str]:
+    """``{qualified machine name: subtree fingerprint}`` for a model."""
+    from ..statemachines.kernel import StateMachine
+
+    machines: Dict[str, str] = {}
+    for element in root.all_owned():
+        if isinstance(element, StateMachine):
+            owner = element.owner
+            owner_name = getattr(owner, "name", "") if owner is not None \
+                else ""
+            label = f"{owner_name}::{element.name}" if owner_name \
+                else element.name
+            machines[label] = element_fingerprint(element)
+    return machines
+
+
+def _stereotype_names(root: Element) -> List[str]:
+    """Sorted stereotype names applied anywhere in the tree."""
+    from ..profiles.core import applications_of
+
+    names = set()
+    for element in [root] + list(root.all_owned()):
+        for application in applications_of(element):
+            names.add(application.stereotype.name)
+    return sorted(names)
+
+
+class ModelRegistry:
+    """Name/stereotype/profile index over a store's registered models."""
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+
+    def register(self, model: Element,
+                 profiles: Sequence[Element] = ()) -> Dict[str, Any]:
+        """Index a model; returns the stored record (idempotent)."""
+        fingerprint = model_fingerprint(model)
+        record = {
+            "name": getattr(model, "name", ""),
+            "fingerprint": fingerprint,
+            "elements": sum(1 for _ in model.all_owned()),
+            "machines": _machine_index(model),
+            "stereotypes": _stereotype_names(model),
+            "profiles": sorted(getattr(p, "name", "") for p in profiles),
+        }
+        key = self.store.make_key(MODEL_KIND, fingerprint)
+        if self.store.contains(MODEL_KIND, key):
+            cached = self.store.load(MODEL_KIND, key,
+                                     inputs=(fingerprint,),
+                                     label=record["name"])
+            if cached is not None:
+                return cached
+        self.store.save(MODEL_KIND, key, record,
+                        inputs=(fingerprint,),
+                        meta={"name": record["name"]},
+                        label=record["name"])
+        return record
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every readable registry record, most recently stored first."""
+        summaries = sorted(self.store.ls(MODEL_KIND),
+                           key=lambda entry: entry["age_s"])
+        records = []
+        for summary in summaries:
+            if summary.get("corrupt"):
+                continue
+            record = self.store.load(MODEL_KIND, summary["key"])
+            if record is not None:
+                records.append(record)
+        return records
+
+    def search(self, name: Optional[str] = None,
+               stereotype: Optional[str] = None,
+               profile: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Conjunctive substring queries over the registered records."""
+        matches = []
+        for record in self.entries():
+            if name is not None and name.lower() \
+                    not in str(record.get("name", "")).lower():
+                continue
+            if stereotype is not None and not any(
+                    stereotype.lower() in entry.lower()
+                    for entry in record.get("stereotypes", ())):
+                continue
+            if profile is not None and not any(
+                    profile.lower() in entry.lower()
+                    for entry in record.get("profiles", ())):
+                continue
+            matches.append(record)
+        return matches
+
+    def __repr__(self) -> str:
+        return f"<ModelRegistry over {self.store.root}>"
