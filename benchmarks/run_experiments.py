@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D17).
+"""Regenerate every derived-experiment table (D1-D18).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -75,6 +75,8 @@ EXPERIMENTS = {
             "online property checking & pass-rate curves"),
     "d17": ("bench_d17_store",
             "artifact-store warm starts & incremental recompilation"),
+    "d18": ("bench_d18_causality",
+            "causal span tracing & live telemetry overhead"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

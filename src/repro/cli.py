@@ -235,8 +235,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     bus = TraceBus()
     trace_stream = None
     writer = None
+    # ``--trace -`` streams the JSONL onto stdout; every informational
+    # print then moves to stderr so the stream stays machine-parseable
+    # (pipe it straight into trace-to-sequence or jq).
+    stream_trace = args.trace_file == "-"
+    out = sys.stderr if stream_trace else sys.stdout
     if args.trace_file:
-        trace_stream = open(args.trace_file, "w", encoding="utf-8")
+        trace_stream = (sys.stdout if stream_trace
+                        else open(args.trace_file, "w", encoding="utf-8"))
         writer = JsonlTraceWriter(trace_stream, bus=bus)
     if args.stats:
         # the PERF cosim counters are just one more subscriber
@@ -259,6 +265,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                               profile=bool(args.profile_file),
                               flight_recorder=flight_capacity,
                               flight_dump=flight_dump,
+                              causality=bool(args.spans_file
+                                             or args.perfetto_file),
                               properties=suite,
                               on_violation=args.on_violation) as simulation:
             if simulation.engine_mode == "batched" \
@@ -281,18 +289,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                       file=sys.stderr)
             print(f"simulated {args.until} time units: "
                   f"{simulation.messages_delivered} message(s) delivered, "
-                  f"{simulation.messages_dropped} dropped")
+                  f"{simulation.messages_dropped} dropped", file=out)
             for name, states in simulation.state_snapshot().items():
-                print(f"  {name:20} {', '.join(states) or '(no behavior)'}")
+                print(f"  {name:20} {', '.join(states) or '(no behavior)'}",
+                      file=out)
             if args.compiled or args.engine:
                 for name, verdict in sorted(
                         simulation.compile_report.items()):
-                    print(f"  {name:20} [{verdict}]")
+                    print(f"  {name:20} [{verdict}]", file=out)
             if campaign is not None or simulation.resilience.part_failures \
                     or simulation.resilience.kernel_incidents:
-                print("resilience report:")
-                print(simulation.resilience.to_json())
-            _write_observability(args, simulation)
+                print("resilience report:", file=out)
+                print(simulation.resilience.to_json(), file=out)
+            _write_observability(args, simulation, out)
+            _write_causality(args, simulation, out)
             property_report = simulation.property_report()
             if property_report is not None:
                 for name, entry in sorted(
@@ -303,19 +313,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                           + (f" ({len(entry['violations'])} violation(s), "
                              f"first at t="
                              f"{entry['time_to_violation']})"
-                             if entry["violations"] else ""))
+                             if entry["violations"] else ""), file=out)
                 if args.property_report_file:
                     with open(args.property_report_file, "w",
                               encoding="utf-8") as handle:
                         handle.write(property_report.to_json() + "\n")
                     print(f"properties: {property_report.verdict} -> "
-                          f"{args.property_report_file}")
+                          f"{args.property_report_file}", file=out)
     finally:
-        if trace_stream is not None:
+        if trace_stream is not None and not stream_trace:
             trace_stream.close()
+        elif stream_trace:
+            sys.stdout.flush()
     if writer is not None:
         print(f"trace: {writer.lines_written} event(s) -> "
-              f"{args.trace_file}")
+              f"{'stdout' if stream_trace else args.trace_file}",
+              file=out)
     # Distinct exit codes make degraded runs scriptable, ordered by
     # precedence: a violated temporal property (the run was *wrong*)
     # outranks a survived-but-wounded simulation (quarantined part),
@@ -338,25 +351,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _write_observability(args: argparse.Namespace, simulation) -> None:
+def _write_observability(args: argparse.Namespace, simulation,
+                         out=None) -> None:
     """Write the coverage / profile / metrics artifacts after a run."""
+    out = out if out is not None else sys.stdout
     suite = simulation.observability
     if args.coverage_file:
         report = suite.coverage_report()
         with open(args.coverage_file, "w", encoding="utf-8") as handle:
             handle.write(report.to_json(indent=2) + "\n")
         print(f"coverage: {report.total_percent():.2f}% of "
-              f"{report.total_bins()} bin(s) -> {args.coverage_file}")
+              f"{report.total_bins()} bin(s) -> {args.coverage_file}",
+              file=out)
     if args.profile_file:
         lines = suite.profile_lines(metric=args.profile_metric)
         with open(args.profile_file, "w", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + "\n")
-        print(f"profile: {len(lines)} stack(s) -> {args.profile_file}")
+        print(f"profile: {len(lines)} stack(s) -> {args.profile_file}",
+              file=out)
     if args.flight_recorder and suite is not None:
         recorder = suite.recorder
         print(f"flight recorder: {len(recorder.events)}/"
               f"{recorder.capacity} event(s) buffered, "
-              f"{recorder.dumps_written} dump(s) written")
+              f"{recorder.dumps_written} dump(s) written", file=out)
     if args.metrics_file:
         from .observability import to_json as metrics_to_json
         from .perf import PERF
@@ -367,7 +384,27 @@ def _write_observability(args: argparse.Namespace, simulation) -> None:
         with open(args.metrics_file, "w", encoding="utf-8") as handle:
             handle.write(metrics_to_json(PERF.snapshot(),
                                          coverage=coverage) + "\n")
-        print(f"metrics: snapshot -> {args.metrics_file}")
+        print(f"metrics: snapshot -> {args.metrics_file}", file=out)
+
+
+def _write_causality(args: argparse.Namespace, simulation,
+                     out=None) -> None:
+    """Write the span / Perfetto exports after a run (PR 9)."""
+    if not (args.spans_file or args.perfetto_file):
+        return
+    out = out if out is not None else sys.stdout
+    causal = simulation.observability.causal
+    if args.spans_file:
+        with open(args.spans_file, "w", encoding="utf-8") as handle:
+            handle.write(causal.to_span_jsonl())
+        print(f"spans: {len(causal.events)} record(s), "
+              f"{len(causal.roots())} causal root(s) -> "
+              f"{args.spans_file}", file=out)
+    if args.perfetto_file:
+        with open(args.perfetto_file, "w", encoding="utf-8") as handle:
+            handle.write(causal.to_perfetto() + "\n")
+        print(f"perfetto: trace -> {args.perfetto_file} "
+              f"(open in ui.perfetto.dev)", file=out)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -392,6 +429,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     name = "campaign"
     if args.faults:
         name = FaultCampaign.from_file(args.faults).name
+    obs = bool(args.obs_report_file or args.obs_html_file)
     spec = CampaignSpec(seeds=seeds, model=args.model, top=args.top,
                         campaign=args.faults or None,
                         until=args.until, quantum=args.quantum,
@@ -402,13 +440,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         coverage=bool(args.coverage_file),
                         name=name,
                         properties=args.properties_file or None,
-                        on_violation=args.on_violation)
+                        on_violation=args.on_violation,
+                        obs=obs)
     result = run_campaign(spec, workers=args.parallel,
                           journal=args.journal or None,
                           resume=args.resume,
                           run_timeout=args.run_timeout,
                           max_retries=args.retries,
-                          vectorize=args.vectorize)
+                          vectorize=args.vectorize,
+                          progress=True if args.progress else None)
     resilience = result.resilience()
     print(f"campaign {result.name!r}: {len(result.rows)}/{len(seeds)} "
           f"seed(s) completed ({result.mode}, "
@@ -436,6 +476,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"coverage: {merged.total_percent():.2f}% of "
                   f"{merged.total_bins()} bin(s) -> "
                   f"{args.coverage_file}")
+    if obs:
+        from .observability import (
+            ObservabilityReport,
+            campaign_fingerprint,
+        )
+
+        obs_report = ObservabilityReport.from_result(result)
+        if args.obs_report_file:
+            with open(args.obs_report_file, "w",
+                      encoding="utf-8") as handle:
+                handle.write(obs_report.to_json() + "\n")
+            print(f"observability: {len(obs_report.seeds)} seed(s), "
+                  f"{len(obs_report.hot_frames)} hot frame(s) -> "
+                  f"{args.obs_report_file}")
+        if args.obs_html_file:
+            with open(args.obs_html_file, "w",
+                      encoding="utf-8") as handle:
+                handle.write(obs_report.to_html() + "\n")
+            print(f"observability: HTML -> {args.obs_html_file}")
+        if store is not None:
+            key = campaign_fingerprint(spec)
+            store.save("report", key, obs_report.to_dict(),
+                       meta={"campaign": result.name,
+                             "seeds": len(obs_report.seeds)},
+                       label=f"obs-report {result.name}")
+            print(f"observability: stored as report/{key}")
     aggregated = result.properties()
     if aggregated is not None:
         import json as json_module
@@ -553,26 +619,42 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_trace_to_sequence(args: argparse.Namespace) -> int:
     import json
+    from contextlib import nullcontext
 
     from .diagrams import render_interaction
     from .interactions import interaction_from_trace
 
+    source = ("stdin" if args.trace == "-" else args.trace)
+    opener = (nullcontext(sys.stdin) if args.trace == "-"
+              else open(args.trace, "r", encoding="utf-8"))
     events = []
-    with open(args.trace, "r", encoding="utf-8") as handle:
+    with opener as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                record = json.loads(line)
             except ValueError as error:
                 raise ReproError(
-                    f"{args.trace}:{line_number}: not a JSON trace "
+                    f"{source}:{line_number}: not a JSON trace "
                     f"record: {error}") from error
+            # synthetic engine meta-events (batched parts degrading to
+            # their serial engine at t=0) are bookkeeping, not traffic
+            if record.get("kind") == "engine_degraded":
+                continue
+            if args.part and record.get("part") not in args.part \
+                    and record.get("sender") not in args.part:
+                continue
+            if args.signal and record.get("signal") not in args.signal:
+                continue
+            events.append(record)
     if not events:
         raise ReproError(
-            f"{args.trace}: no trace events — is this a JSONL trace "
-            f"written by simulate --trace?")
+            f"{source}: no trace events"
+            + (" matched the --part/--signal filters"
+               if args.part or args.signal else
+               " — is this a JSONL trace written by simulate --trace?"))
     interaction = interaction_from_trace(args.name, events,
                                          include_env=args.include_env,
                                          limit=args.limit)
@@ -696,7 +778,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace", default="", dest="trace_file",
                           metavar="PATH",
                           help="stream every TraceEvent as JSON Lines "
-                               "into PATH (see docs/TRACING.md)")
+                               "into PATH, or '-' for stdout (see "
+                               "docs/TRACING.md)")
+    simulate.add_argument("--spans", default="", dest="spans_file",
+                          metavar="PATH",
+                          help="causal span tracing: write the "
+                               "provenance forest as JSONL span "
+                               "records (see docs/OBSERVABILITY.md)")
+    simulate.add_argument("--perfetto", default="", dest="perfetto_file",
+                          metavar="PATH",
+                          help="causal span tracing: write a "
+                               "Chrome/Perfetto trace_event JSON (one "
+                               "track per part, flow arrows for "
+                               "cross-part causality)")
     simulate.add_argument("--coverage", default="", dest="coverage_file",
                           metavar="PATH",
                           help="collect functional coverage and write "
@@ -808,6 +902,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--report", default="", dest="report_file",
                           metavar="PATH",
                           help="write the merged campaign result JSON")
+    campaign.add_argument("--obs-report", default="",
+                          dest="obs_report_file", metavar="PATH",
+                          help="collect full observability on every "
+                               "seed (coverage + profiler + causal "
+                               "index) and write the merged cross-seed "
+                               "report JSON; stored as a 'report' "
+                               "artifact when a store is active")
+    campaign.add_argument("--obs-html", default="",
+                          dest="obs_html_file", metavar="PATH",
+                          help="also render the observability report "
+                               "as a self-contained HTML page")
+    campaign.add_argument("--progress", action="store_true",
+                          help="live progress line on stderr (seeds "
+                               "done/running/failed, events/s, ETA) "
+                               "fed by worker heartbeats over a pipe")
     campaign.add_argument("--coverage", default="", dest="coverage_file",
                           metavar="PATH",
                           help="collect per-seed functional coverage "
@@ -882,9 +991,19 @@ def build_parser() -> argparse.ArgumentParser:
              "diagram")
     trace_to_sequence.add_argument("trace",
                                    help="JSON Lines trace file written "
-                                        "by simulate --trace")
+                                        "by simulate --trace, or '-' "
+                                        "for stdin")
     trace_to_sequence.add_argument("--name", default="observed",
                                    help="interaction name (diagram title)")
+    trace_to_sequence.add_argument("--part", action="append", default=[],
+                                   metavar="NAME",
+                                   help="keep only messages sent or "
+                                        "received by this part "
+                                        "(repeatable)")
+    trace_to_sequence.add_argument("--signal", action="append",
+                                   default=[], metavar="NAME",
+                                   help="keep only messages carrying "
+                                        "this signal (repeatable)")
     trace_to_sequence.add_argument("--include-env", action="store_true",
                                    dest="include_env",
                                    help="keep external stimuli (sender "

@@ -193,6 +193,15 @@ class TraceBus:
         #: ``kind in bus.active_kinds`` before building a payload dict,
         #: so an unobserved kind costs one set-membership check.
         self.active_kinds: frozenset = frozenset()
+        #: Causal provenance (PR 9).  ``cause`` is a register the
+        #: engines and the harness point at the ordinal of the record
+        #: that *caused* whatever is emitted next (delivery -> event,
+        #: event -> transition, transition -> exit/effect/enter, ...);
+        #: while ``causal`` is on, :meth:`emit` stamps the register into
+        #: each payload as an optional ``cause`` field.  Off by default
+        #: so the unobserved hot path pays nothing.
+        self.causal = False
+        self.cause: Optional[int] = None
 
     # -- subscription ------------------------------------------------------
 
@@ -250,6 +259,8 @@ class TraceBus:
         if not callbacks:
             return None
         self._ordinal += 1
+        if self.causal and self.cause is not None and "cause" not in data:
+            data["cause"] = self.cause
         event = TraceEvent(self._ordinal, t, kind, part, data)
         for callback in callbacks:
             try:
@@ -283,12 +294,15 @@ class TraceBus:
     # -- checkpointing -----------------------------------------------------
 
     def checkpoint(self) -> Dict[str, Any]:
-        """Capture the ordinal counter (subscribers are not state)."""
-        return {"ordinal": self._ordinal}
+        """Capture the ordinal counter and the causal register
+        (subscribers are not state)."""
+        return {"ordinal": self._ordinal, "cause": self.cause}
 
     def restore(self, snap: Dict[str, Any]) -> None:
-        """Rewind the ordinal counter to a checkpointed value."""
+        """Rewind the ordinal counter (and causal register) to a
+        checkpointed value."""
         self._ordinal = snap["ordinal"]
+        self.cause = snap.get("cause")
 
     def __repr__(self) -> str:
         return (f"<TraceBus subscribers={len(self._subscriptions)} "

@@ -70,9 +70,14 @@ class FaultInjector:
         # off); the trace event is observation only.
         bus = getattr(simulation, "bus", None)
         if bus is not None and FAULT in bus.active_kinds:
-            bus.emit(FAULT, now, part,
-                     {"fault": spec.name, "kind": kind, "signal": signal,
-                      "peer": peer, "connector": connector})
+            record = bus.emit(FAULT, now, part,
+                              {"fault": spec.name, "kind": kind,
+                               "signal": signal, "peer": peer,
+                               "connector": connector})
+            if bus.causal and record is not None:
+                # the corrupted/delayed/duplicated delivery descends
+                # from the injection, not the clean routing record
+                bus.cause = record.ordinal
         if kind == "drop":
             self.report.record_injection(now, spec.name, kind, spec.site(),
                                          signal)

@@ -86,7 +86,7 @@ class CampaignSpec:
     __slots__ = ("model", "top", "builder", "campaign", "seeds", "until",
                  "quantum", "compiled", "engine", "on_part_error",
                  "checkpoint_interval", "max_restarts", "max_restores",
-                 "coverage", "name", "properties", "on_violation")
+                 "coverage", "name", "properties", "on_violation", "obs")
 
     def __init__(self,
                  seeds: Sequence[int],
@@ -105,7 +105,8 @@ class CampaignSpec:
                  coverage: bool = False,
                  name: str = "campaign",
                  properties: Optional[Any] = None,
-                 on_violation: str = "incident"):
+                 on_violation: str = "incident",
+                 obs: bool = False):
         if (model is None) == (builder is None):
             raise FaultError(
                 "campaign spec needs exactly one model source: "
@@ -159,6 +160,11 @@ class CampaignSpec:
                 f"on_violation must be one of {VIOLATION_POLICIES}, "
                 f"got {on_violation!r}")
         self.on_violation = on_violation
+        #: full observability collection (PR 9): every seed also runs
+        #: with coverage, the profiler and the causal index attached,
+        #: and its row carries ``profile`` + ``causal_edges`` for the
+        #: cross-seed :class:`~repro.observability.ObservabilityReport`.
+        self.obs = bool(obs)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -303,9 +309,13 @@ def _collect_row(simulation, spec: CampaignSpec, seed: int,
     row["messages_dropped"] = simulation.messages_dropped
     row["quarantined"] = sorted(simulation.quarantined_parts)
     row["resilience"] = simulation.resilience.to_dict()
-    if spec.coverage:
+    if spec.coverage or spec.obs:
         row["coverage"] = \
             simulation.observability.coverage_report().to_dict()
+    if spec.obs:
+        row["profile"] = simulation.observability.profile_lines("time")
+        row["causal_edges"] = \
+            simulation.observability.causal.edge_counts()
     if simulation.property_checker is not None:
         row["properties"] = simulation.property_report().to_dict()
     if sim_error:
@@ -313,7 +323,8 @@ def _collect_row(simulation, spec: CampaignSpec, seed: int,
     return row
 
 
-def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
+def run_seed(spec: CampaignSpec, seed: int,
+             observer=None) -> Dict[str, Any]:
     """Run one seed of the campaign and return its plain-data row.
 
     Everything in the row is derived from simulated state, so the same
@@ -322,6 +333,12 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
     sound.  A deterministic in-simulation error (a part raising under
     ``on_part_error="raise"``, a kernel watchdog, …) is captured in the
     row as ``sim_error``, not raised: it *is* the result of that seed.
+
+    ``observer`` (optional) is called once with the live simulation
+    before the run starts — the telemetry hook.  It must not subscribe
+    anything to the trace bus (that would shift ordinals and break
+    cross-mode row identity); the PR 9 heartbeat thread only *reads*
+    ``simulation.simulator.events_processed``.
     """
     from ..simulation import SystemSimulation
 
@@ -336,9 +353,13 @@ def run_seed(spec: CampaignSpec, seed: int) -> Dict[str, Any]:
                           max_restarts=spec.max_restarts,
                           max_restores=spec.max_restores,
                           checkpoint_interval=spec.checkpoint_interval,
-                          coverage=spec.coverage,
+                          coverage=spec.coverage or spec.obs,
+                          profile=spec.obs,
+                          causality=spec.obs,
                           properties=suite,
                           on_violation=spec.on_violation) as simulation:
+        if observer is not None:
+            observer(simulation)
         try:
             simulation.run(until=spec.until)
         except ReproError as error:
@@ -364,17 +385,42 @@ def _maybe_test_kill(seed: int, attempt: int) -> None:
 
 
 def _worker_main(spec_data: Dict[str, Any], seed: int, attempt: int,
-                 result_path: str) -> None:
+                 result_path: str,
+                 telemetry_fd: Optional[int] = None) -> None:
     """Process entry: run one seed, hand the row back via the
     rename-into-place file protocol (a present file is a complete
-    file; a missing one means this worker died)."""
+    file; a missing one means this worker died).
+
+    ``telemetry_fd`` is the write end of the parent's beat pipe
+    (inherited across fork; with a spawn start method the fd does not
+    survive and every write degrades to silence — results are
+    unaffected, only the live progress display goes quiet).
+    """
     _maybe_test_kill(seed, attempt)
+    heartbeat = None
+    ok = False
     try:
-        row = run_seed(CampaignSpec.from_dict(spec_data), seed)
+        if telemetry_fd is not None:
+            from ..observability.campaign import WorkerHeartbeat
+
+            def _observer(simulation, _seed=seed, _fd=telemetry_fd):
+                nonlocal heartbeat
+                kernel = simulation.simulator
+                heartbeat = WorkerHeartbeat(
+                    _fd, _seed,
+                    lambda: getattr(kernel, "events_processed", 0))
+        else:
+            _observer = None
+        row = run_seed(CampaignSpec.from_dict(spec_data), seed,
+                       observer=_observer)
         payload = {"ok": True, "row": row}
+        ok = True
     except BaseException as error:  # noqa: BLE001 - must report, not die
         payload = {"ok": False,
                    "error": f"{type(error).__name__}: {error}"}
+    finally:
+        if heartbeat is not None:
+            heartbeat.close(ok=ok)
     scratch = f"{result_path}.tmp"
     with open(scratch, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True, default=str)
@@ -562,6 +608,7 @@ def run_campaign(spec: CampaignSpec,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
                  vectorize: bool = False,
+                 progress: Any = None,
                  ) -> CampaignResult:
     """Sweep every seed of ``spec``, robustly.
 
@@ -576,6 +623,13 @@ def run_campaign(spec: CampaignSpec,
     without an ``ok`` row.  The returned :class:`CampaignResult`
     serializes identically however the sweep was executed or
     interrupted, as long as the same seeds completed.
+
+    ``progress`` controls live telemetry (PR 9): ``True`` builds a
+    :class:`~repro.observability.CampaignTelemetry` that renders onto
+    stderr when (and only when) it is a TTY; a ``CampaignTelemetry``
+    instance is used as given; ``None``/``False`` disables it.
+    Telemetry flows over an OS pipe, never the trace bus, so enabling
+    it cannot change any row or merged report byte.
     """
     if run_timeout is not None and run_timeout <= 0:
         raise FaultError(f"run_timeout must be positive, got {run_timeout}")
@@ -598,6 +652,15 @@ def run_campaign(spec: CampaignSpec,
                 completed[seed] = journaled[seed]
                 resumed.append(seed)
     todo = [seed for seed in spec.seeds if seed not in completed]
+    telemetry = None
+    if progress is not None and progress is not False:
+        from ..observability.campaign import CampaignTelemetry
+
+        telemetry = (progress if isinstance(progress, CampaignTelemetry)
+                     else CampaignTelemetry(len(spec.seeds),
+                                            name=spec.name))
+        for seed in resumed:
+            telemetry.seed_done(seed)
     journal_handle = None
     if journal:
         fresh = not (resume and os.path.exists(journal))
@@ -613,14 +676,18 @@ def run_campaign(spec: CampaignSpec,
             _warm_spec(spec)  # children fork with hot model/compile caches
             rows, failures = _run_parallel(
                 spec, todo, workers, journal_handle, run_timeout,
-                max_retries, retry_backoff)
+                max_retries, retry_backoff, telemetry)
         elif vectorize:
-            rows, failures = _run_vectorized(spec, todo, journal_handle)
+            rows, failures = _run_vectorized(spec, todo, journal_handle,
+                                             telemetry)
         else:
-            rows, failures = _run_serial(spec, todo, journal_handle)
+            rows, failures = _run_serial(spec, todo, journal_handle,
+                                         telemetry)
     finally:
         if journal_handle is not None:
             journal_handle.close()
+        if telemetry is not None:
+            telemetry.finish()
     rows.extend(completed.values())
     mode = ("parallel" if parallel
             else "vectorized" if vectorize else "serial")
@@ -630,13 +697,25 @@ def run_campaign(spec: CampaignSpec,
                           mode=mode)
 
 
-def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle
+def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle,
+                telemetry=None
                 ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
     """The degraded (and reference) path: every seed inline."""
     rows: List[Dict[str, Any]] = []
     for seed in todo:
-        row = run_seed(spec, seed)
+        kernel_box: List[Any] = []
+        observer = None
+        if telemetry is not None:
+            telemetry.seed_started(seed)
+            telemetry.render()
+            observer = lambda sim: kernel_box.append(sim.simulator)  # noqa: E731
+        row = run_seed(spec, seed, observer=observer)
         rows.append(row)
+        if telemetry is not None:
+            events = (getattr(kernel_box[0], "events_processed", 0)
+                      if kernel_box else 0)
+            telemetry.seed_done(seed, events)
+            telemetry.render()
         if journal_handle is not None:
             _journal_append(journal_handle,
                             {"status": "ok", "seed": seed, "attempt": 1,
@@ -648,7 +727,8 @@ def _run_serial(spec: CampaignSpec, todo: Sequence[int], journal_handle
 VECTOR_SEGMENTS = 8
 
 
-def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
+def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle,
+                    telemetry=None
                     ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
     """All seeds interleaved through one process over one parsed model.
 
@@ -684,11 +764,15 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
                 max_restarts=spec.max_restarts,
                 max_restores=spec.max_restores,
                 checkpoint_interval=spec.checkpoint_interval,
-                coverage=spec.coverage,
+                coverage=spec.coverage or spec.obs,
+                profile=spec.obs,
+                causality=spec.obs,
                 properties=suite,
                 on_violation=spec.on_violation)
             simulation._arm_run(spec.until)
             lanes.append([seed, simulation, ""])
+            if telemetry is not None:
+                telemetry.seed_started(seed)
         PERF.incr("campaign.vectorized_seeds", len(lanes))
         for segment in range(1, VECTOR_SEGMENTS + 1):
             boundary = spec.until * segment / VECTOR_SEGMENTS
@@ -700,6 +784,10 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
                 except ReproError as error:
                     lane[1]._handle_run_error(error)
                     lane[2] = f"{type(error).__name__}: {error}"
+                if telemetry is not None:
+                    telemetry.beat(
+                        lane[0], getattr(lane[1].simulator,
+                                         "events_processed", 0))
         for lane in lanes:
             if lane[2]:
                 continue
@@ -712,6 +800,10 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
         for seed, simulation, sim_error in lanes:
             row = _collect_row(simulation, spec, seed, sim_error)
             rows.append(row)
+            if telemetry is not None:
+                telemetry.seed_done(
+                    seed, getattr(simulation.simulator,
+                                  "events_processed", 0))
             if journal_handle is not None:
                 _journal_append(journal_handle,
                                 {"status": "ok", "seed": seed,
@@ -725,11 +817,14 @@ def _run_vectorized(spec: CampaignSpec, todo: Sequence[int], journal_handle
 def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
                   journal_handle, run_timeout: Optional[float],
                   max_retries: int, retry_backoff: float,
+                  telemetry=None,
                   ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
     import tempfile
 
     context = _make_context()
     spec_data = spec.to_dict()
+    telemetry_fd = (telemetry.open_pipe()
+                    if telemetry is not None else None)
     rows: List[Dict[str, Any]] = []
     failures: List[Dict[str, Any]] = []
     #: (seed, attempt, ready_at) — backoff holds a seed until ready_at
@@ -752,6 +847,8 @@ def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
         else:
             failures.append({"seed": seed, "attempts": attempt,
                              "error": error})
+            if telemetry is not None:
+                telemetry.seed_failed(seed)
 
     with tempfile.TemporaryDirectory(prefix="repro-campaign-") as scratch:
         while pending or running:
@@ -765,7 +862,8 @@ def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
                     scratch, f"seed{seed}-try{attempt}.json")
                 process = context.Process(
                     target=_worker_main,
-                    args=(spec_data, seed, attempt, result_path),
+                    args=(spec_data, seed, attempt, result_path,
+                          telemetry_fd),
                     daemon=True)
                 process.start()
                 deadline = (now + run_timeout
@@ -798,6 +896,8 @@ def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
                 if payload is not None and payload.get("ok"):
                     row = payload["row"]
                     rows.append(row)
+                    if telemetry is not None:
+                        telemetry.seed_done(seed)
                     if journal_handle is not None:
                         _journal_append(journal_handle,
                                         {"status": "ok", "seed": seed,
@@ -810,6 +910,8 @@ def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
                         seed, attempt,
                         f"worker died (exit code {process.exitcode}) "
                         f"before writing a result")
+            if telemetry is not None:
+                telemetry.poll()
             if pending or running:
                 time.sleep(0.02)
     # a seed that eventually succeeded should not linger as a failure

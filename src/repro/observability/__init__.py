@@ -18,8 +18,29 @@ compiled engines:
 ``SystemSimulation(coverage=True, profile=True, flight_recorder=N)``
 wires them through :class:`ObservabilitySuite`; see
 docs/OBSERVABILITY.md.
+
+PR 9 adds the *why* layer on top:
+
+* causal span tracing (:mod:`~repro.observability.causality`) —
+  provenance trees over the causally-stamped trace stream, with
+  ``why()`` root-cause walks, per-part causal cones, JSONL span and
+  Chrome/Perfetto exports (``SystemSimulation(causality=True)``);
+* live campaign telemetry (:mod:`~repro.observability.campaign`) —
+  worker heartbeats over an OS pipe (never the TraceBus), a live
+  progress line and a ``campaign.live`` Prometheus snapshot;
+* the cross-seed report (:mod:`~repro.observability.report`) —
+  coverage, property pass rates, profiler hot paths and causal hot
+  edges of a whole campaign merged into one deterministic artifact.
 """
 
+from .campaign import CampaignTelemetry, WorkerHeartbeat, send_beat
+from .causality import (
+    CausalIndex,
+    event_label,
+    perfetto_json,
+    span_lines,
+    spans_from_jsonl,
+)
 from .coverage import (
     BIN_KINDS,
     COMPLETION,
@@ -33,9 +54,20 @@ from .coverage import (
 from .flightrecorder import DEFAULT_CAPACITY, FlightRecorder
 from .metrics import PREFIX, metric_name, to_json, to_prometheus
 from .profiler import IDLE, SimProfiler
+from .report import ObservabilityReport, campaign_fingerprint
 from .suite import ObservabilitySuite
 
 __all__ = [
+    "CampaignTelemetry",
+    "WorkerHeartbeat",
+    "send_beat",
+    "CausalIndex",
+    "event_label",
+    "perfetto_json",
+    "span_lines",
+    "spans_from_jsonl",
+    "ObservabilityReport",
+    "campaign_fingerprint",
     "BIN_KINDS",
     "COMPLETION",
     "CoverageCollector",

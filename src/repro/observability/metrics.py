@@ -70,23 +70,28 @@ def to_prometheus(snapshot: Dict[str, Any], coverage: Any = None,
 
     for name in sorted(snapshot.get("counters", {})):
         family = metric_name(name, prefix)
+        lines.append(f"# HELP {family} Event counter {name!r}")
         lines.append(f"# TYPE {family} counter")
         lines.append(f"{family} {_format(snapshot['counters'][name])}")
 
     for name in sorted(snapshot.get("observations", {})):
         stats = snapshot["observations"][name]
         family = metric_name(name, prefix)
+        lines.append(f"# HELP {family} Timing observations {name!r}")
         lines.append(f"# TYPE {family} summary")
         lines.append(f"{family}_sum {_format(stats['total'])}")
         lines.append(f"{family}_count {_format(stats['count'])}")
+        lines.append(f"# HELP {family}_min Minimum observed {name!r}")
         lines.append(f"# TYPE {family}_min gauge")
         lines.append(f"{family}_min {_format(stats['min'])}")
+        lines.append(f"# HELP {family}_max Maximum observed {name!r}")
         lines.append(f"# TYPE {family}_max gauge")
         lines.append(f"{family}_max {_format(stats['max'])}")
 
     for name in sorted(snapshot.get("histograms", {})):
         series = snapshot["histograms"][name]
         family = metric_name(name, prefix)
+        lines.append(f"# HELP {family} Histogram {name!r}")
         lines.append(f"# TYPE {family} histogram")
         cumulative = 0
         for bound, count in zip(series["buckets"], series["counts"]):
@@ -98,6 +103,8 @@ def to_prometheus(snapshot: Dict[str, Any], coverage: Any = None,
         lines.append(f"{family}_count {_format(series['count'])}")
         for point in ("p50", "p95", "p99"):
             if point in series:
+                lines.append(f"# HELP {family}_{point} "
+                             f"Deterministic {point} of {name!r}")
                 lines.append(f"# TYPE {family}_{point} gauge")
                 lines.append(
                     f"{family}_{point} {_format(series[point])}")
@@ -107,8 +114,14 @@ def to_prometheus(snapshot: Dict[str, Any], coverage: Any = None,
         percent = metric_name("coverage_percent", prefix)
         bins = metric_name("coverage_bins", prefix)
         covered = metric_name("coverage_covered", prefix)
+        lines.append(f"# HELP {percent} Functional coverage percent "
+                     f"per part and bin kind")
         lines.append(f"# TYPE {percent} gauge")
+        lines.append(f"# HELP {bins} Total coverage bins per part "
+                     f"and bin kind")
         lines.append(f"# TYPE {bins} gauge")
+        lines.append(f"# HELP {covered} Covered bins per part "
+                     f"and bin kind")
         lines.append(f"# TYPE {covered} gauge")
         for part in sorted(coverage_data.get("parts", {})):
             summary = coverage_data["parts"][part].get("summary", {})
@@ -130,6 +143,8 @@ def to_prometheus(snapshot: Dict[str, Any], coverage: Any = None,
                 lines.append(f'{percent}{{part="{label}",kind="all"}} '
                              f"{_format(summary['percent'])}")
         total = metric_name("coverage_total_percent", prefix)
+        lines.append(f"# HELP {total} Functional coverage percent "
+                     f"over every bin universe")
         lines.append(f"# TYPE {total} gauge")
         lines.append(
             f"{total} {_format(coverage_data.get('total_percent', 0.0))}")

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import SimulationError
+from .causality import CausalIndex
 from .coverage import CoverageCollector, CoverageModel, CoverageReport
 from .flightrecorder import DEFAULT_CAPACITY, FlightRecorder
 from .profiler import SimProfiler
@@ -26,7 +27,8 @@ class ObservabilitySuite:
 
     def __init__(self, simulation: Any, coverage: bool = False,
                  profile: bool = False, flight_recorder: int = 0,
-                 flight_dump: Optional[str] = None):
+                 flight_dump: Optional[str] = None,
+                 causality: bool = False):
         bus = simulation.bus
         if bus is None:
             raise SimulationError(
@@ -36,6 +38,11 @@ class ObservabilitySuite:
         self.coverage: Optional[CoverageCollector] = None
         self.profiler: Optional[SimProfiler] = None
         self.recorder: Optional[FlightRecorder] = None
+        self.causal: Optional[CausalIndex] = None
+        if causality:
+            # first: provenance is only complete if the index sees
+            # every record other subscribers might force on
+            self.causal = CausalIndex(bus)
         if coverage:
             model = CoverageModel.for_component(simulation.top)
             self.coverage = CoverageCollector(model, bus=bus)
@@ -81,6 +88,8 @@ class ObservabilitySuite:
                          if self.profiler is not None else None),
             "recorder": (self.recorder.checkpoint()
                          if self.recorder is not None else None),
+            "causality": (self.causal.checkpoint()
+                          if self.causal is not None else None),
         }
 
     def restore(self, snap: Dict[str, Any]) -> None:
@@ -90,6 +99,8 @@ class ObservabilitySuite:
             self.profiler.restore(snap["profiler"])
         if self.recorder is not None and snap.get("recorder") is not None:
             self.recorder.restore(snap["recorder"])
+        if self.causal is not None and snap.get("causality") is not None:
+            self.causal.restore(snap["causality"])
 
     def summary(self) -> Dict[str, Any]:
         """What is attached, and the headline numbers so far."""
@@ -102,11 +113,16 @@ class ObservabilitySuite:
         if self.recorder is not None:
             summary["flight_buffered"] = len(self.recorder.events)
             summary["flight_dumps"] = self.recorder.dumps_written
+        if self.causal is not None:
+            records, edges = self.causal.counts()
+            summary["causal_records"] = records
+            summary["causal_edges"] = edges
         return summary
 
     def __repr__(self) -> str:
         attached = [name for name, value in
                     (("coverage", self.coverage),
                      ("profiler", self.profiler),
-                     ("recorder", self.recorder)) if value is not None]
+                     ("recorder", self.recorder),
+                     ("causality", self.causal)) if value is not None]
         return f"<ObservabilitySuite {'+'.join(attached) or 'empty'}>"

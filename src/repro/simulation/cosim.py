@@ -52,7 +52,11 @@ Observability (PR 4): ``coverage=True``, ``profile=True`` and
 ``flight_recorder=N`` attach the :mod:`repro.observability`
 subscribers (functional coverage, the deterministic profiler, the
 post-mortem ring buffer) to the bus before the engines start; the
-wired suite is exposed as :attr:`observability`.  ``incident_hooks``
+wired suite is exposed as :attr:`observability`.  ``causality=True``
+(PR 9) additionally attaches a
+:class:`~repro.observability.CausalIndex` and flips the bus into
+causal mode, so every emitted record carries the ordinal of the record
+that caused it (see docs/TRACING.md).  ``incident_hooks``
 fire on every escaping kernel error and quarantine — that is how the
 flight recorder auto-dumps its black box.
 
@@ -173,6 +177,7 @@ class SystemSimulation:
                  profile: bool = False,
                  flight_recorder: int = 0,
                  flight_dump: Optional[str] = None,
+                 causality: bool = False,
                  properties: Any = None,
                  on_violation: str = "incident"):
         if on_part_error not in PART_ERROR_POLICIES:
@@ -293,12 +298,13 @@ class SystemSimulation:
             self.attach_faults(faults, seed=fault_seed)
         # Observability subscribers attach before the engines start so
         # the initial configuration entries land in coverage/profiles.
-        if coverage or profile or flight_recorder:
+        if coverage or profile or flight_recorder or causality:
             from ..observability import ObservabilitySuite
 
             self.observability = ObservabilitySuite(
                 self, coverage=coverage, profile=profile,
-                flight_recorder=flight_recorder, flight_dump=flight_dump)
+                flight_recorder=flight_recorder, flight_dump=flight_dump,
+                causality=causality)
         #: the attached online PropertyChecker (None unless properties=
         #: was given).  Attached after observability so the flight
         #: recorder sees each witnessing event *before* the nested
@@ -510,7 +516,12 @@ class SystemSimulation:
                 and SUPERVISOR_DECISION in self._bus.active_kinds:
             data = {"action": action, "label": label, "reason": detail}
             data.update(self.supervisor.budgets(part_name))
-            self._bus.emit(SUPERVISOR_DECISION, now, part_name, data)
+            record = self._bus.emit(SUPERVISOR_DECISION, now, part_name,
+                                    data)
+            if self._bus.causal and record is not None:
+                # the restore/restart/quarantine record descends from
+                # this decision
+                self._bus.cause = record.ordinal
         self.resilience.record_part_failure(now, part_name, detail, label)
         if action == "restore":
             self.resilience.record_restore(part_name)
@@ -601,6 +612,10 @@ class SystemSimulation:
             }
             taken += 1
         if self._bus is not None and CHECKPOINT in self._bus.active_kinds:
+            if self._bus.causal:
+                # checkpoints are roots, not consequences of whatever
+                # record happened to precede the tick
+                self._bus.cause = None
             self._bus.emit(CHECKPOINT, now, "", {"parts": taken})
         return taken
 
@@ -645,34 +660,54 @@ class SystemSimulation:
                 return
             bus = self._bus
             routed = bus is not None and MESSAGE_ROUTED in bus.active_kinds
+            causal = bus is not None and bus.causal
+            # each routed record (not the transition that sent it) is
+            # the proximate cause of its delivery; the register is
+            # restored per hop so sibling hops stay siblings
+            origin = bus.cause if causal else None
             injector = self._injector
             if injector is None:
                 for peer_part, _peer_port, latency, conn in routes:
                     if routed:
-                        bus.emit(MESSAGE_ROUTED, self.simulator.now,
-                                 part_name, {"signal": sent.signal,
-                                             "port": port_name,
-                                             "peer": peer_part,
-                                             "connector": conn})
+                        record = bus.emit(
+                            MESSAGE_ROUTED, self.simulator.now,
+                            part_name, {"signal": sent.signal,
+                                        "port": port_name,
+                                        "peer": peer_part,
+                                        "connector": conn})
+                        if causal and record is not None:
+                            bus.cause = record.ordinal
                     self._schedule_delivery(peer_part, sent.signal,
                                             sent.arguments, latency,
                                             sender=part_name)
+                    if causal:
+                        bus.cause = origin
             else:
                 for peer_part, _peer_port, latency, conn in routes:
                     if routed:
-                        bus.emit(MESSAGE_ROUTED, self.simulator.now,
-                                 part_name, {"signal": sent.signal,
-                                             "port": port_name,
-                                             "peer": peer_part,
-                                             "connector": conn})
+                        record = bus.emit(
+                            MESSAGE_ROUTED, self.simulator.now,
+                            part_name, {"signal": sent.signal,
+                                        "port": port_name,
+                                        "peer": peer_part,
+                                        "connector": conn})
+                        if causal and record is not None:
+                            bus.cause = record.ordinal
                     injector.route(part_name, port_name, peer_part, conn,
                                    sent.signal, sent.arguments, latency)
+                    if causal:
+                        bus.cause = origin
         return sink
 
     def _schedule_delivery(self, part_name: str, signal: str,
                            arguments: Dict[str, Any],
                            latency: float,
                            sender: str = "env") -> None:
+        # Capture the causal register at schedule time: the delivery,
+        # executing later, is caused by whatever record scheduled it
+        # (a routed message, a fault injection, a transition self-send).
+        bus = self._bus
+        cause = bus.cause if bus is not None and bus.causal else None
         if self._fused:
             entry = self._lane_map.get(part_name)
             if entry is not None and latency >= 0 \
@@ -680,7 +715,8 @@ class SystemSimulation:
                 group, lane = entry
                 simulator = self.simulator
                 due = simulator.now + latency
-                message = (part_name, lane, signal, arguments, sender)
+                message = (part_name, lane, signal, arguments, sender,
+                           cause)
                 if group._open_rid >= 0 and group._open_t == due \
                         and group._open_seq == simulator._seq:
                     # No scheduler event was interleaved since this
@@ -705,20 +741,34 @@ class SystemSimulation:
             instance = self.parts[part_name]
             if instance.runtime is None:
                 return
+            bus = self._bus
+            causal = bus is not None and bus.causal
+            if causal:
+                bus.cause = cause
             if part_name in self._quarantined:
                 self._drop_quarantined(part_name, signal, sender)
+                if causal:
+                    bus.cause = None
                 return
             self._sync_runtime(instance)
+            if causal:
+                # the sync rooted its timer chains; this delivery is
+                # still caused by the record that scheduled it
+                bus.cause = cause
             if part_name in self._quarantined:
                 # the time sync itself failed the part
                 self._drop_quarantined(part_name, signal, sender)
+                if causal:
+                    bus.cause = None
                 return
             instance.received += 1
             self.messages_delivered += 1
-            bus = self._bus
             if bus is not None and MESSAGE_DELIVERED in bus.active_kinds:
-                bus.emit(MESSAGE_DELIVERED, self.simulator.now,
-                         part_name, {"signal": signal, "sender": sender})
+                record = bus.emit(MESSAGE_DELIVERED, self.simulator.now,
+                                  part_name,
+                                  {"signal": signal, "sender": sender})
+                if causal and record is not None:
+                    bus.cause = record.ordinal
             if self.trace_enabled:
                 self.trace.append(
                     (self.simulator.now, f"{signal} -> {part_name}"))
@@ -726,6 +776,8 @@ class SystemSimulation:
                 instance.runtime.send(signal, **arguments)
             except Exception as error:  # noqa: BLE001 - policy decides
                 self._part_failed(part_name, error)
+            if causal:
+                bus.cause = None
         self.simulator.schedule(latency, deliver)
 
     def _drain_run(self, payload: Tuple[BatchGroup, int]) -> None:
@@ -751,6 +803,7 @@ class SystemSimulation:
         bus = self._bus
         delivered_active = bus is not None \
             and MESSAGE_DELIVERED in bus.active_kinds
+        causal = bus is not None and bus.causal
         trace_enabled = self.trace_enabled
         trace = self.trace
         lanes = group.lanes
@@ -758,16 +811,25 @@ class SystemSimulation:
         index = 0
         try:
             while index < len(run):
-                part_name, lane, signal, arguments, sender = run[index]
+                part_name, lane, signal, arguments, sender, cause \
+                    = run[index]
                 index += 1
+                if causal:
+                    bus.cause = cause
                 if part_name in quarantined:
                     self._drop_quarantined(part_name, signal, sender)
                     continue
                 if clock[lane] < now:
+                    if causal:
+                        # timer chains fired by the sync are roots,
+                        # like the serial _sync_runtime path
+                        bus.cause = None
                     try:
                         lanes.advance_lane(lane, now)
                     except Exception as error:  # noqa: BLE001
                         self._part_failed(part_name, error)
+                    if causal:
+                        bus.cause = cause
                     if part_name in quarantined:
                         # the time sync itself failed the part
                         self._drop_quarantined(part_name, signal, sender)
@@ -775,14 +837,18 @@ class SystemSimulation:
                 parts[part_name].received += 1
                 self.messages_delivered += 1
                 if delivered_active:
-                    bus.emit(MESSAGE_DELIVERED, now, part_name,
-                             {"signal": signal, "sender": sender})
+                    record = bus.emit(MESSAGE_DELIVERED, now, part_name,
+                                      {"signal": signal, "sender": sender})
+                    if causal and record is not None:
+                        bus.cause = record.ordinal
                 if trace_enabled:
                     trace.append((now, f"{signal} -> {part_name}"))
                 try:
                     lanes.send_lane(lane, signal, arguments)
                 except Exception as error:  # noqa: BLE001
                     self._part_failed(part_name, error)
+            if causal:
+                bus.cause = None
         finally:
             # logical-event parity: serially each message is one kernel
             # event; fused it is one event per run, so account for the
@@ -812,6 +878,11 @@ class SystemSimulation:
         runtime = instance.runtime
         if runtime is not None and runtime.time < self.simulator.now \
                 and instance.name not in self._quarantined:
+            bus = self._bus
+            if bus is not None and bus.causal:
+                # timer chains fired by the advance root themselves at
+                # their own event records
+                bus.cause = None
             try:
                 runtime.step(self.simulator.now)
             except Exception as error:  # noqa: BLE001 - policy decides
@@ -942,6 +1013,9 @@ class SystemSimulation:
         if instance.name in self._quarantined:
             instance.runtime.time = until
             return
+        bus = self._bus
+        if bus is not None and bus.causal:
+            bus.cause = None
         try:
             instance.runtime.step(until)
         except Exception as error:  # noqa: BLE001 - policy decides

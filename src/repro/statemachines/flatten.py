@@ -954,9 +954,14 @@ class CompiledRuntime:
         """One run-to-completion step; True when any transition fired."""
         bus = self.trace_bus
         tracing = bus is not None and bus.engine_active
+        event_cause = None
         if tracing:
-            bus.emit("event", self.time, self.trace_part,
-                     {"event": occurrence.name})
+            record = bus.emit("event", self.time, self.trace_part,
+                              {"event": occurrence.name})
+            if bus.causal and record is not None:
+                # this dispatch is now the cause of whatever it fires
+                event_cause = record.ordinal
+                bus.cause = event_cause
         state = self._state
         if state is None:
             return False
@@ -984,14 +989,20 @@ class CompiledRuntime:
         for candidate in enabled:
             fired = True
             if tracing:
-                bus.emit("transition", self.time, self.trace_part,
-                         {"source": candidate.source_name,
-                          "target": candidate.target.name,
-                          "event": occurrence.name})
+                record = bus.emit("transition", self.time, self.trace_part,
+                                  {"source": candidate.source_name,
+                                   "target": candidate.target.name,
+                                   "event": occurrence.name})
+                if bus.causal and record is not None:
+                    # exits, the effect's sends and the entry descend
+                    # from this firing
+                    bus.cause = record.ordinal
             effect = candidate.effect
             if candidate.internal:
                 if effect is not None:
                     effect(self, occurrence)
+                if event_cause is not None:
+                    bus.cause = event_cause
                 continue
             # external: exit source, run effect, enter target; remaining
             # candidates conflict with the exited scope and are skipped.
@@ -1005,6 +1016,8 @@ class CompiledRuntime:
             if effect is not None:
                 effect(self, occurrence)
             self._enter(candidate.target, occurrence)
+            if event_cause is not None:
+                bus.cause = event_cause
             break
         return fired
 

@@ -286,9 +286,14 @@ class StateMachineRuntime:
         """Process one occurrence; returns True if any transition fired."""
         self._log("event", occurrence.name)
         bus = self.trace_bus
+        event_cause = None
         if bus is not None and bus.engine_active:
-            bus.emit("event", self.time, self.trace_part,
-                     {"event": occurrence.name})
+            record = bus.emit("event", self.time, self.trace_part,
+                              {"event": occurrence.name})
+            if bus.causal and record is not None:
+                # this dispatch is now the cause of whatever it fires
+                event_cause = record.ordinal
+                bus.cause = event_cause
         candidates = self._enabled_transitions(occurrence)
         fired_any = False
         exited: Set[State] = set()
@@ -303,6 +308,10 @@ class StateMachineRuntime:
                     continue  # UML: innermost-first conflict resolution
                 self._fire(transition, occurrence)
                 fired_any = True
+                if event_cause is not None:
+                    # each firing is caused by the event, not by the
+                    # previous firing (orthogonal regions)
+                    bus.cause = event_cause
         finally:
             self._exit_log = None
         return fired_any
@@ -391,10 +400,14 @@ class StateMachineRuntime:
         self._log("fire", repr(transition))
         bus = self.trace_bus
         if bus is not None and bus.engine_active:
-            bus.emit("transition", self.time, self.trace_part,
-                     {"source": transition.source.name,
-                      "target": transition.target.name,
-                      "event": occurrence.name})
+            record = bus.emit("transition", self.time, self.trace_part,
+                              {"source": transition.source.name,
+                               "target": transition.target.name,
+                               "event": occurrence.name})
+            if bus.causal and record is not None:
+                # exits, the effect's sends and entries descend from
+                # this firing
+                bus.cause = record.ordinal
         if transition.kind is TransitionKind.INTERNAL:
             self._run_action(transition.effect, occurrence)
             return

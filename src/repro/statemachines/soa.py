@@ -256,8 +256,14 @@ class SoaLanes:
         bus = self.trace_bus
         tracing = bus is not None and bus.engine_active
         part = self.parts[i]
+        event_cause = None
         if tracing:
-            bus.emit("event", now, part, {"event": occurrence.name})
+            record = bus.emit("event", now, part,
+                              {"event": occurrence.name})
+            if bus.causal and record is not None:
+                # this dispatch is now the cause of whatever it fires
+                event_cause = record.ordinal
+                bus.cause = event_cause
         index = self.state_idx[i]
         if index < 0:
             return False
@@ -287,14 +293,20 @@ class SoaLanes:
         for candidate in enabled:
             fired = True
             if tracing:
-                bus.emit("transition", now, part,
-                         {"source": candidate.source_name,
-                          "target": candidate.target.name,
-                          "event": occurrence.name})
+                record = bus.emit("transition", now, part,
+                                  {"source": candidate.source_name,
+                                   "target": candidate.target.name,
+                                   "event": occurrence.name})
+                if bus.causal and record is not None:
+                    # exits, the effect's sends and the entry descend
+                    # from this firing
+                    bus.cause = record.ordinal
             effect = candidate.effect
             if candidate.internal:
                 if effect is not None:
                     effect(self, occurrence)
+                if event_cause is not None:
+                    bus.cause = event_cause
                 continue
             exit_action = state.exit
             if exit_action is not None:
@@ -305,6 +317,8 @@ class SoaLanes:
             if effect is not None:
                 effect(self, occurrence)
             self._enter_lane(i, candidate.target, occurrence)
+            if event_cause is not None:
+                bus.cause = event_cause
             break
         return fired
 

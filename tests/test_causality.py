@@ -1,0 +1,309 @@
+"""Causal span tracing (PR 9): provenance trees over the TraceBus.
+
+A three-part relay (an external ``Go`` into part *a* triggers a ``Hop``
+into *b*, which triggers a ``Land`` into *c*) exercises the whole
+causal chain: delivery -> event dispatch -> transition -> routed send
+-> next delivery, across three parts.  :meth:`CausalIndex.why` must
+return that chain root-first; :meth:`CausalIndex.slice` must compute
+the backward/forward causal cones of one part; and the span/Perfetto
+exporters must be pure functions of the stream.
+"""
+
+import json
+
+import pytest
+
+import repro.metamodel as mm
+from repro.engine import TraceBus, TraceEvent
+from repro.errors import SimulationError
+from repro.hw import make_memory, make_soc, make_traffic_generator
+from repro.observability import (
+    CausalIndex,
+    event_label,
+    perfetto_json,
+    span_lines,
+    spans_from_jsonl,
+)
+from repro.simulation import SystemSimulation
+from repro.statemachines import StateMachine, TransitionKind
+
+
+def relay_component(name, trigger, emit=None):
+    """A part that counts ``trigger`` and optionally forwards ``emit``."""
+    part = mm.Component(name)
+    part.add_attribute("hops", mm.INTEGER, default=0)
+    part.add_port("in", direction=mm.PortDirection.IN)
+    if emit:
+        part.add_port("out", direction=mm.PortDirection.OUT)
+    machine = StateMachine(f"{name}Behavior")
+    region = machine.region
+    init = region.add_initial()
+    idle = region.add_state("Idle")
+    region.add_transition(init, idle)
+    effect = "hops = hops + 1;"
+    if emit:
+        effect += f' send {emit}() to "out";'
+    region.add_transition(idle, idle, trigger=trigger, effect=effect,
+                          kind=TransitionKind.INTERNAL)
+    part.add_behavior(machine, as_classifier_behavior=True)
+    return part
+
+
+def relay_top():
+    a = relay_component("A", "Go", emit="Hop")
+    b = relay_component("B", "Hop", emit="Land")
+    c = relay_component("C", "Land")
+    top = mm.Component("Relay")
+    pa = top.add_part("a", a)
+    pb = top.add_part("b", b)
+    pc = top.add_part("c", c)
+    top.connect(a.port("out"), b.port("in"), pa, pb, check=False)
+    top.connect(b.port("out"), c.port("in"), pb, pc, check=False)
+    return top
+
+
+def run_relay():
+    sim = SystemSimulation(relay_top(), causality=True)
+    with sim:
+        sim.send("a", "Go", delay=1.0)
+        sim.run(until=20.0)
+        return sim.observability.causal
+
+
+def soc_top():
+    cpu = make_traffic_generator("Cpu", period=2.0, address_range=0x1000)
+    ram = make_memory("Ram", size_bytes=0x800)
+    return make_soc("Soc", masters=[cpu], slaves=[(ram, "bus", 0, 0x800)])
+
+
+class TestWhyChain:
+    @pytest.fixture(scope="class")
+    def causal(self):
+        return run_relay()
+
+    def landing(self, causal):
+        delivered = [event for event in causal.events
+                     if event.kind == "message_delivered"
+                     and event.part == "c"]
+        assert len(delivered) == 1
+        return delivered[0]
+
+    def test_full_chain_spans_three_parts(self, causal):
+        chain = causal.why(self.landing(causal).ordinal)
+        assert [event.kind for event in chain] == [
+            "message_delivered", "event", "transition",  # a: Go
+            "message_routed",                            # a -> b: Hop
+            "message_delivered", "event", "transition",  # b: Hop
+            "message_routed",                            # b -> c: Land
+            "message_delivered",                         # c: Land
+        ]
+        assert [event.part for event in chain] == \
+            ["a", "a", "a", "a", "b", "b", "b", "b", "c"]
+
+    def test_root_is_the_causeless_external_stimulus(self, causal):
+        chain = causal.why(self.landing(causal).ordinal)
+        root = chain[0]
+        assert "cause" not in root.data  # external sends root the tree
+        assert root.data["signal"] == "Go"
+        assert root.ordinal in causal.roots()
+
+    def test_chain_links_are_exact(self, causal):
+        chain = causal.why(self.landing(causal).ordinal)
+        assert chain[-1] is self.landing(causal)
+        for parent, child in zip(chain, chain[1:]):
+            assert child.data["cause"] == parent.ordinal
+
+    def test_descendants_of_the_root_cover_the_chain(self, causal):
+        chain = causal.why(self.landing(causal).ordinal)
+        downstream = causal.descendants(chain[0].ordinal)
+        assert set(e.ordinal for e in chain[1:]) <= set(downstream)
+
+    def test_slice_cones_of_the_middle_part(self, causal):
+        cones = causal.slice("b")
+        # own: Idle entry + delivered/event/transition/routed for Hop
+        assert len(cones["events"]) == 5
+        # backward: the whole a-side chain that led into b
+        assert len(cones["backward"]) == 4
+        # forward: delivered/event/transition for Land at c
+        assert len(cones["forward"]) == 3
+        assert not set(cones["events"]) & set(cones["backward"])
+        assert not set(cones["events"]) & set(cones["forward"])
+        assert all(causal.event(o).part == "a"
+                   for o in cones["backward"])
+        assert all(causal.event(o).part == "c"
+                   for o in cones["forward"])
+
+    def test_edge_counts_expose_cross_part_hops(self, causal):
+        edges = causal.edge_counts()
+        assert edges["parts"]["a->b"] == 1
+        assert edges["parts"]["b->c"] == 1
+        assert edges["kinds"]["message_delivered->event"] >= 3
+        assert list(edges["kinds"]) == sorted(edges["kinds"])
+
+
+class TestIndexMechanics:
+    def test_attach_flips_causal_and_close_restores(self):
+        bus = TraceBus()
+        assert bus.causal is False
+        index = CausalIndex(bus)
+        assert bus.causal is True
+        assert bus.subscriber_count == 1
+        index.close()
+        assert bus.causal is False
+        assert bus.subscriber_count == 0
+
+    def test_emits_are_stamped_while_attached(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        root = bus.emit("event", 1.0, "p", {"event": "E"})
+        bus.cause = root.ordinal
+        child = bus.emit("transition", 1.0, "p", {"event": "E"})
+        assert child.data["cause"] == root.ordinal
+        assert index.counts() == (2, 1)  # folds the lazy maps
+        assert index.parent[child.ordinal] == root.ordinal
+        assert index.children[root.ordinal] == [child.ordinal]
+
+    def test_keep_events_false_keeps_edges_only(self):
+        bus = TraceBus()
+        index = CausalIndex(bus, keep_events=False)
+        root = bus.emit("event", 1.0, "p", {"event": "E"})
+        bus.cause = root.ordinal
+        bus.emit("transition", 1.0, "q", {"event": "E"})
+        assert index.events == []
+        assert index.edge_counts()["parts"] == {"p->q": 1}
+        with pytest.raises(SimulationError):
+            index.event(root.ordinal)
+
+    def test_unknown_ordinal_rejected(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        bus.emit("event", 1.0, "p", {"event": "E"})
+        with pytest.raises(SimulationError):
+            index.event(999)
+
+    def test_cycle_guard_terminates_why(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        first = bus.emit("event", 1.0, "p", {"event": "E"})
+        bus.cause = first.ordinal
+        second = bus.emit("event", 2.0, "p", {"event": "F"})
+        # forge a cycle (cannot happen from the engines; the walk must
+        # still terminate)
+        index.parent[first.ordinal] = second.ordinal
+        chain = index.why(second.ordinal)
+        assert len(chain) == 2
+
+
+class TestCheckpointRestore:
+    def test_replayed_spans_are_byte_identical(self):
+        with SystemSimulation(soc_top(), causality=True) as sim:
+            causal = sim.observability.causal
+            sim.run(until=30.0)
+            snap = sim.checkpoint()
+            cut = len(causal.events)
+            sim.run(until=60.0)
+            first = causal.span_lines()[cut:]
+            first_edges = causal.edge_counts()
+            sim.restore(snap)
+            assert len(causal.events) == cut
+            sim.run(until=60.0)
+            second = causal.span_lines()[cut:]
+        assert first, "the replayed segment must not be empty"
+        assert first == second
+        assert causal.edge_counts() == first_edges
+
+    def test_restore_drops_edges_past_the_boundary(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        root = bus.emit("event", 1.0, "p", {"event": "E"})
+        snap = index.checkpoint()
+        bus_snap = bus.checkpoint()
+        bus.cause = root.ordinal
+        bus.emit("transition", 1.0, "q", {"event": "E"})
+        assert index.counts() == (2, 1)
+        index.restore(snap)
+        bus.restore(bus_snap)
+        assert index.counts() == (1, 0)  # refolded from the survivors
+        assert index.parent == {}
+        assert index.children == {}
+        assert index.part_edges == {}
+        assert len(index.events) == 1
+
+    def test_suite_summary_reports_causal_numbers(self):
+        with SystemSimulation(relay_top(), causality=True) as sim:
+            sim.send("a", "Go", delay=1.0)
+            sim.run(until=20.0)
+            summary = sim.observability.summary()
+        assert summary["causal_records"] > 0
+        assert summary["causal_edges"] > 0
+
+
+class TestExporters:
+    def events(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        bus.emit("message_delivered", 1.0, "a", {"signal": "Go"})
+        bus.cause = 1
+        bus.emit("event", 1.0, "a", {"event": "Go"})
+        bus.cause = 2
+        bus.emit("message_routed", 1.0, "a",
+                 {"signal": "Hop", "to": "b"})
+        bus.cause = 3
+        bus.emit("message_delivered", 2.0, "b", {"signal": "Hop"})
+        return index.events
+
+    def test_span_lines_schema(self):
+        lines = span_lines(self.events())
+        spans = spans_from_jsonl(lines)
+        assert [span["ordinal"] for span in spans] == [1, 2, 3, 4]
+        assert spans[0]["cause"] is None
+        assert spans[0]["children"] == [2]
+        assert spans[1]["cause"] == 1
+        assert spans[3]["label"] == "message_delivered:Hop"
+        for line in lines:
+            assert list(json.loads(line)) == \
+                sorted(json.loads(line))  # sorted keys, stable bytes
+
+    def test_span_lines_is_a_pure_function(self):
+        events = self.events()
+        assert span_lines(events) == span_lines(events)
+        assert span_lines(events) == span_lines(list(events))
+
+    def test_perfetto_structure(self):
+        text = perfetto_json(self.events())
+        payload = json.loads(text)
+        assert payload["displayTimeUnit"] == "ms"
+        records = payload["traceEvents"]
+        names = [(r["ph"], r.get("name")) for r in records]
+        assert ("M", "process_name") in names
+        threads = [r for r in records if r.get("name") == "thread_name"]
+        assert [t["args"]["name"] for t in threads] == ["a", "b"]
+        instants = [r for r in records if r["ph"] == "i"]
+        assert len(instants) == 4
+        assert instants[0]["ts"] == 1000.0  # 1 unit -> 1 ms
+        # exactly one cross-part causal edge -> one s/f flow pair
+        flows = [r for r in records if r["ph"] in ("s", "f")]
+        assert [f["ph"] for f in flows] == ["s", "f"]
+        assert flows[0]["id"] == flows[1]["id"] == 4
+
+    def test_perfetto_excludes_volatile_text(self):
+        bus = TraceBus()
+        index = CausalIndex(bus)
+        bus.emit("part_restored", 3.0, "p",
+                 {"reason": "engine-worded detail", "snapshot_t": 1.0})
+        payload = json.loads(perfetto_json(index.events))
+        instant = [r for r in payload["traceEvents"]
+                   if r["ph"] == "i"][0]
+        assert "reason" not in instant["args"]
+        assert instant["args"]["snapshot_t"] == 1.0
+
+    def test_event_label_prefers_payload_detail(self):
+        event = TraceEvent(1, 0.0, "message_routed", "a",
+                           {"signal": "Hop"})
+        assert event_label(event) == "message_routed:Hop"
+        bare = TraceEvent(2, 0.0, "checkpoint", "", {})
+        assert event_label(bare) == "checkpoint"
+        # free-text error wording never reaches a label
+        noisy = TraceEvent(3, 0.0, "part_restored", "p",
+                           {"reason": "worded differently per engine"})
+        assert event_label(noisy) == "part_restored"

@@ -1,0 +1,112 @@
+"""Golden-file pin of the metrics exports (PR 9 satellite).
+
+The Prometheus and JSON renderings are scraped by external pipelines,
+so their exact bytes — including the ``# HELP`` headers added in PR 9 —
+are a compatibility surface.  These tests compare a fixed registry
+snapshot (plus a small coverage report) against checked-in golden
+files; a deliberate format change must update ``tests/golden/``.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/test_metrics_golden.py --regenerate
+"""
+
+import json
+import pathlib
+
+from repro.engine import STATE_ENTER, TraceBus
+from repro.observability import (
+    CoverageCollector,
+    CoverageModel,
+    to_json,
+    to_prometheus,
+)
+from repro.perf import PerfRegistry
+from repro.statemachines import StateMachine
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def toggle_machine():
+    machine = StateMachine("Toggle")
+    region = machine.region
+    init = region.add_initial()
+    off = region.add_state("Off")
+    on = region.add_state("On")
+    region.add_transition(init, off)
+    region.add_transition(off, on, trigger="Go")
+    region.add_transition(on, off, trigger="Stop")
+    return machine
+
+
+def fixed_snapshot():
+    registry = PerfRegistry()
+    registry.incr("alpha.count", 3)
+    registry.incr("sim.events", 120)
+    registry.observe("beta.wall_s", 0.5)
+    registry.observe("beta.wall_s", 1.5)
+    registry.hist("gamma.hist", 0.002)
+    registry.hist("gamma.hist", 0.004)
+    return registry.snapshot()
+
+
+def fixed_coverage():
+    model = CoverageModel(
+        [CoverageModel.from_machine("dut", toggle_machine())])
+    bus = TraceBus()
+    collector = CoverageCollector(model, bus=bus)
+    bus.emit(STATE_ENTER, 0.0, "dut", {"state": "Off"})
+    return collector.report()
+
+
+def render_prometheus():
+    return to_prometheus(fixed_snapshot(), coverage=fixed_coverage())
+
+
+def render_json():
+    return to_json(fixed_snapshot(), coverage=fixed_coverage())
+
+
+class TestGoldenMetrics:
+    def test_prometheus_matches_golden(self):
+        assert render_prometheus() == \
+            (GOLDEN / "metrics.prom").read_text()
+
+    def test_json_matches_golden(self):
+        assert render_json() == (GOLDEN / "metrics.json").read_text()
+
+    def test_every_family_has_a_help_header(self):
+        text = render_prometheus()
+        lines = text.splitlines()
+        typed = {line.split()[2] for line in lines
+                 if line.startswith("# TYPE")}
+        helped = {line.split()[2] for line in lines
+                  if line.startswith("# HELP")}
+        assert typed, "the golden snapshot must produce families"
+        assert typed == helped  # one # HELP per # TYPE, no orphans
+
+    def test_help_precedes_type_for_each_family(self):
+        lines = render_prometheus().splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                family = line.split()[2]
+                assert lines[index - 1] == \
+                    f"# HELP {family} " + \
+                    lines[index - 1].split(" ", 3)[3]
+                assert lines[index - 1].startswith(f"# HELP {family} ")
+
+    def test_json_golden_is_valid_and_sorted(self):
+        payload = json.loads((GOLDEN / "metrics.json").read_text())
+        assert list(payload) == sorted(payload)
+        assert payload["perf"]["counters"]["alpha.count"] == 3
+        assert payload["coverage"]["total_percent"] > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.mkdir(exist_ok=True)
+        (GOLDEN / "metrics.prom").write_text(render_prometheus())
+        (GOLDEN / "metrics.json").write_text(render_json())
+        print(f"regenerated golden files under {GOLDEN}")

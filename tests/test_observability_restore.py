@@ -119,8 +119,10 @@ class TestObservedRoundTrip:
         with sim:
             sim.run(until=10.0)
             snap = sim.observability.checkpoint()
-        assert set(snap) == {"coverage", "profiler", "recorder"}
-        assert all(value is not None for value in snap.values())
+        assert set(snap) == {"coverage", "profiler", "recorder",
+                             "causality"}
+        assert all(value is not None for key, value in snap.items()
+                   if key != "causality")
 
 
 class TestStandaloneCollectors:

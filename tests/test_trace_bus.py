@@ -288,3 +288,82 @@ class TestSubscriberIsolation:
         assert sim.messages_delivered > 0
         assert seen[0] > 0
         PERF.reset()
+
+
+class TestReentrantDetach:
+    """PR 9 regression: a subscriber that cancels subscriptions (its
+    own or a peer's) *during* an emit must not corrupt the delivery of
+    the in-flight event — the emit iterates a snapshot, so the
+    detachment takes effect from the next emit on."""
+
+    def test_peer_detached_mid_emit_still_sees_inflight_event(self):
+        bus = TraceBus()
+        peer_seen = []
+        subscriptions = {}
+
+        def assassin(event):
+            subscriptions["peer"].cancel()
+
+        subscriptions["assassin"] = bus.subscribe(assassin,
+                                                  kinds=(EVENT,))
+        subscriptions["peer"] = bus.subscribe(peer_seen.append,
+                                              kinds=(EVENT,))
+        bus.emit(EVENT, 1.0, "p", {"event": "E"})
+        # snapshot semantics: the peer was still in this emit's tuple
+        assert len(peer_seen) == 1
+        bus.emit(EVENT, 2.0, "p", {"event": "E"})
+        assert len(peer_seen) == 1  # detached from the next emit on
+        assert bus.subscriber_count == 1
+
+    def test_self_detach_mid_emit(self):
+        bus = TraceBus()
+        seen = []
+        box = {}
+
+        def once(event):
+            seen.append(event)
+            box["sub"].cancel()
+
+        box["sub"] = bus.subscribe(once, kinds=(EVENT,))
+        survivor = TraceRecorder(bus, kinds=(EVENT,))
+        bus.emit(EVENT, 1.0, "p", {"event": "E"})
+        bus.emit(EVENT, 2.0, "p", {"event": "E"})
+        assert len(seen) == 1
+        assert len(survivor.events) == 2  # the peer was untouched
+        assert bus.subscriber_count == 1
+
+    def test_detach_plus_reentrant_emit(self):
+        bus = TraceBus()
+        peer_seen = []
+        nested = []
+        subscriptions = {}
+
+        def reentrant(event):
+            if event.data.get("event") == "Outer":
+                subscriptions["peer"].cancel()
+                inner = bus.emit(EVENT, event.t, "p",
+                                 {"event": "Inner"})
+                nested.append(inner)
+
+        subscriptions["reentrant"] = bus.subscribe(reentrant,
+                                                   kinds=(EVENT,))
+        subscriptions["peer"] = bus.subscribe(peer_seen.append,
+                                              kinds=(EVENT,))
+        outer = bus.emit(EVENT, 1.0, "p", {"event": "Outer"})
+        # the nested emit ran against the *rebuilt* table (no peer),
+        # the outer delivery finished against its snapshot (peer seen)
+        assert [event.data["event"] for event in peer_seen] == ["Outer"]
+        assert nested[0].ordinal == outer.ordinal + 1
+        assert bus.events_emitted == 2  # ordinals stayed gapless
+
+    def test_cancel_is_idempotent_during_emit(self):
+        bus = TraceBus()
+        box = {}
+
+        def twitchy(event):
+            box["sub"].cancel()
+            box["sub"].cancel()  # double-cancel must be harmless
+
+        box["sub"] = bus.subscribe(twitchy, kinds=(EVENT,))
+        bus.emit(EVENT, 1.0, "p", {"event": "E"})
+        assert bus.subscriber_count == 0
