@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every derived-experiment table (D1-D18).
+"""Regenerate every derived-experiment table (D1-D19).
 
 Runs each bench module's ``table()`` and prints the rows — the data
 recorded in EXPERIMENTS.md.  Usage::
@@ -38,6 +38,7 @@ QUICK_KNOBS = {
     "LOCKSTEP_TIME": 40.0,
     "CAMPAIGN_TIME": 20.0,
     "BATCH_WIDTHS": (8,),
+    "REPEATS": 1,
 }
 
 EXPERIMENTS = {
@@ -77,6 +78,8 @@ EXPERIMENTS = {
             "artifact-store warm starts & incremental recompilation"),
     "d18": ("bench_d18_causality",
             "causal span tracing & live telemetry overhead"),
+    "d19": ("bench_d19_service",
+            "simulation service overhead & queue recovery"),
     "ablations": ("bench_ablations",
                   "design-choice ablations (A1-A3)"),
 }

@@ -23,6 +23,13 @@ Subcommands operate on XMI files written by :mod:`repro.xmi`::
                               --faults campaign.json --store build/store
     python -m repro store ls --store build/store --name Top
     python -m repro store gc --store build/store --max-age-s 86400
+    python -m repro serve    state/ --workers 4 --store build/store
+    python -m repro submit   model.xmi --top design::Top \
+                              --faults campaign.json --runs 16 \
+                              --socket state/service.sock --wait
+    python -m repro status   --socket state/service.sock
+    python -m repro result   job-000001 --socket state/service.sock
+    python -m repro cancel   job-000001 --socket state/service.sock
     python -m repro stats perf.json --format prom
     python -m repro trace-to-sequence out.jsonl --name observed
     python -m repro diagram   model.xmi --kind class --scope design
@@ -532,6 +539,184 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _default_socket(args: argparse.Namespace) -> str:
+    """Resolve the service socket: --socket, then $REPRO_SOCKET."""
+    path = getattr(args, "socket_path", "")
+    if path:
+        return path
+    path = os.environ.get("REPRO_SOCKET", "")
+    if path:
+        return path
+    raise ReproError(
+        "no service socket: pass --socket PATH or set REPRO_SOCKET "
+        "(the daemon prints its socket path on startup)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the simulation service daemon."""
+    import signal as signal_module
+
+    from .service import ServiceServer, SimulationService
+
+    store = _activate_store(args)
+    socket_path = args.socket_path \
+        or os.path.join(args.state_dir, "service.sock")
+    service = SimulationService(
+        args.state_dir,
+        workers=args.workers,
+        lease_duration=args.lease_duration,
+        job_timeout=args.job_timeout,
+        max_depth=args.max_depth,
+        admission=args.admission,
+        budget=args.budget,
+        retry_backoff=args.retry_backoff,
+        store=store)
+    server = ServiceServer(service, socket_path)
+    recovered = service.last_recovery
+    if any(recovered.values()):
+        print(f"recovered: {recovered['requeued']} requeued, "
+              f"{recovered['republished']} republished, "
+              f"{recovered['quarantined']} quarantined")
+    server.bind()
+
+    def _drain_handler(signum, frame):  # noqa: ARG001
+        server.request_stop()
+
+    previous = {}
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        previous[signum] = signal_module.signal(signum, _drain_handler)
+    print(f"serving on {socket_path} "
+          f"({service.workers} worker(s), "
+          f"queue depth <= {service.max_depth}, "
+          f"admission {service.admission})")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal_module.signal(signum, handler)
+    print("drained; queue state snapshotted")
+    return EXIT_OK
+
+
+def _client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(_default_socket(args))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: enqueue a campaign on the running daemon."""
+    from .faults import CampaignSpec, FaultCampaign
+
+    if args.seeds:
+        try:
+            seeds = [int(token) for token in
+                     args.seeds.replace(",", " ").split()]
+        except ValueError:
+            raise ReproError(
+                f"--seeds wants comma-separated integers, "
+                f"got {args.seeds!r}")
+    else:
+        base = 0
+        if args.faults:
+            base = FaultCampaign.from_file(args.faults).seed
+        seeds = [base + offset for offset in range(args.runs)]
+    name = args.name
+    if not name:
+        name = (FaultCampaign.from_file(args.faults).name
+                if args.faults else "campaign")
+    spec = CampaignSpec(seeds=seeds, model=args.model, top=args.top,
+                        campaign=args.faults or None,
+                        until=args.until, quantum=args.quantum,
+                        engine=args.engine,
+                        on_part_error=args.on_part_error,
+                        name=name,
+                        properties=args.properties_file or None,
+                        on_violation=args.on_violation)
+    client = _client(args)
+    row = client.submit(spec.to_dict())
+    verb = "coalesced into" if row.get("coalesced") else "submitted as"
+    print(f"{verb} {row['job_id']} "
+          f"(state {row['state']}, fingerprint {row['fingerprint']})")
+    if not args.wait:
+        return EXIT_OK
+    row = client.wait(row["job_id"], timeout=args.timeout)
+    return _print_job_outcome(client, row)
+
+
+def _print_job_outcome(client, row) -> int:
+    """Render a terminal job row (+ payload for done jobs)."""
+    job_id = row["job_id"]
+    if row["state"] != "done":
+        print(f"{job_id}: {row['state']} after {row['attempts']} "
+              f"attempt(s)"
+              + (f": {row['error']}" if row.get("error") else ""),
+              file=sys.stderr)
+        return EXIT_QUARANTINED if row["state"] == "quarantined" \
+            else 1
+    payload = client.result(job_id)
+    origin = "cache" if row.get("cached") else "simulation"
+    result = payload.get("result", {})
+    completed = result.get("completed", [])
+    failures = result.get("failures", [])
+    print(f"{job_id}: done ({origin}), "
+          f"{len(completed)} seed(s) completed, "
+          f"{len(failures)} failed")
+    return EXIT_OK if payload.get("ok") else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: one job's row, or the whole queue."""
+    import json as json_module
+
+    client = _client(args)
+    if args.job_id:
+        row = client.status(args.job_id)
+        print(json_module.dumps(row, indent=2, sort_keys=True))
+        return EXIT_OK
+    status = client.status()
+    for row in status["jobs"]:
+        cached = " (cached)" if row.get("cached") else ""
+        error = f"  {row['error']}" if row.get("error") else ""
+        print(f"  {row['job_id']}  {row['state']:12} "
+              f"attempts={row['attempts']} name={row['name']}"
+              f"{cached}{error}")
+    print(f"{len(status['jobs'])} job(s), depth {status['queue_depth']},"
+          f" {status['leases']} lease(s)"
+          + (", draining" if status["draining"] else ""))
+    return EXIT_OK
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    """``repro result``: print (or save) a finished job's payload."""
+    import json as json_module
+
+    client = _client(args)
+    if args.wait:
+        row = client.wait(args.job_id, timeout=args.timeout)
+        if row["state"] != "done":
+            return _print_job_outcome(client, row)
+    payload = client.result(args.job_id)
+    text = json_module.dumps(payload, sort_keys=True,
+                             separators=(",", ":"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"result: {args.job_id} -> {args.output}")
+    else:
+        print(text)
+    return EXIT_OK if payload.get("ok") else 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """``repro cancel``: cancel a queued or running job."""
+    client = _client(args)
+    row = client.cancel(args.job_id)
+    print(f"{row['job_id']}: {row['state']}")
+    return EXIT_OK
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     """``repro store ls|info|gc``: inspect the artifact store."""
     import json as json_module
@@ -942,6 +1127,124 @@ def build_parser() -> argparse.ArgumentParser:
                                "vectorized paths; default: "
                                "$REPRO_STORE when set)")
     campaign.set_defaults(handler=cmd_campaign)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the simulation service daemon (durable job queue "
+             "over a local socket)")
+    serve.add_argument("state_dir",
+                       help="service state directory (journal, "
+                            "snapshots, result files)")
+    serve.add_argument("--socket", default="", dest="socket_path",
+                       metavar="PATH",
+                       help="Unix socket to serve on (default: "
+                            "STATE_DIR/service.sock)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent campaign leases")
+    serve.add_argument("--lease", type=float, default=10.0,
+                       dest="lease_duration", metavar="S",
+                       help="seconds a lease survives without a "
+                            "heartbeat before the job is requeued")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       dest="job_timeout", metavar="S",
+                       help="wall-clock budget per lease; a hung "
+                            "worker is killed and the job retried")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       dest="max_depth",
+                       help="bound on queued+running jobs "
+                            "(admission control)")
+    serve.add_argument("--admission", default="reject",
+                       choices=("reject", "shed"),
+                       help="policy at the depth bound: refuse the new "
+                            "job, or shed the oldest queued one")
+    serve.add_argument("--budget", type=int, default=3,
+                       help="failed leases before a job is "
+                            "quarantined as poison")
+    serve.add_argument("--retry-backoff", type=float, default=0.25,
+                       dest="retry_backoff", metavar="S",
+                       help="base of the deterministic-jitter "
+                            "exponential retry delay")
+    serve.add_argument("--store", default="", dest="store_dir",
+                       metavar="DIR",
+                       help="artifact store for result dedupe "
+                            "(default: $REPRO_STORE when set)")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="enqueue a campaign on a running service daemon")
+    submit.add_argument("model")
+    submit.add_argument("--top", required=True,
+                        help="qualified name, e.g. design::Top")
+    submit.add_argument("--faults", default="",
+                        help="fault campaign JSON file swept per seed")
+    submit.add_argument("--seeds", default="",
+                        help="explicit comma-separated seed list "
+                             "(overrides --runs)")
+    submit.add_argument("--runs", type=int, default=1,
+                        help="number of seeds, counted up from the "
+                             "campaign's base seed")
+    submit.add_argument("--until", type=float, default=100.0)
+    submit.add_argument("--quantum", type=float, default=1.0)
+    submit.add_argument("--engine", default=None,
+                        choices=("interpreted", "compiled", "batched"))
+    submit.add_argument("--on-part-error", default="raise",
+                        choices=("raise", "quarantine", "restart",
+                                 "restore"),
+                        dest="on_part_error")
+    submit.add_argument("--properties", default="",
+                        dest="properties_file", metavar="PATH",
+                        help="temporal-property suite checked on "
+                             "every seed")
+    submit.add_argument("--on-violation", default="incident",
+                        choices=("record", "incident", "supervise"),
+                        dest="on_violation")
+    submit.add_argument("--name", default="",
+                        help="job display name (default: the fault "
+                             "campaign's name); never part of the "
+                             "dedupe fingerprint")
+    submit.add_argument("--socket", default="", dest="socket_path",
+                        metavar="PATH",
+                        help="service socket (default: $REPRO_SOCKET)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal and "
+                             "print its outcome")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait budget in seconds")
+    submit.set_defaults(handler=cmd_submit)
+
+    status = commands.add_parser(
+        "status",
+        help="show the service queue, or one job's status row")
+    status.add_argument("job_id", nargs="?", default="",
+                        help="job id (omit for the whole queue)")
+    status.add_argument("--socket", default="", dest="socket_path",
+                        metavar="PATH",
+                        help="service socket (default: $REPRO_SOCKET)")
+    status.set_defaults(handler=cmd_status)
+
+    result = commands.add_parser(
+        "result",
+        help="fetch a finished job's result payload")
+    result.add_argument("job_id")
+    result.add_argument("--socket", default="", dest="socket_path",
+                        metavar="PATH",
+                        help="service socket (default: $REPRO_SOCKET)")
+    result.add_argument("-o", "--output", default="",
+                        help="write the payload here instead of stdout")
+    result.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal first")
+    result.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait budget in seconds")
+    result.set_defaults(handler=cmd_result)
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    cancel.add_argument("--socket", default="", dest="socket_path",
+                        metavar="PATH",
+                        help="service socket (default: $REPRO_SOCKET)")
+    cancel.set_defaults(handler=cmd_cancel)
 
     store = commands.add_parser(
         "store",

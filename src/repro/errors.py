@@ -87,6 +87,15 @@ class StoreError(ReproError):
     """The artifact store is misconfigured or an operation is invalid."""
 
 
+class ServiceError(ReproError):
+    """The simulation service refused a request or hit an invalid state.
+
+    Covers admission rejections (full queue, draining daemon), unknown
+    job ids, illegal job-lifecycle events and protocol violations on
+    the JSONL socket API.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an invalid state."""
 

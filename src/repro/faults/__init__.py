@@ -28,6 +28,7 @@ from .report import ResilienceReport
 from .runner import (
     CampaignResult,
     CampaignSpec,
+    backoff_delay,
     read_journal,
     run_campaign,
     run_seed,
@@ -41,6 +42,7 @@ __all__ = [
     "ResilienceReport",
     "CampaignResult",
     "CampaignSpec",
+    "backoff_delay",
     "read_journal",
     "run_campaign",
     "run_seed",

@@ -50,6 +50,7 @@ it to prove the kill/retry/resume path on demand.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import signal
@@ -69,6 +70,27 @@ DEFAULT_RETRY_BACKOFF = 0.25
 
 #: Environment hook: kill the worker for one seed (test/CI only).
 TEST_KILL_ENV = "REPRO_CAMPAIGN_TEST_KILL"
+
+
+def backoff_delay(base: float, attempt: int, token: Any = 0) -> float:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``base * 2**(attempt-1)`` is the nominal window; the returned delay
+    is that window scaled into ``[0.5, 1.5)`` by a jitter fraction
+    hashed from ``(token, attempt)``.  Pure exponential backoff
+    synchronizes: when many workers fail at the same instant (a full
+    machine stall, a killed pool) they all retry at the same instant
+    too, stampeding whatever made them fail.  Hashing the retry token
+    (a seed, a job id) spreads the herd across the window — and because
+    the jitter is a hash, not ``random()``, the schedule is reproducible
+    run to run, which keeps retry timing out of result bytes and makes
+    backoff behavior unit-testable.
+    """
+    window = base * (2 ** (attempt - 1))
+    digest = hashlib.blake2b(f"{token}:{attempt}".encode("utf-8"),
+                             digest_size=8).digest()
+    fraction = int.from_bytes(digest, "big") / 2.0 ** 64
+    return window * (0.5 + fraction)
 
 
 class CampaignSpec:
@@ -444,8 +466,11 @@ def read_journal(path: str) -> Tuple[Optional[Dict[str, Any]],
     """Parse a campaign journal into (header, ok rows by seed, failures).
 
     A truncated final line (the writer was killed mid-append) is
-    silently dropped — everything before it is still trustworthy,
-    which is the whole point of an append-only journal.
+    dropped — everything before it is still trustworthy, which is the
+    whole point of an append-only journal — but no longer *silently*:
+    every torn record bumps the ``journal.torn_records`` counter in
+    :data:`~repro.perf.PERF`, so a sweep that resumed past damage
+    shows it in ``--stats`` / Prometheus output instead of hiding it.
     """
     header: Optional[Dict[str, Any]] = None
     completed: Dict[int, Dict[str, Any]] = {}
@@ -458,6 +483,7 @@ def read_journal(path: str) -> Tuple[Optional[Dict[str, Any]],
             try:
                 record = json.loads(line)
             except ValueError:
+                PERF.incr("journal.torn_records")
                 break  # torn tail write; ignore the rest
             status = record.get("status")
             if status == "header":
@@ -842,7 +868,7 @@ def _run_parallel(spec: CampaignSpec, todo: Sequence[int], workers: int,
                              "attempt": attempt, "error": error})
         if attempt <= max_retries:
             ready_at = time.monotonic() \
-                + retry_backoff * (2 ** (attempt - 1))
+                + backoff_delay(retry_backoff, attempt, token=seed)
             pending.append((seed, attempt + 1, ready_at))
         else:
             failures.append({"seed": seed, "attempts": attempt,

@@ -328,3 +328,74 @@ class TestCliCampaign:
         assert main(["campaign", model_file, "--top", "design::Soc",
                      "--faults", campaign_file,
                      "--seeds", "one,two"]) == 2
+
+
+class TestBackoffDelay:
+    """Satellite of PR 10: deterministic seeded jitter for retries."""
+
+    def test_deterministic(self):
+        from repro.faults import backoff_delay
+
+        assert backoff_delay(0.5, 1, token=7) \
+            == backoff_delay(0.5, 1, token=7)
+
+    def test_window_is_exponential_with_bounded_jitter(self):
+        from repro.faults import backoff_delay
+
+        for attempt in (1, 2, 3, 4):
+            window = 0.5 * (2 ** (attempt - 1))
+            for token in range(20):
+                delay = backoff_delay(0.5, attempt, token=token)
+                assert 0.5 * window <= delay < 1.5 * window
+
+    def test_tokens_desynchronize(self):
+        from repro.faults import backoff_delay
+
+        delays = {backoff_delay(0.5, 1, token=seed)
+                  for seed in range(50)}
+        # a thundering herd would collapse these to one value
+        assert len(delays) == 50
+
+    def test_attempts_desynchronize(self):
+        from repro.faults import backoff_delay
+
+        first = backoff_delay(0.5, 1, token=3)
+        second = backoff_delay(0.5, 2, token=3)
+        assert second != first * 2  # jitter differs per attempt
+
+    def test_string_tokens_work(self):
+        from repro.faults import backoff_delay
+
+        assert backoff_delay(0.25, 1, token="job-000001") \
+            == backoff_delay(0.25, 1, token="job-000001")
+        assert backoff_delay(0.25, 1, token="job-000001") \
+            != backoff_delay(0.25, 1, token="job-000002")
+
+
+class TestTornRecordsCounter:
+    """Satellite of PR 10: torn journal tails are counted, not silent."""
+
+    def test_read_journal_counts_torn_tail(self, model_file,
+                                           campaign_file, tmp_path):
+        from repro.perf import PERF
+
+        journal = str(tmp_path / "torn-counted.jsonl")
+        spec = make_spec(model_file, campaign_file, seeds=(1, 2))
+        run_campaign(spec, journal=journal)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"status": "ok", "seed":')
+        before = PERF.counter("journal.torn_records")
+        header, completed, _ = read_journal(journal)
+        assert PERF.counter("journal.torn_records") == before + 1
+        assert header is not None and sorted(completed) == [1, 2]
+
+    def test_clean_journal_counts_nothing(self, model_file,
+                                          campaign_file, tmp_path):
+        from repro.perf import PERF
+
+        journal = str(tmp_path / "clean-counted.jsonl")
+        run_campaign(make_spec(model_file, campaign_file, seeds=(1,)),
+                     journal=journal)
+        before = PERF.counter("journal.torn_records")
+        read_journal(journal)
+        assert PERF.counter("journal.torn_records") == before

@@ -1,0 +1,244 @@
+"""Durable service queue state (PR 10): journal replay idempotence,
+torn-tail tolerance, checksummed snapshots, compaction, the atomic
+result-file protocol, and content-addressed job fingerprints."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf import PERF
+from repro.service import Job, JobStore, job_fingerprint
+from repro.service.jobstore import canonical_json
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "state")
+
+
+def submit(store, job_id, spec=None, budget=3):
+    spec = spec or {"name": job_id, "seeds": [1]}
+    fingerprint = job_fingerprint(spec)
+    store.append({"kind": "submit", "job_id": job_id,
+                  "fingerprint": fingerprint, "spec": spec,
+                  "budget": budget})
+    return fingerprint
+
+
+class TestFingerprint:
+    def test_name_is_presentation_not_work(self):
+        spec = {"name": "a", "seeds": [1, 2], "until": 10.0}
+        assert job_fingerprint(spec) \
+            == job_fingerprint(dict(spec, name="b"))
+
+    def test_work_fields_matter(self):
+        spec = {"name": "a", "seeds": [1, 2], "until": 10.0}
+        assert job_fingerprint(spec) \
+            != job_fingerprint(dict(spec, seeds=[1, 3]))
+        assert job_fingerprint(spec) \
+            != job_fingerprint(dict(spec, until=20.0))
+
+    def test_model_path_hashed_by_content(self, tmp_path):
+        first = tmp_path / "a.xmi"
+        second = tmp_path / "renamed.xmi"
+        first.write_text("<model A/>")
+        second.write_text("<model A/>")
+        spec = {"seeds": [1], "model": str(first), "top": "T"}
+        renamed = dict(spec, model=str(second))
+        # same bytes under a different path: same work
+        assert job_fingerprint(spec) == job_fingerprint(renamed)
+        second.write_text("<model B/>")
+        assert job_fingerprint(spec) != job_fingerprint(renamed)
+
+    def test_missing_file_falls_back_to_the_path(self, tmp_path):
+        spec = {"seeds": [1], "model": str(tmp_path / "gone.xmi"),
+                "top": "T"}
+        assert job_fingerprint(spec) == job_fingerprint(dict(spec))
+
+
+class TestJournalReplay:
+    def test_empty_state_dir(self, store):
+        assert store.replay() == {}
+
+    def test_submit_then_events(self, store):
+        fingerprint = submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "start"})
+        jobs = JobStore(store.root).replay()
+        job = jobs["job-1"]
+        assert job.state == "running"
+        assert job.attempts == 1
+        assert job.fingerprint == fingerprint
+
+    def test_replay_is_idempotent(self, store):
+        submit(store, "job-1")
+        for event in ("lease", "start", "complete", "publish"):
+            store.append({"kind": "event", "job_id": "job-1",
+                          "event": event})
+        once = JobStore(store.root).replay()
+        twice = JobStore(store.root).replay()
+        assert once["job-1"].to_snapshot() == twice["job-1"].to_snapshot()
+
+    def test_duplicate_submit_is_a_noop(self, store):
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        submit(store, "job-1")  # replayed later, must not reset state
+        jobs = JobStore(store.root).replay()
+        assert jobs["job-1"].state == "leased"
+
+    def test_orphan_events_are_counted_not_fatal(self, store):
+        orphans = PERF.counter("service.replay_orphans")
+        store.append({"kind": "event", "job_id": "ghost",
+                      "event": "lease"})
+        jobs = JobStore(store.root).replay()
+        assert jobs == {}
+        assert PERF.counter("service.replay_orphans") == orphans + 1
+
+    def test_stale_events_are_skipped(self, store):
+        skipped = PERF.counter("service.replay_skipped")
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "publish"})  # illegal from queued
+        jobs = JobStore(store.root).replay()
+        assert jobs["job-1"].state == "queued"
+        assert PERF.counter("service.replay_skipped") == skipped + 1
+
+    def test_failed_job_keeps_its_error(self, store):
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "fail", "error": "bad model"})
+        jobs = JobStore(store.root).replay()
+        assert jobs["job-1"].state == "failed"
+        assert jobs["job-1"].error == "bad model"
+
+    def test_seq_resumes_past_everything_seen(self, store):
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        reopened = JobStore(store.root)
+        reopened.replay()
+        assert reopened.append({"kind": "event", "job_id": "job-1",
+                                "event": "start"}) == 3
+
+
+class TestTornTail:
+    def test_half_written_last_line_is_dropped(self, store):
+        torn = PERF.counter("journal.torn_records")
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        store.close()
+        with open(store.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "event", "job_')
+        jobs = JobStore(store.root).replay()
+        assert jobs["job-1"].state == "leased"
+        assert PERF.counter("journal.torn_records") == torn + 1
+
+    def test_blank_lines_are_not_torn(self, store):
+        torn = PERF.counter("journal.torn_records")
+        submit(store, "job-1")
+        store.close()
+        with open(store.journal_path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        jobs = JobStore(store.root).replay()
+        assert jobs["job-1"].state == "queued"
+        assert PERF.counter("journal.torn_records") == torn
+
+
+class TestSnapshots:
+    def test_round_trip(self, store):
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        jobs = JobStore(store.root).replay()
+        store.snapshot(jobs)
+        restored = JobStore(store.root).replay()
+        assert restored["job-1"].to_snapshot() \
+            == jobs["job-1"].to_snapshot()
+
+    def test_journal_suffix_applies_on_top(self, store):
+        submit(store, "job-1")
+        jobs = JobStore(store.root).replay()
+        store._seq = 1  # snapshot covers only the submit
+        store.snapshot(jobs)
+        store._seq = 1
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})  # seq 2 > snapshot seq 1
+        restored = JobStore(store.root).replay()
+        assert restored["job-1"].state == "leased"
+
+    def test_corrupt_snapshot_falls_back_to_journal(self, store):
+        rejected = PERF.counter("service.snapshot_rejected")
+        submit(store, "job-1")
+        jobs = JobStore(store.root).replay()
+        store.snapshot(jobs)
+        payload = json.loads(store.snapshot_path.read_text())
+        payload["jobs"] = []  # tamper without fixing the checksum
+        store.snapshot_path.write_text(canonical_json(payload))
+        restored = JobStore(store.root).replay()
+        assert "job-1" in restored  # journal replay covered for it
+        assert PERF.counter("service.snapshot_rejected") == rejected + 1
+
+    def test_compact_truncates_covered_journal(self, store):
+        submit(store, "job-1")
+        store.append({"kind": "event", "job_id": "job-1",
+                      "event": "lease"})
+        jobs = JobStore(store.root).replay()
+        store.compact(jobs)
+        assert os.path.getsize(store.journal_path) == 0
+        restored = JobStore(store.root).replay()
+        assert restored["job-1"].state == "leased"
+        assert restored["job-1"].attempts == 1
+
+
+class TestResultFiles:
+    def test_write_is_canonical_and_atomic(self, store):
+        payload = {"b": 2, "a": [1, {"z": True}]}
+        path = store.write_result("job-1", payload)
+        text = path.read_text()
+        assert text == canonical_json(payload) + "\n"
+        assert store.read_result("job-1") == payload
+
+    def test_rewrite_same_payload_is_byte_identical(self, store):
+        payload = {"ok": True, "result": {"seeds": [3, 1, 2]}}
+        first = store.write_result("job-1", payload).read_bytes()
+        second = store.write_result("job-1", payload).read_bytes()
+        assert first == second
+
+    def test_missing_or_torn_result_reads_none(self, store):
+        assert store.read_result("nope") is None
+        store.result_path("torn").write_text('{"ok": tru')
+        assert store.read_result("torn") is None
+
+    def test_scratch_paths_are_per_attempt(self, store):
+        first = store.result_scratch("job-1", 1)
+        second = store.result_scratch("job-1", 2)
+        assert first != second
+        assert first.parent == second.parent
+        assert first.parent.name == "tmp"
+
+
+class TestJobRow:
+    def test_status_row_shape(self):
+        job = Job("job-1", "fp", {"name": "sweep", "seeds": [1, 2]}, 1)
+        row = job.status()
+        assert row == {"job_id": "job-1", "fingerprint": "fp",
+                       "state": "queued", "attempts": 0, "budget": 3,
+                       "cached": False, "error": "", "name": "sweep",
+                       "seeds": 2}
+
+    def test_snapshot_round_trip(self):
+        job = Job("job-1", "fp", {"name": "sweep", "seeds": [1]}, 7,
+                  budget=2)
+        job.lifecycle.signal("lease")
+        job.attempts = 1
+        restored = Job.from_snapshot(job.to_snapshot())
+        assert restored.to_snapshot() == job.to_snapshot()
+        assert restored.state == "leased"
+        assert restored.seq == 7
